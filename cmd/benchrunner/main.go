@@ -1,0 +1,49 @@
+// Command benchrunner regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	benchrunner -exp fig5tpcc            # one experiment at paper scale
+//	benchrunner -exp table1 -iters 100   # shortened run
+//	benchrunner -all -iters 120          # everything, shortened
+//	benchrunner -list                    # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id (see -list)")
+	iters := flag.Int("iters", 0, "override iteration count (0 = paper setting)")
+	seed := flag.Int64("seed", 1, "random seed")
+	all := flag.Bool("all", false, "run every experiment")
+	list := flag.Bool("list", false, "list experiment ids")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(bench.ExperimentIDs(), "\n"))
+		return
+	}
+	ids := []string{*exp}
+	if *all {
+		ids = bench.ExperimentIDs()
+	} else if *exp == "" {
+		fmt.Fprintln(os.Stderr, "need -exp <id>, -all or -list")
+		os.Exit(2)
+	}
+	for _, id := range ids {
+		start := time.Now()
+		rep, err := bench.Experiment(id, *iters, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s — %s (%.1fs)\n%s\n", rep.ID, rep.Title, time.Since(start).Seconds(), rep.Body)
+	}
+}

@@ -1,0 +1,45 @@
+// Quickstart: tune the 5-knob case-study space on a static YCSB mix for
+// 60 intervals and print what OnlineTune found.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/baselines"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/knobs"
+	"repro/internal/workload"
+)
+
+func main() {
+	// 1. The configuration space: the paper's 5-knob case-study subset.
+	space := knobs.CaseStudy5()
+
+	// 2. The workload: YCSB at a fixed 75% read ratio.
+	gen := &workload.YCSB{Seed: 1, ReadRatioAt: func(int) float64 { return 0.75 }}
+
+	// 3. The tuner: OnlineTune seeded with the DBA default as its
+	//    initial safety set (and the DBA default's performance as τ).
+	feat := bench.NewFeaturizer(1)
+	tuner := baselines.NewOnlineTune(space, feat.Dim(), space.DBADefault(), 1, core.DefaultOptions())
+
+	// 4. Drive it against the simulated instance for 60 intervals.
+	s := bench.Run(tuner, bench.RunConfig{Space: space, Gen: gen, Iters: 60, Seed: 1, Feat: feat})
+
+	fmt.Println("iter   throughput   threshold")
+	for i := 0; i < 60; i += 5 {
+		fmt.Printf("%4d   %10.0f   %9.0f\n", i, s.Perf[i], s.Tau[i])
+	}
+	fmt.Printf("\ncumulative txns: %.4g (threshold baseline %.4g)\n", s.CumFinal(), s.Tau[0]*60)
+	fmt.Printf("unsafe: %d   failures: %d\n", s.Unsafe, s.Failures)
+
+	best, perf := tuner.T.ModelBest(0)
+	fmt.Println("\nbest configuration found:")
+	for name, v := range space.Decode(best) {
+		fmt.Printf("  %-28s %v\n", name, v)
+	}
+	fmt.Printf("  (posterior-best measured throughput %.0f txn/s)\n", perf)
+}

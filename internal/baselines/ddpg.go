@@ -1,0 +1,201 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/dbsim"
+	"repro/internal/knobs"
+	"repro/internal/nn"
+)
+
+// DDPG is the CDBTune-style reinforcement learner: an actor maps the
+// DBMS's internal metrics to a configuration, a critic estimates its
+// value, and both train from a replay buffer with soft target updates.
+// Exploration is Gaussian action noise with decay — the trial-and-error
+// behavior that makes CDBTune unsafe to run against a live instance.
+type DDPG struct {
+	Space *knobs.Space
+
+	Gamma      float64
+	TauSoft    float64
+	BatchSize  int
+	NoiseStart float64
+	NoiseEnd   float64
+	NoiseDecay float64 // per-step multiplicative decay
+
+	actor        *nn.MLP
+	critic       *nn.MLP
+	actorTarget  *nn.MLP
+	criticTarget *nn.MLP
+	actorOpt     *nn.Adam
+	criticOpt    *nn.Adam
+
+	buffer []transition
+	maxBuf int
+	rng    *rand.Rand
+	noise  float64
+
+	prevState  []float64
+	prevAction []float64
+	prevPerf   float64
+	initPerf   float64
+	hasPrev    bool
+
+	stateDim int
+}
+
+type transition struct {
+	s, a, s2 []float64
+	r        float64
+}
+
+// NewDDPG returns a CDBTune-style DDPG tuner.
+func NewDDPG(space *knobs.Space, seed int64) *DDPG {
+	rng := rand.New(rand.NewSource(seed))
+	stateDim := len(dbsim.MetricNames())
+	d := space.Dim()
+	actor := nn.NewMLP([]int{stateDim, 64, 64, d}, []nn.Activation{nn.ReLU, nn.ReLU, nn.Tanh}, rng)
+	critic := nn.NewMLP([]int{stateDim + d, 64, 64, 1}, []nn.Activation{nn.ReLU, nn.ReLU, nn.Identity}, rng)
+	pa, ga := actor.Params()
+	pc, gc := critic.Params()
+	return &DDPG{
+		Space:      space,
+		Gamma:      0.9,
+		TauSoft:    0.01,
+		BatchSize:  16,
+		NoiseStart: 0.4,
+		NoiseEnd:   0.05,
+		NoiseDecay: 0.99,
+
+		actor: actor, critic: critic,
+		actorTarget: actor.Clone(), criticTarget: critic.Clone(),
+		actorOpt:  nn.NewAdam(1e-3, pa, ga),
+		criticOpt: nn.NewAdam(1e-2, pc, gc),
+		maxBuf:    2000,
+		rng:       rng,
+		noise:     0.4,
+		stateDim:  stateDim,
+	}
+}
+
+// Name implements Tuner.
+func (d *DDPG) Name() string { return "DDPG" }
+
+// action maps actor output (tanh, [-1,1]) to the unit hypercube.
+func toUnit(a []float64) []float64 {
+	u := make([]float64, len(a))
+	for i, x := range a {
+		u[i] = (x + 1) / 2
+	}
+	return u
+}
+
+// Propose implements Tuner.
+func (d *DDPG) Propose(env TuneEnv) knobs.Config {
+	state := env.Metrics.Vector()
+	raw := d.actor.Forward(state)
+	u := toUnit(raw)
+	for i := range u {
+		u[i] = math.Min(1, math.Max(0, u[i]+d.noise*d.rng.NormFloat64()))
+	}
+	d.prevState = state
+	d.prevAction = u
+	if d.noise > d.NoiseEnd {
+		d.noise *= d.NoiseDecay
+	}
+	return d.Space.Decode(u)
+}
+
+// Feedback implements Tuner.
+func (d *DDPG) Feedback(env TuneEnv, cfg knobs.Config, res dbsim.Result) {
+	perf := objective(res, env.OLAP)
+	if d.initPerf == 0 {
+		d.initPerf = math.Max(1e-9, math.Abs(env.Tau))
+	}
+	// CDBTune-style reward: blend of improvement against the initial
+	// performance and against the previous step; failures are heavily
+	// punished.
+	var r float64
+	if res.Failed {
+		r = -5
+	} else {
+		rInit := (perf - env.Tau) / d.initPerf
+		rPrev := 0.0
+		if d.hasPrev && d.prevPerf != 0 {
+			rPrev = (perf - d.prevPerf) / math.Abs(d.prevPerf)
+		}
+		r = clip((rInit+rPrev)/2, -2, 2)
+	}
+	d.prevPerf = perf
+	d.hasPrev = true
+
+	next := res.Metrics.Vector()
+	d.buffer = append(d.buffer, transition{s: d.prevState, a: d.prevAction, s2: next, r: r})
+	if len(d.buffer) > d.maxBuf {
+		d.buffer = d.buffer[1:]
+	}
+	d.train()
+}
+
+func clip(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// train runs one minibatch update of critic and actor.
+func (d *DDPG) train() {
+	if len(d.buffer) < d.BatchSize {
+		return
+	}
+	// Critic update.
+	d.critic.ZeroGrad()
+	for k := 0; k < d.BatchSize; k++ {
+		tr := d.buffer[d.rng.Intn(len(d.buffer))]
+		aNext := toUnit(d.actorTarget.Forward(tr.s2))
+		qNext := d.criticTarget.Forward(concat(tr.s2, aNext))[0]
+		target := tr.r + d.Gamma*qNext
+		q := d.critic.Forward(concat(tr.s, tr.a))[0]
+		grad := 2 * (q - target) / float64(d.BatchSize)
+		d.critic.Backward([]float64{grad})
+	}
+	_, gc := d.critic.Params()
+	nn.ClipGrads(gc, 5)
+	d.criticOpt.Step()
+
+	// Actor update: ascend the critic's value.
+	d.actor.ZeroGrad()
+	for k := 0; k < d.BatchSize; k++ {
+		tr := d.buffer[d.rng.Intn(len(d.buffer))]
+		raw := d.actor.Forward(tr.s)
+		a := toUnit(raw)
+		d.critic.Forward(concat(tr.s, a))
+		gIn := d.critic.Backward([]float64{-1.0 / float64(d.BatchSize)})
+		// Gradient of q wrt the action part, through the tanh→unit map
+		// (du/draw = 1/2).
+		gAction := gIn[d.stateDim:]
+		for i := range gAction {
+			gAction[i] /= 2
+		}
+		d.critic.ZeroGrad() // discard critic grads from the actor pass
+		d.actor.Backward(gAction)
+	}
+	_, ga := d.actor.Params()
+	nn.ClipGrads(ga, 5)
+	d.actorOpt.Step()
+
+	// Soft target updates.
+	d.actorTarget.SoftUpdateFrom(d.actor, d.TauSoft)
+	d.criticTarget.SoftUpdateFrom(d.critic, d.TauSoft)
+}
+
+func concat(a, b []float64) []float64 {
+	out := make([]float64, 0, len(a)+len(b))
+	out = append(out, a...)
+	return append(out, b...)
+}

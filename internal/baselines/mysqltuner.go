@@ -1,0 +1,105 @@
+package baselines
+
+import (
+	"math"
+
+	"repro/internal/dbsim"
+	"repro/internal/knobs"
+	"repro/internal/whitebox"
+)
+
+// MysqlTuner is the pure white-box baseline: it examines the DBMS metrics
+// and applies static heuristics to adjust knobs, with no learning. It is
+// the same rule set OnlineTune consults as an assistant, here acting
+// alone — safe but trapped in local optima (§7.1.1).
+type MysqlTuner struct {
+	Space *knobs.Space
+	rules *whitebox.Engine
+	cur   knobs.Config
+	last  dbsim.InternalMetrics
+	seen  bool
+}
+
+// NewMysqlTuner returns the heuristic tuner. Like every baseline in the
+// paper's evaluation, it starts from the DBA default configuration.
+func NewMysqlTuner(space *knobs.Space) *MysqlTuner {
+	return &MysqlTuner{Space: space, rules: whitebox.NewEngine(), cur: space.DBADefault()}
+}
+
+// Name implements Tuner.
+func (m *MysqlTuner) Name() string { return "MysqlTuner" }
+
+// set assigns a knob if it exists in the tuned space, clamped to range.
+func (m *MysqlTuner) set(name string, v float64) {
+	if k, ok := m.Space.Get(name); ok {
+		m.cur[name] = k.ClampRaw(v)
+	}
+}
+
+// Propose implements Tuner: one heuristic adjustment pass per interval.
+func (m *MysqlTuner) Propose(env TuneEnv) knobs.Config {
+	if !m.seen {
+		return m.cur.Clone() // first interval: observe the default
+	}
+	mt := m.last
+
+	// Buffer pool: grow while the hit rate is poor and memory allows.
+	if mt.BufferPoolHitRate < 0.97 && mt.MemUtil < 0.75 {
+		cur := m.cur["innodb_buffer_pool_size"]
+		m.set("innodb_buffer_pool_size", math.Min(cur*2, 0.7*env.HW.RAMBytes))
+	}
+	// Log waits: grow the log buffer.
+	if mt.LogWaitsPS > 10 {
+		m.set("innodb_log_buffer_size", m.cur["innodb_log_buffer_size"]*2)
+	}
+	// Dirty-page backlog: raise the flushing budget.
+	if mt.DirtyPagesPct > 60 {
+		m.set("innodb_io_capacity", m.cur["innodb_io_capacity"]*2)
+		m.set("innodb_io_capacity_max", m.cur["innodb_io_capacity"]*4)
+	}
+	// Sort spills: grow the sort buffer (bounded; per-connection!).
+	if mt.SortMergePassesPS > 10 {
+		m.set("sort_buffer_size", math.Min(m.cur["sort_buffer_size"]*2, 16*knobs.MiB))
+	}
+	// Joins without indexes: grow the join buffer (the classic rule).
+	if env.Snapshot.JoinFrac > 0.25 {
+		m.set("join_buffer_size", math.Min(m.cur["join_buffer_size"]*2, 64*knobs.MiB))
+	}
+	// Temp tables on disk: raise both tmp limits together.
+	if mt.TmpDiskTablesPS > 10 {
+		m.set("tmp_table_size", math.Min(m.cur["tmp_table_size"]*2, 512*knobs.MiB))
+		m.set("max_heap_table_size", math.Min(m.cur["max_heap_table_size"]*2, 512*knobs.MiB))
+	}
+	// Thread thrash: cache threads, cap concurrency at 2×vCPU.
+	if mt.ThreadsRunning > 2*float64(env.HW.VCPUs) {
+		m.set("innodb_thread_concurrency", 2*float64(env.HW.VCPUs))
+	}
+	m.set("thread_cache_size", 100)
+	m.set("table_open_cache", 4000)
+	m.set("max_connections", math.Max(m.cur["max_connections"], 500))
+	// Binlog: batch fsyncs (a common MysqlTuner recommendation).
+	m.set("sync_binlog", 100)
+	// Memory pressure: back off the per-connection buffers first.
+	if mt.MemUtil > 0.9 {
+		m.set("join_buffer_size", m.cur["join_buffer_size"]/2)
+		m.set("sort_buffer_size", m.cur["sort_buffer_size"]/2)
+		m.set("tmp_table_size", m.cur["tmp_table_size"]/2)
+		m.set("max_heap_table_size", m.cur["max_heap_table_size"]/2)
+		if mt.MemUtil > 1.0 {
+			m.set("innodb_buffer_pool_size", m.cur["innodb_buffer_pool_size"]*0.8)
+		}
+	}
+	return m.cur.Clone()
+}
+
+// Feedback implements Tuner.
+func (m *MysqlTuner) Feedback(env TuneEnv, cfg knobs.Config, res dbsim.Result) {
+	m.last = res.Metrics
+	m.seen = true
+	if res.Failed {
+		// A hang means the heuristics overcommitted: retreat hard.
+		m.set("innodb_buffer_pool_size", m.cur["innodb_buffer_pool_size"]/2)
+		m.set("join_buffer_size", m.cur["join_buffer_size"]/4)
+		m.set("sort_buffer_size", m.cur["sort_buffer_size"]/4)
+	}
+}

@@ -1,0 +1,41 @@
+package baselines
+
+import (
+	"repro/internal/core"
+	"repro/internal/dbsim"
+	"repro/internal/knobs"
+	"repro/internal/whitebox"
+)
+
+// OnlineTuneAdapter wraps internal/core's OnlineTune behind the common
+// Tuner interface so the harness drives it like any baseline.
+type OnlineTuneAdapter struct {
+	T        *core.OnlineTune
+	lastUnit []float64
+	lastCtx  []float64
+}
+
+// NewOnlineTune builds the adapter. initial is the initial safety set
+// configuration (raw); the paper uses the DBA default.
+func NewOnlineTune(space *knobs.Space, ctxDim int, initial knobs.Config, seed int64, opts core.Options) *OnlineTuneAdapter {
+	return &OnlineTuneAdapter{
+		T: core.New(space, ctxDim, space.Encode(initial), seed, opts),
+	}
+}
+
+// Name implements Tuner.
+func (a *OnlineTuneAdapter) Name() string { return "OnlineTune" }
+
+// Propose implements Tuner.
+func (a *OnlineTuneAdapter) Propose(env TuneEnv) knobs.Config {
+	rec := a.T.Recommend(env.Ctx, whitebox.Env{HW: env.HW, Load: env.Snapshot, Metrics: env.Metrics}, env.Tau)
+	a.lastUnit = rec.Unit
+	a.lastCtx = env.Ctx
+	return rec.Config
+}
+
+// Feedback implements Tuner.
+func (a *OnlineTuneAdapter) Feedback(env TuneEnv, cfg knobs.Config, res dbsim.Result) {
+	perf := objective(res, env.OLAP)
+	a.T.Observe(env.Iter, a.lastCtx, a.lastUnit, perf, env.Tau, res.Failed)
+}

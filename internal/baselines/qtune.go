@@ -1,0 +1,92 @@
+package baselines
+
+import (
+	"math/rand"
+
+	"repro/internal/dbsim"
+	"repro/internal/knobs"
+	"repro/internal/nn"
+)
+
+// QTune is the query-aware tuner (workload-level granularity): it embeds
+// the workload's queries and predicts the internal DBMS metrics the
+// configuration agent consumes, where CDBTune uses the *measured* metrics
+// of the previous interval. The predictor (workload feature → internal
+// metrics) trains online from observed pairs; the policy is the same
+// DDPG machinery.
+type QTune struct {
+	Space *knobs.Space
+
+	predictor *nn.MLP
+	predOpt   *nn.Adam
+	agent     *DDPG
+	ctxDim    int
+}
+
+// NewQTune returns a QTune-style tuner. ctxDim is the workload feature
+// dimensionality.
+func NewQTune(space *knobs.Space, ctxDim int, seed int64) *QTune {
+	rng := rand.New(rand.NewSource(seed + 1))
+	stateDim := len(dbsim.MetricNames())
+	pred := nn.NewMLP([]int{ctxDim, 32, stateDim}, []nn.Activation{nn.ReLU, nn.Identity}, rng)
+	pp, pg := pred.Params()
+	return &QTune{
+		Space:     space,
+		predictor: pred,
+		predOpt:   nn.NewAdam(5e-3, pp, pg),
+		agent:     NewDDPG(space, seed),
+		ctxDim:    ctxDim,
+	}
+}
+
+// Name implements Tuner.
+func (q *QTune) Name() string { return "QTune" }
+
+// Propose implements Tuner: the agent acts on *predicted* metrics for the
+// incoming workload rather than stale measured ones.
+func (q *QTune) Propose(env TuneEnv) knobs.Config {
+	predicted := q.predictor.Forward(env.Ctx)
+	fake := env
+	fake.Metrics = metricsFromVector(predicted)
+	return q.agent.Propose(fake)
+}
+
+// Feedback implements Tuner: trains the metric predictor on the observed
+// (workload feature, metrics) pair, then lets the agent learn.
+func (q *QTune) Feedback(env TuneEnv, cfg knobs.Config, res dbsim.Result) {
+	nn.TrainMSE(q.predictor, q.predOpt, env.Ctx, res.Metrics.Vector())
+	q.agent.Feedback(env, cfg, res)
+}
+
+// metricsFromVector reconstructs an InternalMetrics whose Vector() equals
+// v (inverting the fixed normalization).
+func metricsFromVector(v []float64) dbsim.InternalMetrics {
+	get := func(i int) float64 {
+		if i < len(v) {
+			return v[i]
+		}
+		return 0
+	}
+	return dbsim.InternalMetrics{
+		BufferPoolHitRate: get(0),
+		DirtyPagesPct:     get(1) * 100,
+		PagesFlushedPS:    get(2) * 20000,
+		LogWaitsPS:        get(3) * 1000,
+		RowsReadPS:        get(4) * 1e6,
+		RowsWrittenPS:     get(5) * 1e5,
+		ThreadsRunning:    get(6) * 128,
+		CPUUtil:           get(7),
+		IOUtil:            get(8),
+		MemUtil:           get(9),
+		LockWaitsPS:       get(10) * 1000,
+		SpinRoundsPOp:     get(11) * 100,
+		TmpDiskTablesPS:   get(12) * 1000,
+		SortMergePassesPS: get(13) * 1000,
+		FsyncsPS:          get(14) * 5000,
+		QPS:               get(15) * 50000,
+		HistoryListLen:    get(16) * 1e6,
+		CheckpointAgePct:  get(17) * 100,
+		OpenTables:        get(18) * 10000,
+		ConnectionsUsed:   get(19) * 10000,
+	}
+}

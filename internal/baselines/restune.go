@@ -1,0 +1,180 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/dbsim"
+	"repro/internal/gp"
+	"repro/internal/knobs"
+	"repro/internal/mathx"
+)
+
+// ResTune is the RGPE-ensemble tuner adapted to online tuning as in the
+// paper's evaluation: observations are chunked into pseudo "source
+// workloads" of SourceChunk iterations each, a base GP is fitted per
+// chunk, and the ensemble weights base models by their ranking accuracy
+// on the current chunk (Feurer et al.'s RGPE). The acquisition is
+// constrained EI: expected improvement times the probability that the
+// safety constraint (perf ≥ τ) holds. Unlike OnlineTune it still
+// evaluates in the unsafe region — the constraint is soft.
+type ResTune struct {
+	Space       *knobs.Space
+	SourceChunk int
+	Candidates  int
+	RankSamples int
+
+	baseX  [][][]float64 // per-source inputs
+	baseY  [][]float64
+	bases  []*gp.GP
+	curX   [][]float64
+	curY   []float64
+	target *gp.GP
+	rng    *rand.Rand
+	best   float64
+}
+
+// NewResTune returns the RGPE-based tuner.
+func NewResTune(space *knobs.Space, seed int64) *ResTune {
+	return &ResTune{
+		Space:       space,
+		SourceChunk: 25, // the paper clusters every 25 observations as one source
+		Candidates:  300,
+		RankSamples: 30,
+		target:      gp.New(gp.NewMatern52(1.0, 0.3), 1e-3),
+		rng:         rand.New(rand.NewSource(seed)),
+		best:        math.Inf(-1),
+	}
+}
+
+// Name implements Tuner.
+func (r *ResTune) Name() string { return "ResTune" }
+
+// Propose implements Tuner.
+func (r *ResTune) Propose(env TuneEnv) knobs.Config {
+	if len(r.curY) < 3 && len(r.bases) == 0 {
+		if len(r.curY) == 0 {
+			return r.Space.Default()
+		}
+		u := make([]float64, r.Space.Dim())
+		for i := range u {
+			u[i] = r.rng.Float64()
+		}
+		return r.Space.Decode(u)
+	}
+	weights := r.rgpeWeights()
+	bestU, bestAcq := make([]float64, r.Space.Dim()), math.Inf(-1)
+	for i := range bestU {
+		bestU[i] = r.rng.Float64()
+	}
+	for c := 0; c < r.Candidates; c++ {
+		u := make([]float64, r.Space.Dim())
+		for i := range u {
+			u[i] = r.rng.Float64()
+		}
+		mu, sigma := r.ensemblePredict(u, weights)
+		if sigma < 1e-12 {
+			continue
+		}
+		z := (mu - r.best - 0.01) / sigma
+		ei := (mu-r.best-0.01)*mathx.NormalCDF(z) + sigma*mathx.NormalPDF(z)
+		// Soft safety constraint: probability perf ≥ τ.
+		pSafe := mathx.NormalCDF((mu - env.Tau) / sigma)
+		if acq := ei * pSafe; acq > bestAcq {
+			bestAcq, bestU = acq, u
+		}
+	}
+	return r.Space.Decode(bestU)
+}
+
+// rgpeWeights computes ensemble weights: base models are weighted by how
+// often they rank pairs of current observations correctly (sampled), the
+// target model by its leave-last-out ranking.
+func (r *ResTune) rgpeWeights() []float64 {
+	n := len(r.bases)
+	w := make([]float64, n+1)
+	if len(r.curY) < 2 {
+		// No evidence yet: uniform over bases, half weight on target.
+		for i := range w {
+			w[i] = 1 / float64(n+1)
+		}
+		return w
+	}
+	score := func(predict func([]float64) float64) float64 {
+		correct := 0
+		for s := 0; s < r.RankSamples; s++ {
+			i := r.rng.Intn(len(r.curY))
+			j := r.rng.Intn(len(r.curY))
+			if i == j {
+				continue
+			}
+			pi, pj := predict(r.curX[i]), predict(r.curX[j])
+			if (pi > pj) == (r.curY[i] > r.curY[j]) {
+				correct++
+			}
+		}
+		return float64(correct) / float64(r.RankSamples)
+	}
+	total := 0.0
+	for bi, b := range r.bases {
+		w[bi] = score(func(u []float64) float64 { mu, _ := b.Predict(u); return mu })
+		total += w[bi]
+	}
+	w[n] = score(func(u []float64) float64 { mu, _ := r.target.Predict(u); return mu })
+	// Emphasize the target model slightly (it sees the live workload).
+	w[n] *= 1.5
+	total += w[n]
+	if total == 0 {
+		for i := range w {
+			w[i] = 1 / float64(n+1)
+		}
+		return w
+	}
+	for i := range w {
+		w[i] /= total
+	}
+	return w
+}
+
+// ensemblePredict combines base and target posteriors with the weights.
+func (r *ResTune) ensemblePredict(u []float64, w []float64) (mu, sigma float64) {
+	var m, v float64
+	for bi, b := range r.bases {
+		bm, bv := b.Predict(u)
+		m += w[bi] * bm
+		v += w[bi] * w[bi] * bv
+	}
+	if len(r.curY) > 0 {
+		tm, tv := r.target.Predict(u)
+		m += w[len(r.bases)] * tm
+		v += w[len(r.bases)] * w[len(r.bases)] * tv
+	}
+	return m, math.Sqrt(math.Max(v, 1e-12))
+}
+
+// Feedback implements Tuner.
+func (r *ResTune) Feedback(env TuneEnv, cfg knobs.Config, res dbsim.Result) {
+	perf := objective(res, env.OLAP)
+	if res.Failed {
+		perf = env.Tau - math.Max(1, math.Abs(env.Tau))
+	}
+	u := r.Space.Encode(cfg)
+	r.curX = append(r.curX, u)
+	r.curY = append(r.curY, perf)
+	if perf > r.best {
+		r.best = perf
+	}
+	_ = r.target.Fit(r.curX, r.curY)
+	// Seal the chunk into a base model.
+	if len(r.curY) >= r.SourceChunk {
+		b := gp.New(gp.NewMatern52(1.0, 0.3), 1e-3)
+		if err := b.Fit(r.curX, r.curY); err == nil {
+			r.bases = append(r.bases, b)
+			r.baseX = append(r.baseX, r.curX)
+			r.baseY = append(r.baseY, r.curY)
+		}
+		r.curX = nil
+		r.curY = nil
+		r.target = gp.New(gp.NewMatern52(1.0, 0.3), 1e-3)
+	}
+}

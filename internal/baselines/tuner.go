@@ -1,0 +1,63 @@
+// Package baselines implements the tuning systems the paper compares
+// OnlineTune against (§7, "Baselines"): OtterTune-style Bayesian
+// optimization with expected improvement, CDBTune's DDPG reinforcement
+// learner, QTune's query-aware variant, ResTune's RGPE ensemble with
+// safety constraints, the MysqlTuner heuristic, and fixed-configuration
+// tuners (MySQL default, DBA default). All tuners implement a common
+// interface so the benchmark harness can drive them uniformly.
+package baselines
+
+import (
+	"repro/internal/dbsim"
+	"repro/internal/knobs"
+	"repro/internal/workload"
+)
+
+// TuneEnv is the per-interval information available to a tuner.
+type TuneEnv struct {
+	Iter     int
+	Snapshot workload.Snapshot
+	// Ctx is the featurized context (used by the context-aware tuners).
+	Ctx []float64
+	// Metrics are the internal DBMS metrics observed in the previous
+	// interval (the RL tuners' state).
+	Metrics dbsim.InternalMetrics
+	// Tau is the default configuration's performance for this context —
+	// the safety threshold.
+	Tau float64
+	// OLAP marks analytic intervals (objective = −execution time).
+	OLAP bool
+	HW   dbsim.Hardware
+}
+
+// Tuner is the interface the benchmark harness drives: propose a
+// configuration for the interval, then receive the measured result.
+type Tuner interface {
+	Name() string
+	Propose(env TuneEnv) knobs.Config
+	Feedback(env TuneEnv, cfg knobs.Config, res dbsim.Result)
+}
+
+// Fixed always proposes the same configuration (MySQL default, DBA
+// default, or any frozen tuned config).
+type Fixed struct {
+	Label string
+	Cfg   knobs.Config
+}
+
+// NewFixed returns a fixed-configuration tuner.
+func NewFixed(label string, cfg knobs.Config) *Fixed {
+	return &Fixed{Label: label, Cfg: cfg}
+}
+
+// Name implements Tuner.
+func (f *Fixed) Name() string { return f.Label }
+
+// Propose implements Tuner.
+func (f *Fixed) Propose(TuneEnv) knobs.Config { return f.Cfg.Clone() }
+
+// Feedback implements Tuner.
+func (f *Fixed) Feedback(TuneEnv, knobs.Config, dbsim.Result) {}
+
+// objective extracts the maximize-able scalar from a result.
+func objective(res dbsim.Result, olap bool) float64 { return res.Objective(olap) }

@@ -1,0 +1,165 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/featurize"
+	"repro/internal/knobs"
+	"repro/internal/workload"
+)
+
+// ablationVariant builds an OnlineTune adapter with modified options and
+// optionally an ablated featurizer.
+type ablationVariant struct {
+	name string
+	opts core.Options
+	feat func(seed int64) *featurize.Featurizer
+}
+
+func featFull(seed int64) *featurize.Featurizer { return NewFeaturizer(seed) }
+
+func featNoWorkload(seed int64) *featurize.Featurizer {
+	f := NewFeaturizer(seed)
+	f.UseWorkload = false
+	return f
+}
+
+func featNoData(seed int64) *featurize.Featurizer {
+	f := NewFeaturizer(seed)
+	f.UseData = false
+	return f
+}
+
+// runAblation runs one variant set on one generator and returns the table.
+func runAblation(variants []ablationVariant, space *knobs.Space, gen workload.Generator, iters int, seed int64) string {
+	t := NewTable("variant", "cum_improv_vs_dba", "unsafe", "failures")
+	for _, v := range variants {
+		feat := v.feat(seed)
+		tn := baselines.NewOnlineTune(space, feat.Dim(), space.DBADefault(), seed, v.opts)
+		s := Run(tn, RunConfig{Space: space, Gen: gen, Iters: iters, Seed: seed, Feat: feat})
+		// Cumulative improvement over the DBA default (τ).
+		improv := 0.0
+		for i := range s.Perf {
+			improv += s.Perf[i] - s.Tau[i]
+		}
+		t.Add(v.name, improv, s.Unsafe, s.Failures)
+	}
+	return t.String()
+}
+
+// Fig14AblationContext reproduces Figure 14: removing pieces of the
+// contextual modeling (workload feature, data feature, clustering).
+func Fig14AblationContext(iters int, seed int64) Report {
+	space := knobs.MySQL57()
+	base := core.DefaultOptions()
+	noCluster := base
+	noCluster.UseClustering = false
+	variants := []ablationVariant{
+		{name: "OnlineTune", opts: base, feat: featFull},
+		{name: "OnlineTune-w/o-workload", opts: base, feat: featNoWorkload},
+		{name: "OnlineTune-w/o-data", opts: base, feat: featNoData},
+		{name: "OnlineTune-w/o-clustering", opts: noCluster, feat: featFull},
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "(a) dynamic TPC-C (cumulative improvement = Σ perf − τ, txns):\n%s\n",
+		runAblation(variants, space, workload.NewTPCC(seed, true), iters, seed))
+	fmt.Fprintf(&b, "(b) dynamic JOB (improvement in −seconds; higher is better):\n%s",
+		runAblation(variants, space, workload.NewJOB(seed+1, true), iters, seed))
+	return Report{ID: "fig14", Title: "Figure 14: ablation on context space design", Body: b.String()}
+}
+
+// Fig15AblationSafety reproduces Figure 15: removing pieces of the safe
+// exploration strategy (white box, black box, subspace, everything).
+func Fig15AblationSafety(iters int, seed int64) Report {
+	space := knobs.MySQL57()
+	base := core.DefaultOptions()
+	noWhite := base
+	noWhite.UseWhiteBox = false
+	noBlack := base
+	noBlack.UseBlackBox = false
+	noSub := base
+	noSub.UseSubspace = false
+	noSafe := base
+	noSafe.UseSafety = false
+	variants := []ablationVariant{
+		{name: "OnlineTune", opts: base, feat: featFull},
+		{name: "OnlineTune-w/o-white", opts: noWhite, feat: featFull},
+		{name: "OnlineTune-w/o-black", opts: noBlack, feat: featFull},
+		{name: "OnlineTune-w/o-subspace", opts: noSub, feat: featFull},
+		{name: "OnlineTune-w/o-safe", opts: noSafe, feat: featFull},
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "(a) dynamic Twitter:\n%s\n",
+		runAblation(variants, space, workload.NewTwitter(seed, true), iters, seed))
+	fmt.Fprintf(&b, "(b) dynamic JOB:\n%s",
+		runAblation(variants, space, workload.NewJOB(seed+1, true), iters, seed))
+	return Report{ID: "fig15", Title: "Figure 15: ablation on safe exploration", Body: b.String()}
+}
+
+// Fig16IntervalSizes reproduces Figure 16: tuning Twitter under interval
+// sizes from 5 s to 12 min for a fixed wall-clock budget.
+func Fig16IntervalSizes(baseIters int, seed int64) Report {
+	space := knobs.MySQL57()
+	// Fixed wall-clock budget: baseIters × 3 min.
+	budgetSec := float64(baseIters) * 180
+	t := NewTable("interval", "iterations", "cum_improv_per_hour", "unsafe", "failures")
+	for _, iv := range []struct {
+		label string
+		sec   float64
+	}{{"I-5S", 5}, {"I-1M", 60}, {"I-3M", 180}, {"I-6M", 360}, {"I-12M", 720}} {
+		iters := int(budgetSec / iv.sec)
+		if iters > 1200 {
+			iters = 1200 // cap the 5 s case for runtime sanity
+		}
+		feat := NewFeaturizer(seed)
+		tn := baselines.NewOnlineTune(space, feat.Dim(), space.DBADefault(), seed, core.DefaultOptions())
+		s := Run(tn, RunConfig{
+			Space: space, Gen: workload.NewTwitter(seed, true), Iters: iters,
+			Seed: seed, Feat: feat, IntervalSec: iv.sec,
+		})
+		improv := 0.0
+		for i := range s.Perf {
+			improv += (s.Perf[i] - s.Tau[i]) * iv.sec // txns, not txn/s
+		}
+		hours := float64(iters) * iv.sec / 3600
+		t.Add(iv.label, iters, improv/hours, s.Unsafe, s.Failures)
+	}
+	return Report{ID: "fig16", Title: "Figure 16: tuning Twitter with different interval sizes", Body: t.String()}
+}
+
+// Fig17MySQLDefaultStart reproduces Figure 17: starting from the MySQL
+// vendor default as the initial safety set and threshold.
+func Fig17MySQLDefaultStart(iters int, seed int64) Report {
+	space := knobs.CaseStudy5()
+	gen := workload.NewYCSB(seed)
+	feat := NewFeaturizer(seed)
+	tn := baselines.NewOnlineTune(space, feat.Dim(), space.Default(), seed, core.DefaultOptions())
+	s := Run(tn, RunConfig{
+		Space: space, Gen: gen, Iters: iters, Seed: seed, Feat: feat,
+		TauFromMySQLDefault: true,
+	})
+	// Reference runs for the two defaults.
+	fd := Run(baselines.NewFixed("MysqlDefault", space.Default()),
+		RunConfig{Space: space, Gen: gen, Iters: iters, Seed: seed, Feat: feat, TauFromMySQLDefault: true})
+	fb := Run(baselines.NewFixed("DBADefault", space.DBADefault()),
+		RunConfig{Space: space, Gen: gen, Iters: iters, Seed: seed, Feat: feat, TauFromMySQLDefault: true})
+
+	var b strings.Builder
+	t := NewTable("iter", "onlinetune_tps", "mysql_default_tps", "dba_default_tps")
+	crossed := -1
+	for _, i := range sampleIdx(iters, 20) {
+		t.Add(i, s.Perf[i], fd.Perf[i], fb.Perf[i])
+	}
+	for i := range s.Perf {
+		if crossed < 0 && s.Perf[i] >= fb.Perf[i] {
+			crossed = i
+		}
+	}
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "\nunsafe=%d failures=%d; first iteration matching DBA-default performance: %d\n",
+		s.Unsafe, s.Failures, crossed)
+	return Report{ID: "fig17", Title: "Figure 17: starting from the MySQL vendor default", Body: b.String()}
+}

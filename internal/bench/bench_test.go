@@ -1,0 +1,135 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/baselines"
+	"repro/internal/knobs"
+	"repro/internal/workload"
+)
+
+func TestRunRecordsSeries(t *testing.T) {
+	space := knobs.CaseStudy5()
+	feat := NewFeaturizer(1)
+	s := Run(baselines.NewFixed("DBADefault", space.DBADefault()),
+		RunConfig{Space: space, Gen: workload.NewYCSB(1), Iters: 25, Seed: 1, Feat: feat})
+	if len(s.Perf) != 25 || len(s.Cum) != 25 || len(s.Tau) != 25 || len(s.Units) != 25 {
+		t.Fatalf("series lengths wrong: %d %d %d %d", len(s.Perf), len(s.Cum), len(s.Tau), len(s.Units))
+	}
+	if s.CumFinal() <= 0 {
+		t.Fatal("cumulative throughput should be positive")
+	}
+	// The DBA default measured against the DBA-default threshold should
+	// be (nearly) always safe under the 5% margin.
+	if s.Unsafe > 2 {
+		t.Fatalf("fixed DBA default counted %d unsafe", s.Unsafe)
+	}
+	if s.Failures != 0 {
+		t.Fatal("fixed DBA default must not fail")
+	}
+}
+
+func TestRunNegP99Objective(t *testing.T) {
+	space := knobs.CaseStudy5()
+	feat := NewFeaturizer(1)
+	s := Run(baselines.NewFixed("DBADefault", space.DBADefault()),
+		RunConfig{Space: space, Gen: workload.NewYCSB(1), Iters: 5, Seed: 1, Feat: feat, Objective: NegP99})
+	for _, p := range s.Perf {
+		if p >= 0 {
+			t.Fatalf("NegP99 objective should be negative, got %v", p)
+		}
+	}
+}
+
+func TestOnlineTuneDiagnosticsRecorded(t *testing.T) {
+	space := knobs.CaseStudy5()
+	feat := NewFeaturizer(1)
+	tuners := StandardTuners(space, feat.Dim(), 1)
+	s := Run(tuners[0], RunConfig{Space: space, Gen: workload.NewYCSB(1), Iters: 10, Seed: 1, Feat: feat})
+	if s.Name != "OnlineTune" {
+		t.Fatalf("first standard tuner should be OnlineTune, got %s", s.Name)
+	}
+	if len(s.SafetySetSizes) != 10 || len(s.RegionKinds) != 10 {
+		t.Fatalf("diagnostics missing: %d %d", len(s.SafetySetSizes), len(s.RegionKinds))
+	}
+}
+
+func TestExperimentDispatch(t *testing.T) {
+	if _, err := Experiment("nope", 1, 1); err == nil {
+		t.Fatal("unknown id should error")
+	}
+	for _, id := range []string{"fig1a", "fig1b", "fig3", "fig4", "fig9"} {
+		rep, err := Experiment(id, 20, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if rep.ID != id || rep.Body == "" || rep.Title == "" {
+			t.Fatalf("%s: empty report", id)
+		}
+	}
+}
+
+func TestExperimentIDsAllDispatchable(t *testing.T) {
+	// Every listed id must at least be known to the dispatcher (cheap
+	// ones run in TestExperimentDispatch; expensive ones are exercised by
+	// the benchmarks).
+	for _, id := range ExperimentIDs() {
+		if !knownID(id) {
+			t.Fatalf("id %s not dispatchable", id)
+		}
+	}
+}
+
+func knownID(id string) bool {
+	_, err := Experiment("nope", 1, 1)
+	if err == nil {
+		return false
+	}
+	return strings.Contains(err.Error(), id)
+}
+
+func TestFig5SmallRunShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	rep, err := Experiment("fig5tpcc", 60, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"OnlineTune", "BO", "DDPG", "ResTune", "QTune", "MysqlTuner", "MysqlDefault", "DBADefault"} {
+		if !strings.Contains(rep.Body, name) {
+			t.Fatalf("fig5 missing %s:\n%s", name, rep.Body)
+		}
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tb := NewTable("a", "bb")
+	tb.Add(1, 2.5)
+	tb.Add("xx", 1e7)
+	out := tb.String()
+	if !strings.Contains(out, "a") || !strings.Contains(out, "2.50") {
+		t.Fatalf("table output wrong:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header, separator, 2 rows
+		t.Fatalf("table lines = %d", len(lines))
+	}
+}
+
+func TestSampleIdx(t *testing.T) {
+	idx := sampleIdx(100, 10)
+	if len(idx) != 10 || idx[0] != 0 || idx[9] != 99 {
+		t.Fatalf("sampleIdx = %v", idx)
+	}
+	idx = sampleIdx(5, 10)
+	if len(idx) != 5 {
+		t.Fatalf("short series should return all: %v", idx)
+	}
+	for i := 1; i < len(idx); i++ {
+		if idx[i] <= idx[i-1] {
+			t.Fatal("indices must increase")
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/knobs"
+	"repro/internal/workload"
+)
+
+// Table1StaticWorkloads reproduces Table 1 and Figure 18: all tuners on
+// static TPC-C, Twitter and JOB; reporting the maximum improvement over
+// the DBA default and the search step — the first iteration reaching
+// within 10% of the estimated optimum (the best performance any tuner
+// ever measured on that workload).
+func Table1StaticWorkloads(iters int, seed int64) Report {
+	space := knobs.MySQL57()
+	feat := NewFeaturizer(seed)
+	var b strings.Builder
+	for _, wk := range []struct {
+		name string
+		gen  workload.Generator
+	}{
+		{"TPC-C", workload.NewTPCC(seed, false)},
+		{"Twitter", workload.NewTwitter(seed+1, false)},
+		{"JOB", workload.NewJOB(seed+2, false)},
+	} {
+		tuners := []baselines.Tuner{
+			baselines.NewOnlineTune(space, feat.Dim(), space.DBADefault(), seed, core.DefaultOptions()),
+			baselines.NewBO(space, seed+1),
+			baselines.NewDDPG(space, seed+2),
+			baselines.NewResTune(space, seed+3),
+			baselines.NewQTune(space, feat.Dim(), seed+4),
+			baselines.NewMysqlTuner(space),
+		}
+		series := make([]*Series, 0, len(tuners))
+		for _, tn := range tuners {
+			series = append(series, Run(tn, RunConfig{Space: space, Gen: wk.gen, Iters: iters, Seed: seed, Feat: feat}))
+		}
+		// Estimated optimum: the best measurement across all tuners.
+		optimum := math.Inf(-1)
+		var tau float64
+		for _, s := range series {
+			tau = s.Tau[0]
+			for _, p := range s.Perf {
+				if p > optimum {
+					optimum = p
+				}
+			}
+		}
+		t := NewTable("tuner", "max_improv_pct", "search_step", "unsafe", "failures")
+		for _, s := range series {
+			best := math.Inf(-1)
+			step := -1
+			for i, p := range s.Perf {
+				if p > best {
+					best = p
+				}
+				if step < 0 && p >= optimum-0.10*math.Abs(optimum) {
+					step = i
+				}
+			}
+			stepStr := `\`
+			if step >= 0 {
+				stepStr = fmt.Sprintf("%d", step)
+			}
+			t.Add(s.Name, 100*(best-tau)/math.Abs(tau), stepStr, s.Unsafe, s.Failures)
+		}
+		fmt.Fprintf(&b, "%s (estimated optimum %.4g, DBA default %.4g):\n%s\n", wk.name, optimum, tau, t.String())
+	}
+	return Report{ID: "table1", Title: "Table 1 / Figure 18: static workloads — search efficiency with safety", Body: b.String()}
+}
+
+// TableA1TimeBreakdown reproduces Table A1: average per-iteration wall
+// time of each OnlineTune stage on the JOB workload.
+func TableA1TimeBreakdown(iters int, seed int64) Report {
+	space := knobs.MySQL57()
+	feat := NewFeaturizer(seed)
+	tn := baselines.NewOnlineTune(space, feat.Dim(), space.DBADefault(), seed, core.DefaultOptions())
+	s := Run(tn, RunConfig{Space: space, Gen: workload.NewJOB(seed, true), Iters: iters, Seed: seed, Feat: feat})
+	tm := tn.T.Timings()
+	n := float64(tm.Iters)
+	if n == 0 {
+		n = 1
+	}
+	ms := func(d float64) float64 { return d / n }
+	// Featurize time is measured by the harness as part of Propose minus
+	// core stages; approximate it from total propose minus core stages.
+	avg := func(v []float64) float64 {
+		t := 0.0
+		for _, x := range v {
+			t += x
+		}
+		return t / float64(len(v))
+	}
+	apply := 180000.0 // the 3-minute interval dominates, as in the paper
+	t := NewTable("stage", "avg_ms_per_iter", "pct_of_interval")
+	rows := []struct {
+		name string
+		ms   float64
+	}{
+		{"model_selection", ms(float64(tm.ModelSelect.Microseconds()) / 1000)},
+		{"subspace_adaptation", ms(float64(tm.SubspaceAdapt.Microseconds()) / 1000)},
+		{"safety_assessment", ms(float64(tm.SafetyAssess.Microseconds()) / 1000)},
+		{"candidate_selection", ms(float64(tm.CandidateSelect.Microseconds()) / 1000)},
+		{"model_update", avg(s.FeedbackMs)},
+		{"apply_and_evaluation", apply},
+	}
+	for _, r := range rows {
+		t.Add(r.name, r.ms, 100*r.ms/(apply))
+	}
+	return Report{ID: "tableA1", Title: "Table A1: average time breakdown for one tuning iteration (JOB)", Body: t.String()}
+}

@@ -1,0 +1,167 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// twoBlobs returns two well-separated Gaussian blobs.
+func twoBlobs(rng *rand.Rand, n int) ([][]float64, []int) {
+	pts := make([][]float64, 0, 2*n)
+	truth := make([]int, 0, 2*n)
+	for i := 0; i < n; i++ {
+		pts = append(pts, []float64{rng.NormFloat64() * 0.3, rng.NormFloat64() * 0.3})
+		truth = append(truth, 0)
+	}
+	for i := 0; i < n; i++ {
+		pts = append(pts, []float64{5 + rng.NormFloat64()*0.3, 5 + rng.NormFloat64()*0.3})
+		truth = append(truth, 1)
+	}
+	return pts, truth
+}
+
+func TestDBSCANSeparatesBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts, truth := twoBlobs(rng, 40)
+	res := DBSCAN(pts, 1.0, 4)
+	if res.NumClusters != 2 {
+		t.Fatalf("found %d clusters, want 2", res.NumClusters)
+	}
+	// Every pair in the same true blob must share a label.
+	for i := range pts {
+		for j := i + 1; j < len(pts); j++ {
+			if truth[i] == truth[j] && res.Labels[i] != res.Labels[j] {
+				t.Fatalf("points %d,%d in same blob got labels %d,%d", i, j, res.Labels[i], res.Labels[j])
+			}
+			if truth[i] != truth[j] && res.Labels[i] == res.Labels[j] {
+				t.Fatalf("points %d,%d in different blobs share label", i, j)
+			}
+		}
+	}
+}
+
+func TestDBSCANNoise(t *testing.T) {
+	pts := [][]float64{{0, 0}, {0.1, 0}, {0, 0.1}, {0.1, 0.1}, {50, 50}}
+	res := DBSCAN(pts, 0.5, 3)
+	if res.Labels[4] != Noise {
+		t.Fatalf("isolated point should be noise, got %d", res.Labels[4])
+	}
+	res.AssignNearest(pts)
+	if res.Labels[4] == Noise {
+		t.Fatal("AssignNearest should absorb noise")
+	}
+}
+
+func TestDBSCANAllNoise(t *testing.T) {
+	pts := [][]float64{{0, 0}, {10, 10}, {20, 20}}
+	res := DBSCAN(pts, 0.5, 2)
+	if res.NumClusters != 0 {
+		t.Fatalf("expected no clusters, got %d", res.NumClusters)
+	}
+	res.AssignNearest(pts)
+	for _, l := range res.Labels {
+		if l != 0 {
+			t.Fatal("all-noise fallback should assign cluster 0")
+		}
+	}
+	if res.NumClusters != 1 {
+		t.Fatal("fallback should report one cluster")
+	}
+}
+
+func TestSuggestEps(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts, _ := twoBlobs(rng, 30)
+	eps := SuggestEps(pts, 4)
+	if eps <= 0 || eps > 5 {
+		t.Fatalf("suggested eps = %v implausible", eps)
+	}
+	res := DBSCAN(pts, eps, 4)
+	if res.NumClusters != 2 {
+		t.Fatalf("suggested eps yields %d clusters, want 2", res.NumClusters)
+	}
+	if SuggestEps(nil, 4) <= 0 {
+		t.Fatal("degenerate input should return positive eps")
+	}
+}
+
+func TestMutualInfoIdentical(t *testing.T) {
+	a := []int{0, 0, 1, 1, 2, 2}
+	if mi := MutualInfo(a, a); mi < 0.999 {
+		t.Fatalf("identical labelings MI = %v, want 1", mi)
+	}
+	// Permuted label names are still the same clustering.
+	b := []int{5, 5, 9, 9, 7, 7}
+	if mi := MutualInfo(a, b); mi < 0.999 {
+		t.Fatalf("renamed labelings MI = %v, want 1", mi)
+	}
+}
+
+func TestMutualInfoDissimilar(t *testing.T) {
+	a := []int{0, 0, 0, 1, 1, 1}
+	b := []int{0, 1, 0, 1, 0, 1} // orthogonal split
+	if mi := MutualInfo(a, b); mi > 0.2 {
+		t.Fatalf("orthogonal labelings MI = %v, want ≈0", mi)
+	}
+}
+
+func TestMutualInfoDegenerate(t *testing.T) {
+	if MutualInfo(nil, nil) != 0 {
+		t.Fatal("empty input should be 0")
+	}
+	if MutualInfo([]int{1, 2}, []int{1}) != 0 {
+		t.Fatal("length mismatch should be 0")
+	}
+	// Two all-same labelings agree trivially.
+	if MutualInfo([]int{3, 3, 3}, []int{8, 8, 8}) != 1 {
+		t.Fatal("trivial labelings should agree")
+	}
+}
+
+// Property: MI is symmetric and within [0,1].
+func TestQuickMutualInfoBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		a := make([]int, n)
+		b := make([]int, n)
+		for i := range a {
+			a[i] = rng.Intn(4)
+			b[i] = rng.Intn(4)
+		}
+		ab := MutualInfo(a, b)
+		ba := MutualInfo(b, a)
+		if ab < 0 || ab > 1 {
+			return false
+		}
+		// Summation order differs with map iteration; allow float slack.
+		return math.Abs(ab-ba) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: DBSCAN labels are either Noise or in [0, NumClusters).
+func TestQuickDBSCANLabelRange(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		pts := make([][]float64, n)
+		for i := range pts {
+			pts[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+		}
+		res := DBSCAN(pts, 0.5+rng.Float64(), 2+rng.Intn(4))
+		for _, l := range res.Labels {
+			if l != Noise && (l < 0 || l >= res.NumClusters) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,141 @@
+// Package cluster implements the clustering machinery of OnlineTune's
+// scalability strategy (§5.3): DBSCAN over context features, plus the
+// normalized mutual-information score that decides when the clustering
+// must be re-learned.
+package cluster
+
+import (
+	"math"
+
+	"repro/internal/mathx"
+)
+
+// Noise is the DBSCAN label for points not assigned to any cluster.
+const Noise = -1
+
+// DBSCANResult holds cluster assignments.
+type DBSCANResult struct {
+	// Labels maps each input point to a cluster id in [0, NumClusters) or
+	// Noise.
+	Labels []int
+	// NumClusters is the number of clusters found.
+	NumClusters int
+}
+
+// DBSCAN clusters points by density (Ester et al., 1996). eps is the
+// neighborhood radius; minPts the density threshold (a point is core if
+// its eps-neighborhood, itself included, holds at least minPts points).
+func DBSCAN(points [][]float64, eps float64, minPts int) DBSCANResult {
+	n := len(points)
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = -2 // unvisited
+	}
+	neighbors := func(i int) []int {
+		var out []int
+		for j := 0; j < n; j++ {
+			if mathx.Dist2(points[i], points[j]) <= eps {
+				out = append(out, j)
+			}
+		}
+		return out
+	}
+	cluster := 0
+	for i := 0; i < n; i++ {
+		if labels[i] != -2 {
+			continue
+		}
+		nb := neighbors(i)
+		if len(nb) < minPts {
+			labels[i] = Noise
+			continue
+		}
+		labels[i] = cluster
+		// Expand the cluster with a work queue.
+		queue := append([]int{}, nb...)
+		for len(queue) > 0 {
+			j := queue[0]
+			queue = queue[1:]
+			if labels[j] == Noise {
+				labels[j] = cluster // border point
+			}
+			if labels[j] != -2 {
+				continue
+			}
+			labels[j] = cluster
+			nj := neighbors(j)
+			if len(nj) >= minPts {
+				queue = append(queue, nj...)
+			}
+		}
+		cluster++
+	}
+	return DBSCANResult{Labels: labels, NumClusters: cluster}
+}
+
+// AssignNearest maps noise points to the cluster of their nearest labeled
+// neighbor, so every observation belongs to some model's training set.
+// If everything is noise, all points join cluster 0.
+func (r *DBSCANResult) AssignNearest(points [][]float64) {
+	if r.NumClusters == 0 {
+		for i := range r.Labels {
+			r.Labels[i] = 0
+		}
+		r.NumClusters = 1
+		return
+	}
+	for i, l := range r.Labels {
+		if l != Noise {
+			continue
+		}
+		best, bestD := 0, math.Inf(1)
+		for j, lj := range r.Labels {
+			if lj == Noise || j == i {
+				continue
+			}
+			if d := mathx.Dist2(points[i], points[j]); d < bestD {
+				best, bestD = lj, d
+			}
+		}
+		r.Labels[i] = best
+	}
+}
+
+// KDistance returns the distance from each point to its k-th nearest
+// neighbor — the standard heuristic for choosing DBSCAN's eps (use a
+// high quantile of the returned values).
+func KDistance(points [][]float64, k int) []float64 {
+	n := len(points)
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		ds := make([]float64, 0, n-1)
+		for j := 0; j < n; j++ {
+			if i != j {
+				ds = append(ds, mathx.Dist2(points[i], points[j]))
+			}
+		}
+		if len(ds) == 0 {
+			continue
+		}
+		kk := k
+		if kk > len(ds) {
+			kk = len(ds)
+		}
+		// Partial selection via sort-free quantile is overkill; use Quantile.
+		out[i] = mathx.Quantile(ds, float64(kk-1)/math.Max(1, float64(len(ds)-1)))
+	}
+	return out
+}
+
+// SuggestEps picks an eps for DBSCAN from the k-distance distribution.
+func SuggestEps(points [][]float64, k int) float64 {
+	if len(points) < 2 {
+		return 1
+	}
+	kd := KDistance(points, k)
+	eps := mathx.Quantile(kd, 0.90)
+	if eps <= 0 {
+		eps = 1e-6
+	}
+	return eps
+}

@@ -1,0 +1,593 @@
+// Package core implements OnlineTune (Algorithm 3): the safe, contextual
+// online configuration tuner. Each iteration it featurizes the
+// environment into a context, selects the contextual GP model whose
+// cluster the context belongs to, adapts that model's configuration
+// subspace, assesses candidate safety with black-box confidence bounds
+// and white-box rules, recommends a configuration by UCB or safe-boundary
+// exploration, and updates the model and clustering with the observed
+// performance.
+package core
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/forest"
+	"repro/internal/gp"
+	"repro/internal/knobs"
+	"repro/internal/mathx"
+	"repro/internal/repo"
+	"repro/internal/safety"
+	"repro/internal/subspace"
+	"repro/internal/svm"
+	"repro/internal/whitebox"
+)
+
+// Options configures OnlineTune. The Use* switches implement the paper's
+// ablations (§7.3).
+type Options struct {
+	Beta    float64 // confidence-bound width (Srinivas et al.)
+	Epsilon float64 // ε-greedy boundary-exploration probability
+	// SafetyMargin inflates τ by this fraction of |τ| during assessment,
+	// absorbing measurement noise so that borderline configurations are
+	// not declared safe on the strength of a lucky sample.
+	SafetyMargin float64
+
+	Candidates int // subspace discretization size per iteration
+	ClusterCap int // P: max observations per cluster model
+
+	ReclusterEvery int     // simulate a fresh clustering every K observations
+	MIThreshold    float64 // re-learn when MI(current, simulated) < threshold
+	MinRecluster   int     // observations needed before any clustering
+
+	UseWhiteBox   bool
+	UseBlackBox   bool
+	UseSubspace   bool
+	UseClustering bool
+	// UseSafety false disables all safety machinery (vanilla contextual
+	// BO, the paper's OnlineTune-w/o-safe).
+	UseSafety bool
+
+	// HyperoptEvery refits GP hyperparameters every N observations
+	// (0 disables).
+	HyperoptEvery int
+}
+
+// DefaultOptions mirrors the paper's settings.
+func DefaultOptions() Options {
+	return Options{
+		Beta:           2.5,
+		Epsilon:        0.1,
+		SafetyMargin:   0.025,
+		Candidates:     100,
+		ClusterCap:     80,
+		ReclusterEvery: 25,
+		MIThreshold:    0.5,
+		MinRecluster:   50,
+		UseWhiteBox:    true,
+		UseBlackBox:    true,
+		UseSubspace:    true,
+		UseClustering:  true,
+		UseSafety:      true,
+		HyperoptEvery:  25,
+	}
+}
+
+// model is one cluster's contextual GP with its subspace state.
+type model struct {
+	gp       *gp.ContextualGP
+	adapter  *subspace.Adapter
+	bestUnit []float64
+	bestPerf float64
+	lastPerf float64
+	hasLast  bool
+	// evaluated remembers quantized candidates already tried, to detect
+	// an exhausted safety set (a switching-rule trigger).
+	evaluated map[string]bool
+	obsCount  int
+	// coolDown > 0 forces conservative fallback recommendations after an
+	// unsafe evaluation (the paper's immediate tightening reaction).
+	coolDown int
+}
+
+// Recommendation describes one recommended configuration and the
+// decision path that produced it (for the case-study visualizations).
+type Recommendation struct {
+	Unit   []float64
+	Config knobs.Config
+	// Boundary reports whether the ε-greedy branch picked the safe
+	// boundary point rather than the UCB maximizer.
+	Boundary bool
+	// Fallback reports that the safe set was empty and the tuner stayed
+	// at the best known configuration.
+	Fallback bool
+	// SafetySetSize is the number of safe candidates this round.
+	SafetySetSize int
+	// ModelIndex is the selected cluster model.
+	ModelIndex int
+	// IgnoredRule is the white-box rule bypassed by conflict relaxation.
+	IgnoredRule *whitebox.Rule
+	// RegionKind is the subspace type used ("hypercube"/"line").
+	RegionKind string
+}
+
+// OnlineTune is the tuner.
+type OnlineTune struct {
+	Space *knobs.Space
+	Opts  Options
+	White *whitebox.Engine
+	Repo  *repo.Repo
+
+	ctxDim     int
+	models     []*model
+	labels     []int // cluster label per repo observation
+	classifier *svm.Multiclass
+	rng        *rand.Rand
+	seed       int64
+
+	initialUnit []float64
+
+	// pending white-box rule awaiting an outcome report.
+	pendingRule *whitebox.Rule
+
+	lastRec *Recommendation
+	times   StageTimes
+}
+
+// New builds an OnlineTune instance for a knob space and context
+// dimensionality. The initial safety set is the given unit-encoded
+// configuration (the paper uses the DBA default).
+func New(space *knobs.Space, ctxDim int, initialSafe []float64, seed int64, opts Options) *OnlineTune {
+	o := &OnlineTune{
+		Space:       space,
+		Opts:        opts,
+		White:       whitebox.NewEngine(),
+		Repo:        repo.New(),
+		ctxDim:      ctxDim,
+		rng:         rand.New(rand.NewSource(seed)),
+		seed:        seed,
+		initialUnit: mathx.VecClone(initialSafe),
+	}
+	o.models = []*model{o.newModel(initialSafe)}
+	return o
+}
+
+func (o *OnlineTune) newModel(center []float64) *model {
+	return o.newModelAt(len(o.models), center)
+}
+
+// kernelWeights down-weights categorical dimensions in the GP's distance
+// metric: an adjacent enum value is a moderate move, not half the unit
+// range, so the model can generalize safety across a category flip.
+func kernelWeights(space *knobs.Space) []float64 {
+	w := make([]float64, space.Dim())
+	for i, k := range space.Knobs {
+		w[i] = 1
+		if k.Cardinality() > 1 {
+			w[i] = 0.35
+		}
+	}
+	return w
+}
+
+// minSteps gives categorical knobs a perturbation floor so their
+// neighbors are reachable from inside a small trust region.
+func minSteps(space *knobs.Space) []float64 {
+	out := make([]float64, space.Dim())
+	for i, k := range space.Knobs {
+		if c := k.Cardinality(); c > 1 {
+			out[i] = 1/float64(c-1) + 1e-9
+		}
+	}
+	return out
+}
+
+// knobImportance fits a small random forest on the model's observations
+// and returns per-knob importances for the important-direction oracle.
+func (o *OnlineTune) knobImportance(m *model) []float64 {
+	configs, _, perf := m.gp.Observations()
+	if len(configs) < 10 {
+		return nil
+	}
+	f := forest.NewForest(10, 6, 3)
+	f.Fit(configs, perf, o.seed)
+	return f.Importance(configs, perf, o.seed+1)
+}
+
+// selectModel returns the model for a context: the SVM classifier's
+// cluster if trained, else model 0.
+func (o *OnlineTune) selectModel(ctx []float64) int {
+	if !o.Opts.UseClustering || o.classifier == nil {
+		return 0
+	}
+	idx := o.classifier.Predict(ctx)
+	if idx < 0 || idx >= len(o.models) {
+		return 0
+	}
+	return idx
+}
+
+func key(u []float64) string {
+	b := make([]byte, 0, len(u)*2)
+	for _, x := range u {
+		q := int(x*200 + 0.5)
+		b = append(b, byte(q), byte(q>>8))
+	}
+	return string(b)
+}
+
+// Recommend produces the configuration for the next interval given the
+// featurized context, the white-box environment, and the safety
+// threshold τ for this context (the default configuration's performance).
+func (o *OnlineTune) Recommend(ctx []float64, env whitebox.Env, tau float64) Recommendation {
+	o.times.Iters++
+	t0 := time.Now()
+	mi := o.selectModel(ctx)
+	m := o.models[mi]
+	o.times.ModelSelect += time.Since(t0)
+
+	// Cold model: stay at the initial safety set.
+	if m.gp.Len() == 0 {
+		u := mathx.VecClone(o.bestCenter(m))
+		rec := Recommendation{Unit: u, Config: o.Space.Decode(u), Fallback: true, ModelIndex: mi, RegionKind: "init"}
+		o.lastRec = &rec
+		return rec
+	}
+
+	// Recenter on the posterior-mean best for this context (robust to
+	// noisy samples).
+	if bu, mu, ok := m.gp.BestByPosterior(ctx); ok && mu >= tau {
+		m.bestUnit = bu
+	}
+
+	// Novel context or post-unsafe cooldown: measure the evaluated-best
+	// configuration conservatively before exploring (§7.2: after an
+	// unsafe evaluation the safety estimate is tightened and conservative
+	// configurations near the evaluated-best are recommended).
+	if o.Opts.UseSafety && (m.coolDown > 0 || o.contextNovel(m, ctx)) {
+		if m.coolDown > 0 {
+			m.coolDown--
+		}
+		u := mathx.VecClone(o.bestCenter(m))
+		rec := Recommendation{Unit: u, Config: o.Space.Decode(u), Fallback: true, ModelIndex: mi, RegionKind: "probe"}
+		o.lastRec = &rec
+		return rec
+	}
+
+	// ③ Subspace adaptation (or the whole space for the ablation).
+	t0 = time.Now()
+	var candidates [][]float64
+	regionKind := "global"
+	if o.Opts.UseSubspace && o.Opts.UseSafety {
+		region := m.adapter.Region()
+		noUneval := false
+		if region != nil {
+			noUneval = o.unevaluatedSafeExhausted(m, ctx, region, tau+o.Opts.SafetyMargin*math.Abs(tau))
+		}
+		region = m.adapter.Adapt(o.bestCenter(m), noUneval)
+		candidates = region.Candidates(o.Opts.Candidates, o.rng)
+		if region.Kind == subspace.Hypercube {
+			regionKind = "hypercube"
+		} else {
+			regionKind = "line"
+		}
+	} else {
+		candidates = o.globalCandidates(o.Opts.Candidates)
+	}
+	for i := range candidates {
+		candidates[i] = o.Space.Quantize(candidates[i])
+	}
+	o.times.SubspaceAdapt += time.Since(t0)
+
+	// ④ Safety assessment: black box...
+	t0 = time.Now()
+	tauEff := tau + o.Opts.SafetyMargin*math.Abs(tau)
+	assess := safety.Assess(m.gp, ctx, candidates, o.Opts.Beta, tauEff)
+	if !o.Opts.UseSafety || !o.Opts.UseBlackBox {
+		// Without black-box safety every candidate is admissible.
+		for i := range assess.Safe {
+			if !assess.Safe[i] {
+				assess.Safe[i] = true
+				assess.NumSafe++
+			}
+		}
+	}
+	// ...and white box.
+	var ignored *whitebox.Rule
+	if o.Opts.UseSafety && o.Opts.UseWhiteBox {
+		ignored = o.applyWhiteBox(assess, env)
+	}
+
+	o.times.SafetyAssess += time.Since(t0)
+
+	// ⑤ Candidate selection: ε-greedy between UCB and safe boundary.
+	t0 = time.Now()
+	boundary := o.rng.Float64() < o.Opts.Epsilon
+	var pick int
+	if boundary {
+		pick = assess.ArgMaxBoundary()
+	} else {
+		pick = assess.ArgMaxUCB()
+	}
+	rec := Recommendation{ModelIndex: mi, SafetySetSize: assess.NumSafe, Boundary: boundary, RegionKind: regionKind}
+	if pick < 0 {
+		// Empty safe set: conservative fallback to the best known
+		// configuration (the paper's "recommend conservative
+		// configurations near the evaluated-best ones").
+		rec.Unit = mathx.VecClone(o.bestCenter(m))
+		rec.Fallback = true
+	} else {
+		rec.Unit = mathx.VecClone(assess.Candidates[pick])
+		rec.IgnoredRule = ignored
+	}
+	rec.Config = o.Space.Decode(rec.Unit)
+	o.pendingRule = rec.IgnoredRule
+	o.lastRec = &rec
+	o.times.CandidateSelect += time.Since(t0)
+	return rec
+}
+
+// bestCenter returns the model's best configuration, or the initial safe
+// configuration before any observation.
+func (o *OnlineTune) bestCenter(m *model) []float64 {
+	if math.IsInf(m.bestPerf, -1) {
+		return o.initialUnit
+	}
+	return m.bestUnit
+}
+
+// contextNovel reports whether ctx is far from every context the model
+// has observed — the trigger for a conservative probe iteration.
+func (o *OnlineTune) contextNovel(m *model, ctx []float64) bool {
+	_, ctxs, _ := m.gp.Observations()
+	if len(ctxs) == 0 {
+		return false
+	}
+	min := math.Inf(1)
+	for _, c := range ctxs {
+		if d := mathx.Dist2(c, ctx); d < min {
+			min = d
+		}
+	}
+	return min > 0.10
+}
+
+// unevaluatedSafeExhausted checks the switching-rule trigger: no safe
+// candidate in the current region remains unevaluated.
+func (o *OnlineTune) unevaluatedSafeExhausted(m *model, ctx []float64, region *subspace.Region, tau float64) bool {
+	cands := region.Candidates(40, o.rng)
+	for i := range cands {
+		cands[i] = o.Space.Quantize(cands[i])
+	}
+	assess := safety.Assess(m.gp, ctx, cands, o.Opts.Beta, tau)
+	for i := range cands {
+		if assess.Safe[i] && !m.evaluated[key(cands[i])] {
+			return false
+		}
+	}
+	return true
+}
+
+// globalCandidates samples the whole unit hypercube (used by the
+// w/o-subspace ablation) plus the best point.
+func (o *OnlineTune) globalCandidates(n int) [][]float64 {
+	out := make([][]float64, 0, n)
+	out = append(out, mathx.VecClone(o.bestCenter(o.models[0])))
+	for len(out) < n {
+		p := make([]float64, o.Space.Dim())
+		for i := range p {
+			p[i] = o.rng.Float64()
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// applyWhiteBox vetoes safe candidates the rule engine rejects and
+// manages conflict accounting. At most one currently "ignored" rule may
+// be bypassed; the bypassed rule is returned for outcome reporting.
+func (o *OnlineTune) applyWhiteBox(assess *safety.Assessment, env whitebox.Env) *whitebox.Rule {
+	// Find the black box's preferred candidate to detect decision
+	// conflicts (§6.2.2: conflict = white box rejects what the black box
+	// recommends).
+	blackPick := assess.ArgMaxUCB()
+	var ignored *whitebox.Rule
+	for i, c := range assess.Candidates {
+		if !assess.Safe[i] {
+			continue
+		}
+		verdict := o.White.Check(o.Space.Decode(c), env)
+		if verdict.OK {
+			if verdict.IgnoredRule != nil && i == blackPick {
+				ignored = verdict.IgnoredRule
+			}
+			continue
+		}
+		if i == blackPick {
+			for _, r := range verdict.ViolatedRules {
+				o.White.ReportConflict(r)
+			}
+		}
+		assess.Veto(i)
+	}
+	return ignored
+}
+
+// Observe records the measured performance of the last recommendation
+// (⑥⑦): it updates the cluster model, the subspace success counters, the
+// white-box relaxation state, the data repository, and periodically the
+// clustering.
+func (o *OnlineTune) Observe(iter int, ctx, unit []float64, perf, tau float64, failed bool) {
+	t0 := time.Now()
+	defer func() { o.times.ModelUpdate += time.Since(t0) }()
+	mi := o.selectModel(ctx)
+	m := o.models[mi]
+	safe := !failed && perf >= tau
+
+	// ⑦ Model update. Failures carry a strongly penalized target so the
+	// GP learns to avoid the area even though the DBMS reported nothing.
+	target := perf
+	if failed {
+		target = tau - math.Max(1, math.Abs(tau))
+	}
+	o.appendCapped(m, unit, ctx, target)
+	m.evaluated[key(o.Space.Quantize(unit))] = true
+	m.obsCount++
+	if o.Opts.HyperoptEvery > 0 && m.obsCount%o.Opts.HyperoptEvery == 0 {
+		m.gp.OptimizeHyperparams(60)
+	}
+
+	// Subspace success/failure accounting.
+	success := m.hasLast && perf > m.lastPerf && !failed
+	rel := 0.0
+	if m.hasLast && m.lastPerf != 0 {
+		rel = (perf - m.lastPerf) / math.Abs(m.lastPerf)
+	}
+	m.adapter.Report(success, rel)
+	if !safe {
+		m.adapter.ReportUnsafe()
+		m.coolDown = 1
+	}
+	m.lastPerf = perf
+	m.hasLast = true
+	if !failed && perf > m.bestPerf && safe {
+		m.bestPerf = perf
+		m.bestUnit = mathx.VecClone(unit)
+	}
+
+	// White-box outcome for a bypassed rule.
+	if o.pendingRule != nil {
+		o.White.ReportOutcome(o.pendingRule, safe)
+		o.pendingRule = nil
+	}
+
+	// Data repository + clustering bookkeeping.
+	o.Repo.Add(repo.Observation{
+		Iter: iter, Context: mathx.VecClone(ctx), Unit: mathx.VecClone(unit),
+		Perf: perf, Tau: tau, Safe: safe, Failed: failed,
+	})
+	o.labels = append(o.labels, mi)
+	if o.Opts.UseClustering {
+		o.maybeRecluster()
+	}
+}
+
+// appendCapped adds an observation to a model, dropping its oldest when
+// the cluster cap P is exceeded — this is what bounds the GP's cubic
+// cost (§5.3).
+func (o *OnlineTune) appendCapped(m *model, unit, ctx []float64, perf float64) {
+	configs, ctxs, perfs := m.gp.Observations()
+	configs = append(configs, mathx.VecClone(unit))
+	ctxs = append(ctxs, mathx.VecClone(ctx))
+	perfs = append(perfs, perf)
+	if len(configs) > o.Opts.ClusterCap {
+		drop := len(configs) - o.Opts.ClusterCap
+		configs, ctxs, perfs = configs[drop:], ctxs[drop:], perfs[drop:]
+	}
+	_ = m.gp.Fit(configs, ctxs, perfs)
+}
+
+// maybeRecluster implements Algorithm 1's Need_ReLearn: every
+// ReclusterEvery observations, simulate a fresh DBSCAN clustering of all
+// contexts; if its normalized mutual information against the maintained
+// labels falls below the threshold, adopt it — refit per-cluster models
+// and retrain the SVM boundary.
+func (o *OnlineTune) maybeRecluster() {
+	n := o.Repo.Len()
+	if n < o.Opts.MinRecluster || n%o.Opts.ReclusterEvery != 0 {
+		return
+	}
+	ctxs := o.Repo.Contexts()
+	res := cluster.DBSCAN(ctxs, cluster.SuggestEps(ctxs, 4), 4)
+	res.AssignNearest(ctxs)
+	if res.NumClusters < 1 {
+		return
+	}
+	if mi := cluster.MutualInfo(o.labels, res.Labels); mi >= o.Opts.MIThreshold {
+		return // clustering still agrees; keep it
+	}
+	o.adoptClustering(res)
+}
+
+// adoptClustering rebuilds models and the SVM boundary from a clustering.
+func (o *OnlineTune) adoptClustering(res cluster.DBSCANResult) {
+	obs := o.Repo.All()
+	newModels := make([]*model, res.NumClusters)
+	for c := 0; c < res.NumClusters; c++ {
+		newModels[c] = o.newModelAt(len(newModels), o.initialUnit)
+	}
+	// Distribute observations (most recent last so capping keeps them).
+	type triple struct {
+		unit, ctx []float64
+		perf      float64
+	}
+	buckets := make([][]triple, res.NumClusters)
+	for i, ob := range obs {
+		c := res.Labels[i]
+		target := ob.Perf
+		if ob.Failed {
+			target = ob.Tau - math.Max(1, math.Abs(ob.Tau))
+		}
+		buckets[c] = append(buckets[c], triple{ob.Unit, ob.Context, target})
+		if !ob.Failed && ob.Safe && ob.Perf > newModels[c].bestPerf {
+			newModels[c].bestPerf = ob.Perf
+			newModels[c].bestUnit = mathx.VecClone(ob.Unit)
+		}
+		newModels[c].evaluated[key(o.Space.Quantize(ob.Unit))] = true
+	}
+	for c, b := range buckets {
+		if len(b) == 0 {
+			continue
+		}
+		if len(b) > o.Opts.ClusterCap {
+			b = b[len(b)-o.Opts.ClusterCap:]
+		}
+		configs := make([][]float64, len(b))
+		ctxs := make([][]float64, len(b))
+		perfs := make([]float64, len(b))
+		for i, t := range b {
+			configs[i], ctxs[i], perfs[i] = t.unit, t.ctx, t.perf
+		}
+		_ = newModels[c].gp.Fit(configs, ctxs, perfs)
+		newModels[c].obsCount = len(b)
+	}
+	o.models = newModels
+	o.labels = append([]int{}, res.Labels...)
+
+	// Decision boundary for unseen contexts.
+	clf := svm.NewMulticlass(5, svm.RBFKernel(2.0))
+	clf.Fit(o.Repo.Contexts(), o.labels, o.seed)
+	o.classifier = clf
+}
+
+// newModelAt builds a model with a distinct adapter seed.
+func (o *OnlineTune) newModelAt(idx int, center []float64) *model {
+	m := &model{
+		gp:        gp.NewContextualWeighted(o.Space.Dim(), o.ctxDim, kernelWeights(o.Space)),
+		adapter:   subspace.NewAdapter(o.Space.Dim(), o.seed+int64(idx)*131+17),
+		bestUnit:  mathx.VecClone(center),
+		bestPerf:  math.Inf(-1),
+		evaluated: map[string]bool{},
+	}
+	m.adapter.MinStep = minSteps(o.Space)
+	if d := o.Space.Dim(); d > 10 {
+		m.adapter.PerturbK = 8 // sparse coordinate perturbation in high dimension
+	}
+	m.adapter.ImportanceFn = func() []float64 { return o.knobImportance(m) }
+	return m
+}
+
+// NumModels returns the current number of cluster models.
+func (o *OnlineTune) NumModels() int { return len(o.models) }
+
+// ModelBest returns model i's best unit configuration and performance.
+func (o *OnlineTune) ModelBest(i int) ([]float64, float64) {
+	m := o.models[i]
+	return mathx.VecClone(o.bestCenter(m)), m.bestPerf
+}
+
+// LastRecommendation returns the most recent recommendation (nil before
+// the first Recommend call).
+func (o *OnlineTune) LastRecommendation() *Recommendation { return o.lastRec }

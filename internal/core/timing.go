@@ -1,0 +1,17 @@
+package core
+
+import "time"
+
+// StageTimes accumulates per-stage wall time across Recommend/Observe
+// calls — the Table A1 breakdown.
+type StageTimes struct {
+	ModelSelect     time.Duration
+	SubspaceAdapt   time.Duration
+	SafetyAssess    time.Duration
+	CandidateSelect time.Duration
+	ModelUpdate     time.Duration
+	Iters           int
+}
+
+// Timings returns the accumulated stage times.
+func (o *OnlineTune) Timings() StageTimes { return o.times }

@@ -1,0 +1,320 @@
+package dbsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/knobs"
+	"repro/internal/workload"
+)
+
+func tpccSnap() workload.Snapshot    { return workload.NewTPCC(1, false).At(0) }
+func twitterSnap() workload.Snapshot { return workload.NewTwitter(1, false).At(0) }
+func jobSnap() workload.Snapshot     { return workload.NewJOB(1, false).At(0) }
+
+func newInst() *Instance { return New(knobs.MySQL57(), 7) }
+
+func TestDBADefaultBeatsVendorDefaultTPCC(t *testing.T) {
+	in := newInst()
+	def := in.DefaultResult(tpccSnap())
+	dba := in.DBAResult(tpccSnap())
+	if def.Failed || dba.Failed {
+		t.Fatal("defaults must not fail")
+	}
+	gain := dba.Throughput/def.Throughput - 1
+	// Figure 17 shows the vendor default well below the DBA default.
+	if gain < 0.15 || gain > 2.0 {
+		t.Fatalf("DBA gain over vendor default = %.1f%%, want roughly 15–200%%", gain*100)
+	}
+}
+
+func TestTunedBeatsDBATPCC(t *testing.T) {
+	in := newInst()
+	dba := in.DBAResult(tpccSnap())
+	tuned := in.Space.DBADefault()
+	tuned["innodb_flush_log_at_trx_commit"] = 2
+	tuned["sync_binlog"] = 0
+	tuned["innodb_io_capacity"] = 6000
+	tuned["innodb_io_capacity_max"] = 12000
+	tuned["innodb_log_file_size"] = 2 * knobs.GiB
+	res := in.Eval(tuned, tpccSnap(), EvalOptions{NoNoise: true})
+	gain := res.Throughput/dba.Throughput - 1
+	// Paper: tuning finds another ~16–22% over the DBA default.
+	if gain < 0.08 {
+		t.Fatalf("tuned gain over DBA = %.1f%%, want ≥ 8%%", gain*100)
+	}
+}
+
+func TestMemoryOvercommitFails(t *testing.T) {
+	in := newInst()
+	cfg := in.Space.DBADefault()
+	cfg["innodb_buffer_pool_size"] = 15 * knobs.GiB
+	cfg["join_buffer_size"] = 512 * knobs.MiB
+	cfg["sort_buffer_size"] = 256 * knobs.MiB
+	cfg["tmp_table_size"] = 2 * knobs.GiB
+	cfg["max_heap_table_size"] = 2 * knobs.GiB
+	res := in.Eval(cfg, tpccSnap(), EvalOptions{NoNoise: true})
+	if !res.Failed {
+		t.Fatalf("15 GB pool + 768 MB per-conn buffers on 16 GB must hang (memFrac=%v)", res.MemFrac)
+	}
+	if res.Throughput != 0 {
+		t.Fatal("failed instance should report zero throughput")
+	}
+}
+
+func TestBufferPoolDiminishingReturns(t *testing.T) {
+	in := newInst()
+	w := tpccSnap()
+	perf := func(bp float64) float64 {
+		cfg := in.Space.DBADefault()
+		cfg["innodb_buffer_pool_size"] = bp
+		return in.Eval(cfg, w, EvalOptions{NoNoise: true}).Throughput
+	}
+	small := perf(128 * knobs.MiB)
+	mid := perf(4 * knobs.GiB)
+	big := perf(12 * knobs.GiB)
+	if !(small < mid && mid <= big*1.001) {
+		t.Fatalf("buffer pool response not monotone: %v %v %v", small, mid, big)
+	}
+	if (mid-small)/small < 2*(big-mid)/mid {
+		t.Fatalf("no diminishing returns: first step %+.3f, second %+.3f", mid/small-1, big/mid-1)
+	}
+}
+
+func TestThreadConcurrencyOneStarves(t *testing.T) {
+	// The paper's white-box motivating case: thread_concurrency = 1 is
+	// near zero but a valid knob value; GP smoothness cannot see the
+	// 0-means-infinite discontinuity.
+	in := newInst()
+	w := twitterSnap()
+	perf := func(tc float64) float64 {
+		cfg := in.Space.DBADefault()
+		cfg["innodb_thread_concurrency"] = tc
+		return in.Eval(cfg, w, EvalOptions{NoNoise: true}).Throughput
+	}
+	unlimited := perf(0)
+	one := perf(1)
+	if one > unlimited*0.4 {
+		t.Fatalf("tc=1 should starve the instance: %v vs %v", one, unlimited)
+	}
+	if perf(16) < one {
+		t.Fatal("tc=16 should beat tc=1")
+	}
+}
+
+func TestSpinWaitDelayUnsafeRegion(t *testing.T) {
+	in := newInst()
+	w := tpccSnap() // write + skew → contention sensitive
+	perf := func(s float64) float64 {
+		cfg := in.Space.DBADefault()
+		cfg["innodb_spin_wait_delay"] = s
+		return in.Eval(cfg, w, EvalOptions{NoNoise: true}).Throughput
+	}
+	if perf(1500) > perf(6)*0.92 {
+		t.Fatalf("extreme spin delay should degrade: %v vs %v", perf(1500), perf(6))
+	}
+}
+
+func TestJOBBenefitsFromJoinBuffers(t *testing.T) {
+	in := newInst()
+	w := jobSnap()
+	run := func(jb, sb float64) float64 {
+		cfg := in.Space.DBADefault()
+		cfg["join_buffer_size"] = jb
+		cfg["sort_buffer_size"] = sb
+		return in.Eval(cfg, w, EvalOptions{NoNoise: true}).ExecTimeSec
+	}
+	smallBuf := run(256*knobs.KiB, 256*knobs.KiB)
+	bigBuf := run(128*knobs.MiB, 32*knobs.MiB)
+	if bigBuf >= smallBuf {
+		t.Fatalf("JOB should speed up with bigger join/sort buffers: %v -> %v", smallBuf, bigBuf)
+	}
+}
+
+func TestDurabilityGainIsContextDependent(t *testing.T) {
+	// Relaxing fsync should help write-heavy TPC-C far more than
+	// read-heavy Twitter — this is what makes the optimum workload
+	// specific and the contextual model necessary.
+	in := newInst()
+	gain := func(w workload.Snapshot) float64 {
+		base := in.DBAResult(w).Throughput
+		cfg := in.Space.DBADefault()
+		cfg["innodb_flush_log_at_trx_commit"] = 2
+		cfg["sync_binlog"] = 0
+		return in.Eval(cfg, w, EvalOptions{NoNoise: true}).Throughput/base - 1
+	}
+	gTPCC := gain(tpccSnap())
+	gTwitter := gain(twitterSnap())
+	if gTPCC < gTwitter+0.02 {
+		t.Fatalf("durability gain should be context dependent: tpcc %+.3f vs twitter %+.3f", gTPCC, gTwitter)
+	}
+}
+
+func TestEvalDeterministicAndNoisy(t *testing.T) {
+	in := newInst()
+	w := tpccSnap()
+	cfg := in.Space.DBADefault()
+	a := in.Eval(cfg, w, EvalOptions{})
+	b := in.Eval(cfg, w, EvalOptions{})
+	if a.Throughput != b.Throughput {
+		t.Fatal("same (cfg, snapshot, seed) must reproduce")
+	}
+	clean := in.Eval(cfg, w, EvalOptions{NoNoise: true})
+	if a.Throughput == clean.Throughput {
+		t.Fatal("noise should perturb the measurement")
+	}
+	rel := math.Abs(a.Throughput-clean.Throughput) / clean.Throughput
+	if rel > 0.15 {
+		t.Fatalf("noise too large: %v", rel)
+	}
+}
+
+func TestShortIntervalsAreNoisier(t *testing.T) {
+	in := newInst()
+	w := tpccSnap()
+	cfg := in.Space.DBADefault()
+	clean := in.Eval(cfg, w, EvalOptions{NoNoise: true}).Throughput
+	spread := func(interval float64) float64 {
+		var dev float64
+		for i := 0; i < 40; i++ {
+			w2 := w
+			w2.Iter = i
+			r := in.Eval(cfg, w2, EvalOptions{IntervalSec: interval})
+			dev += math.Abs(r.Throughput-clean) / clean
+		}
+		return dev / 40
+	}
+	if spread(5) <= spread(180) {
+		t.Fatalf("5 s intervals should be noisier than 180 s: %v vs %v", spread(5), spread(180))
+	}
+}
+
+func TestOptimizerStatsScaleWithData(t *testing.T) {
+	in := newInst()
+	w1 := tpccSnap()
+	w2 := w1
+	w2.DataGB = w1.DataGB * 3
+	s1 := in.OptimizerStats(w1)
+	s2 := in.OptimizerStats(w2)
+	if math.Abs(s2.RowsExamined/s1.RowsExamined-3) > 1e-9 {
+		t.Fatalf("rows examined should scale with data: %v vs %v", s1.RowsExamined, s2.RowsExamined)
+	}
+	if s1.IndexUsedFrac <= 0 || s1.IndexUsedFrac > 1 {
+		t.Fatalf("index fraction out of range: %v", s1.IndexUsedFrac)
+	}
+}
+
+func TestMetricsVector(t *testing.T) {
+	in := newInst()
+	res := in.DBAResult(tpccSnap())
+	vec := res.Metrics.Vector()
+	if len(vec) != len(MetricNames()) {
+		t.Fatalf("metrics vector %d entries, names %d", len(vec), len(MetricNames()))
+	}
+	for i, v := range vec {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("metric %s not finite: %v", MetricNames()[i], v)
+		}
+	}
+	if res.Metrics.BufferPoolHitRate < 0.5 {
+		t.Fatalf("DBA default should have a warm pool, hit=%v", res.Metrics.BufferPoolHitRate)
+	}
+}
+
+func TestObjectiveSign(t *testing.T) {
+	r := Result{Throughput: 100, ExecTimeSec: 50}
+	if r.Objective(false) != 100 {
+		t.Fatal("OLTP objective should be throughput")
+	}
+	if r.Objective(true) != -50 {
+		t.Fatal("OLAP objective should be negative exec time")
+	}
+}
+
+func TestOpenLoopCapsAtArrivalRate(t *testing.T) {
+	in := newInst()
+	w := workload.NewRealWorld(1).At(0)
+	res := in.DBAResult(w)
+	if res.Throughput > w.ArrivalRate*1.001 {
+		t.Fatalf("open loop exceeded offered load: %v > %v", res.Throughput, w.ArrivalRate)
+	}
+}
+
+func TestCaseStudySubspaceUsesBase(t *testing.T) {
+	// Tuning only 5 knobs must leave the other 35 at the DBA base.
+	in := New(knobs.CaseStudy5(), 7)
+	cfg := in.Space.DBADefault()
+	res := in.Eval(cfg, twitterSnap(), EvalOptions{NoNoise: true})
+	full := New(knobs.MySQL57(), 7).DBAResult(twitterSnap())
+	if math.Abs(res.Throughput-full.Throughput)/full.Throughput > 1e-9 {
+		t.Fatalf("subspace at DBA defaults should equal full DBA: %v vs %v", res.Throughput, full.Throughput)
+	}
+}
+
+// Property: every non-failed evaluation returns positive finite numbers.
+func TestQuickEvalFinite(t *testing.T) {
+	in := newInst()
+	space := in.Space
+	snaps := []workload.Snapshot{tpccSnap(), twitterSnap(), jobSnap()}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		u := make([]float64, space.Dim())
+		for i := range u {
+			u[i] = rng.Float64()
+		}
+		cfg := space.Decode(u)
+		w := snaps[rng.Intn(len(snaps))]
+		res := in.Eval(cfg, w, EvalOptions{NoNoise: true})
+		if res.Failed {
+			return res.Throughput == 0
+		}
+		ok := res.Throughput > 0 && !math.IsNaN(res.Throughput) && !math.IsInf(res.Throughput, 0)
+		ok = ok && res.P99LatencyMs > 0 && !math.IsNaN(res.P99LatencyMs)
+		if w.OLAP {
+			ok = ok && res.ExecTimeSec > 0 && !math.IsNaN(res.ExecTimeSec)
+		}
+		for _, v := range res.Metrics.Vector() {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return false
+			}
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRandomConfigsOftenUnsafe checks the Figure 1(c) premise: a majority
+// of random configurations land below the vendor default or fail.
+func TestRandomConfigsOftenUnsafe(t *testing.T) {
+	in := newInst()
+	w := tpccSnap()
+	// τ is the DBA default — the paper's initial safety set and threshold.
+	tau := in.DBAResult(w).Throughput
+	rng := rand.New(rand.NewSource(3))
+	unsafe, fails := 0, 0
+	const n = 200
+	for i := 0; i < n; i++ {
+		u := make([]float64, in.Space.Dim())
+		for j := range u {
+			u[j] = rng.Float64()
+		}
+		res := in.Eval(in.Space.Decode(u), w, EvalOptions{NoNoise: true})
+		if res.Failed {
+			fails++
+			unsafe++
+		} else if res.Throughput < tau {
+			unsafe++
+		}
+	}
+	frac := float64(unsafe) / n
+	if frac < 0.35 {
+		t.Fatalf("only %.0f%% of random configs unsafe; the paper reports 50–70%% for naive tuners", frac*100)
+	}
+	if fails == 0 {
+		t.Fatal("random exploration should occasionally hang the instance")
+	}
+}

@@ -1,0 +1,132 @@
+package dbsim
+
+import (
+	"math"
+
+	"repro/internal/workload"
+)
+
+// InternalMetrics are the DBMS runtime counters the paper's RL baselines
+// (CDBTune, QTune) consume as state, normalized to stable ranges.
+type InternalMetrics struct {
+	BufferPoolHitRate float64 // 0..1
+	DirtyPagesPct     float64 // 0..100
+	PagesFlushedPS    float64
+	LogWaitsPS        float64
+	RowsReadPS        float64
+	RowsWrittenPS     float64
+	ThreadsRunning    float64
+	CPUUtil           float64 // 0..1
+	IOUtil            float64 // 0..1
+	MemUtil           float64 // 0..1+
+	LockWaitsPS       float64
+	SpinRoundsPOp     float64
+	TmpDiskTablesPS   float64
+	SortMergePassesPS float64
+	FsyncsPS          float64
+	QPS               float64
+	HistoryListLen    float64
+	CheckpointAgePct  float64
+	OpenTables        float64
+	ConnectionsUsed   float64
+}
+
+// Vector flattens the metrics in a fixed order for model input.
+func (m *InternalMetrics) Vector() []float64 {
+	return []float64{
+		m.BufferPoolHitRate, m.DirtyPagesPct / 100, m.PagesFlushedPS / 20000,
+		m.LogWaitsPS / 1000, m.RowsReadPS / 1e6, m.RowsWrittenPS / 1e5,
+		m.ThreadsRunning / 128, m.CPUUtil, m.IOUtil, m.MemUtil,
+		m.LockWaitsPS / 1000, m.SpinRoundsPOp / 100, m.TmpDiskTablesPS / 1000,
+		m.SortMergePassesPS / 1000, m.FsyncsPS / 5000, m.QPS / 50000,
+		m.HistoryListLen / 1e6, m.CheckpointAgePct / 100, m.OpenTables / 10000,
+		m.ConnectionsUsed / 10000,
+	}
+}
+
+// MetricNames lists the metric vector entries in order.
+func MetricNames() []string {
+	return []string{
+		"buffer_pool_hit_rate", "dirty_pages_pct", "pages_flushed_ps",
+		"log_waits_ps", "rows_read_ps", "rows_written_ps", "threads_running",
+		"cpu_util", "io_util", "mem_util", "lock_waits_ps", "spin_rounds_per_op",
+		"tmp_disk_tables_ps", "sort_merge_passes_ps", "fsyncs_ps", "qps",
+		"history_list_len", "checkpoint_age_pct", "open_tables", "connections_used",
+	}
+}
+
+type metricsInput struct {
+	hit, memFrac, dirtyRate, flushPS float64
+	threads, contention, tput        float64
+	fsyncPerOp, spillSort, spillTmp  float64
+	logWaitPenalty, maxDirty         float64
+}
+
+func (in *Instance) computeMetrics(w workload.Snapshot, mi metricsInput) InternalMetrics {
+	qps := mi.tput
+	dirty := math.Min(mi.maxDirty, 100*mi.dirtyRate/math.Max(mi.flushPS, 1))
+	return InternalMetrics{
+		BufferPoolHitRate: mi.hit,
+		DirtyPagesPct:     dirty,
+		PagesFlushedPS:    math.Min(mi.flushPS, mi.dirtyRate),
+		LogWaitsPS:        (1 - mi.logWaitPenalty) * 1000,
+		RowsReadPS:        qps * (10 + 900*w.ScanFrac),
+		RowsWrittenPS:     qps * 4 * w.WriteFrac(),
+		ThreadsRunning:    mi.threads,
+		CPUUtil:           math.Min(1, qps/math.Max(1, qps)*0.5+0.4*(mi.contention-1)+0.3),
+		IOUtil:            math.Min(1, (mi.dirtyRate+qps*0.5)/in.HW.DiskIOPS),
+		MemUtil:           mi.memFrac,
+		LockWaitsPS:       (mi.contention - 1) * 400 * w.Skew,
+		SpinRoundsPOp:     (mi.contention - 1) * 50,
+		TmpDiskTablesPS:   qps * w.TmpFrac * (mi.spillTmp - 1),
+		SortMergePassesPS: qps * w.SortFrac * (mi.spillSort - 1),
+		FsyncsPS:          qps * mi.fsyncPerOp,
+		QPS:               qps,
+		HistoryListLen:    1e4 * w.WriteFrac() * mi.contention,
+		CheckpointAgePct:  math.Min(100, 30+40*w.WriteFrac()),
+		OpenTables:        500 + 100*float64(len(w.Queries)),
+		ConnectionsUsed:   mi.threads,
+	}
+}
+
+// failureMetrics reports the degenerate metrics of a hung instance.
+func failureMetrics(memFrac float64) InternalMetrics {
+	return InternalMetrics{
+		MemUtil: memFrac, CPUUtil: 1, IOUtil: 1, DirtyPagesPct: 100,
+	}
+}
+
+// OptimizerStats are the per-interval aggregates of the DBMS optimizer's
+// estimates that OnlineTune featurizes as the underlying-data feature
+// (§5.1.2): mean rows examined, mean filtered percentage, and the
+// fraction of queries using an index. Estimates scale with data size.
+type OptimizerStats struct {
+	RowsExamined  float64
+	FilterPct     float64
+	IndexUsedFrac float64
+}
+
+// refDataGB anchors the optimizer's row estimates.
+const refDataGB = 10.0
+
+// OptimizerStats derives optimizer estimates for a workload snapshot.
+func (in *Instance) OptimizerStats(w workload.Snapshot) OptimizerStats {
+	scale := w.DataGB / refDataGB
+	var rows, filt, idx, wsum float64
+	for _, q := range w.Queries {
+		rows += q.Weight * q.RowsExamined * scale
+		filt += q.Weight * q.FilterPct
+		if q.UsesIndex {
+			idx += q.Weight
+		}
+		wsum += q.Weight
+	}
+	if wsum == 0 {
+		return OptimizerStats{}
+	}
+	return OptimizerStats{
+		RowsExamined:  rows / wsum,
+		FilterPct:     filt / wsum,
+		IndexUsedFrac: idx / wsum,
+	}
+}

@@ -1,0 +1,110 @@
+// Package featurize implements OnlineTune's context featurization (§5.1):
+// the uncontrollable environmental factors — workload and underlying
+// data — are embedded as a dense context vector. The workload feature is
+// the query arrival rate plus the mean LSTM encoding of the interval's
+// queries; the data feature aggregates the optimizer's estimates (rows
+// examined, filtered percentage, index usage). Query plans are
+// deliberately NOT encoded: they depend on the currently applied
+// configuration and would leak the tuner's own actions into the context.
+package featurize
+
+import (
+	"math"
+
+	"repro/internal/dbsim"
+	"repro/internal/lstm"
+	"repro/internal/sqlparse"
+	"repro/internal/workload"
+)
+
+// EncoderHidden is the LSTM hidden width — the dimensionality of the
+// query-composition embedding.
+const EncoderHidden = 8
+
+// Featurizer turns workload snapshots and optimizer statistics into
+// context vectors. The two Use* switches exist for the paper's ablations
+// (OnlineTune-w/o-workload, OnlineTune-w/o-data, §7.3.1).
+type Featurizer struct {
+	UseWorkload bool
+	UseData     bool
+
+	vocab *sqlparse.Vocab
+	enc   *lstm.Autoencoder
+}
+
+// New returns a featurizer with an untrained query encoder. Call Pretrain
+// before use so encodings are stable across the tuning run (the paper
+// pre-trains the encoder-decoder; training it online would drift the
+// context space under the GP).
+func New(seed int64) *Featurizer {
+	return &Featurizer{
+		UseWorkload: true,
+		UseData:     true,
+		vocab:       sqlparse.NewVocab(256),
+		enc:         lstm.NewAutoencoder(256, 10, EncoderHidden, seed),
+	}
+}
+
+// Dim returns the context dimensionality: 1 (arrival rate) +
+// EncoderHidden (query composition) + 3 (data features).
+func (f *Featurizer) Dim() int { return 1 + EncoderHidden + 3 }
+
+// Pretrain fits the query autoencoder on SQL sampled from the given
+// generators, then freezes it.
+func (f *Featurizer) Pretrain(gens []workload.Generator, iters int) {
+	for it := 0; it < iters; it++ {
+		for _, g := range gens {
+			snap := g.At(it)
+			for _, q := range snap.Queries {
+				f.enc.Train(f.vocab.Encode(q.SQL))
+			}
+		}
+	}
+}
+
+// Context builds the context vector for a snapshot and its optimizer
+// statistics. Ablated components are zeroed so the vector length is
+// stable.
+func (f *Featurizer) Context(w workload.Snapshot, stats dbsim.OptimizerStats) []float64 {
+	out := make([]float64, 0, f.Dim())
+
+	// Workload feature: arrival rate + mean query encoding.
+	rate := 1.0 // unlimited arrival saturates the scale
+	if !w.Unlimited {
+		rate = math.Min(1, w.ArrivalRate/10000)
+	}
+	if !f.UseWorkload {
+		rate = 0
+	}
+	out = append(out, rate)
+
+	encAvg := make([]float64, EncoderHidden)
+	if f.UseWorkload {
+		var wsum float64
+		for _, q := range w.Queries {
+			e := f.enc.Encode(f.vocab.Encode(q.SQL))
+			for i := range encAvg {
+				encAvg[i] += q.Weight * e[i]
+			}
+			wsum += q.Weight
+		}
+		if wsum > 0 {
+			for i := range encAvg {
+				encAvg[i] /= wsum
+			}
+		}
+	}
+	out = append(out, encAvg...)
+
+	// Underlying-data feature from the optimizer (§5.1.2).
+	if f.UseData {
+		out = append(out,
+			math.Min(1, math.Log10(1+stats.RowsExamined)/6),
+			stats.FilterPct/100,
+			stats.IndexUsedFrac,
+		)
+	} else {
+		out = append(out, 0, 0, 0)
+	}
+	return out
+}

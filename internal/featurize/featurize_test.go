@@ -1,0 +1,125 @@
+package featurize
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dbsim"
+	"repro/internal/knobs"
+	"repro/internal/workload"
+)
+
+func pretrained(t *testing.T) *Featurizer {
+	t.Helper()
+	f := New(3)
+	f.Pretrain([]workload.Generator{workload.NewTPCC(1, false), workload.NewJOB(2, false)}, 2)
+	return f
+}
+
+func TestContextDimStable(t *testing.T) {
+	f := pretrained(t)
+	in := dbsim.New(knobs.MySQL57(), 1)
+	for _, g := range []workload.Generator{
+		workload.NewTPCC(1, true), workload.NewJOB(2, true), workload.NewRealWorld(3),
+	} {
+		w := g.At(5)
+		ctx := f.Context(w, in.OptimizerStats(w))
+		if len(ctx) != f.Dim() {
+			t.Fatalf("%s: dim %d, want %d", g.Name(), len(ctx), f.Dim())
+		}
+		for i, v := range ctx {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("%s: ctx[%d] = %v", g.Name(), i, v)
+			}
+		}
+	}
+}
+
+func TestContextDistinguishesWorkloads(t *testing.T) {
+	f := pretrained(t)
+	in := dbsim.New(knobs.MySQL57(), 1)
+	tp := workload.NewTPCC(1, false).At(0)
+	jb := workload.NewJOB(2, false).At(0)
+	c1 := f.Context(tp, in.OptimizerStats(tp))
+	c2 := f.Context(jb, in.OptimizerStats(jb))
+	d := 0.0
+	for i := range c1 {
+		d += math.Abs(c1[i] - c2[i])
+	}
+	if d < 0.05 {
+		t.Fatalf("TPC-C and JOB contexts nearly identical: %v vs %v", c1, c2)
+	}
+}
+
+func TestContextStableWithinWorkload(t *testing.T) {
+	// Static TPC-C at different iterations (same mix, new SQL constants)
+	// should map to nearby contexts — the normalization of literals and
+	// the frozen encoder make the embedding a function of query shape.
+	f := pretrained(t)
+	in := dbsim.New(knobs.MySQL57(), 1)
+	g := workload.NewTPCC(1, false)
+	a := g.At(0)
+	b := g.At(1)
+	// Keep data size equal to isolate the workload feature.
+	b.DataGB = a.DataGB
+	c1 := f.Context(a, in.OptimizerStats(a))
+	c2 := f.Context(b, in.OptimizerStats(b))
+	d := 0.0
+	for i := range c1 {
+		d += math.Abs(c1[i] - c2[i])
+	}
+	if d > 0.05 {
+		t.Fatalf("same-workload contexts too far apart: %v", d)
+	}
+}
+
+func TestDataFeatureTracksGrowth(t *testing.T) {
+	f := pretrained(t)
+	in := dbsim.New(knobs.MySQL57(), 1)
+	g := workload.NewTPCC(1, false)
+	a, b := g.At(0), g.At(400) // 18 GB vs ~48 GB
+	ca := f.Context(a, in.OptimizerStats(a))
+	cb := f.Context(b, in.OptimizerStats(b))
+	rowsIdx := 1 + EncoderHidden
+	if cb[rowsIdx] <= ca[rowsIdx] {
+		t.Fatalf("rows-examined feature should grow with data: %v -> %v", ca[rowsIdx], cb[rowsIdx])
+	}
+}
+
+func TestAblationsZeroComponents(t *testing.T) {
+	f := pretrained(t)
+	in := dbsim.New(knobs.MySQL57(), 1)
+	w := workload.NewTPCC(1, false).At(0)
+	st := in.OptimizerStats(w)
+
+	f.UseWorkload = false
+	c := f.Context(w, st)
+	for i := 0; i <= EncoderHidden; i++ {
+		if c[i] != 0 {
+			t.Fatalf("workload ablation leaves ctx[%d] = %v", i, c[i])
+		}
+	}
+	f.UseWorkload = true
+	f.UseData = false
+	c = f.Context(w, st)
+	for i := 1 + EncoderHidden; i < len(c); i++ {
+		if c[i] != 0 {
+			t.Fatalf("data ablation leaves ctx[%d] = %v", i, c[i])
+		}
+	}
+}
+
+func TestArrivalRateFeature(t *testing.T) {
+	f := pretrained(t)
+	in := dbsim.New(knobs.MySQL57(), 1)
+	w := workload.NewRealWorld(1).At(0)
+	c := f.Context(w, in.OptimizerStats(w))
+	if c[0] <= 0 || c[0] > 1 {
+		t.Fatalf("arrival feature = %v", c[0])
+	}
+	unlimited := workload.NewTPCC(1, false).At(0)
+	cu := f.Context(unlimited, in.OptimizerStats(unlimited))
+	if cu[0] != 1 {
+		t.Fatalf("unlimited arrival should saturate at 1, got %v", cu[0])
+	}
+}

@@ -1,0 +1,196 @@
+package gp
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/mathx"
+)
+
+// GP is an exact Gaussian-process regressor. Targets are standardized
+// internally; predictions are returned in the original units.
+type GP struct {
+	Kern  Kernel
+	Noise float64 // observation noise variance (in standardized units)
+
+	x     [][]float64
+	y     []float64 // standardized targets
+	yMean float64
+	yStd  float64
+
+	chol  *mathx.Matrix
+	alpha []float64
+	fresh bool
+}
+
+// New returns an unfitted GP with the given kernel and noise variance.
+func New(k Kernel, noise float64) *GP {
+	return &GP{Kern: k, Noise: noise}
+}
+
+// Len returns the number of training observations.
+func (g *GP) Len() int { return len(g.x) }
+
+// TrainX returns the training inputs (not copied; treat as read-only).
+func (g *GP) TrainX() [][]float64 { return g.x }
+
+// TrainYRaw returns the training targets in original units.
+func (g *GP) TrainYRaw() []float64 {
+	out := make([]float64, len(g.y))
+	for i, v := range g.y {
+		out[i] = v*g.yStd + g.yMean
+	}
+	return out
+}
+
+// Fit conditions the GP on inputs X and targets y.
+func (g *GP) Fit(x [][]float64, y []float64) error {
+	if len(x) != len(y) {
+		return errors.New("gp: X/y length mismatch")
+	}
+	if len(x) == 0 {
+		return errors.New("gp: empty training set")
+	}
+	g.x = x
+	g.yMean = mathx.Mean(y)
+	g.yStd = mathx.StdDev(y)
+	// Guard the degenerate scale: with one observation (or nearly
+	// constant targets) the sample std collapses, which would shrink the
+	// posterior's raw-unit uncertainty to nothing and make every
+	// candidate look provably safe. Assume at least 10% relative scale.
+	if floor := 0.10 * math.Abs(g.yMean); g.yStd < floor {
+		g.yStd = floor
+	}
+	if g.yStd == 0 {
+		g.yStd = 1
+	}
+	ys := make([]float64, len(y))
+	for i, v := range y {
+		ys[i] = (v - g.yMean) / g.yStd
+	}
+	g.y = ys
+	return g.refit()
+}
+
+// Append adds one observation and refits. It is O(n³) like Fit; callers
+// that add many points should batch with Fit.
+func (g *GP) Append(x []float64, y float64) error {
+	xs := append(append([][]float64{}, g.x...), x)
+	raw := append(g.TrainYRaw(), y)
+	return g.Fit(xs, raw)
+}
+
+func (g *GP) refit() error {
+	n := len(g.x)
+	k := mathx.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := g.Kern.Eval(g.x[i], g.x[j])
+			k.Set(i, j, v)
+			k.Set(j, i, v)
+		}
+	}
+	k.AddDiag(g.Noise)
+	l, _, err := mathx.CholeskyJitter(k, 1e-3)
+	if err != nil {
+		return err
+	}
+	g.chol = l
+	g.alpha = mathx.CholeskySolve(l, g.y)
+	g.fresh = true
+	return nil
+}
+
+// Predict returns the posterior mean and variance at x, in original units.
+// An unfitted GP returns the prior (mean 0, variance = k(x,x)+noise).
+func (g *GP) Predict(x []float64) (mean, variance float64) {
+	prior := g.Kern.Eval(x, x)
+	if !g.fresh || len(g.x) == 0 {
+		return 0, prior
+	}
+	n := len(g.x)
+	kstar := make([]float64, n)
+	for i := 0; i < n; i++ {
+		kstar[i] = g.Kern.Eval(g.x[i], x)
+	}
+	mu := mathx.Dot(kstar, g.alpha)
+	v := mathx.SolveLower(g.chol, kstar)
+	varStd := prior - mathx.Dot(v, v)
+	if varStd < 1e-12 {
+		varStd = 1e-12
+	}
+	return mu*g.yStd + g.yMean, varStd * g.yStd * g.yStd
+}
+
+// PredictBatch evaluates Predict at many points.
+func (g *GP) PredictBatch(xs [][]float64) (means, variances []float64) {
+	means = make([]float64, len(xs))
+	variances = make([]float64, len(xs))
+	for i, x := range xs {
+		means[i], variances[i] = g.Predict(x)
+	}
+	return means, variances
+}
+
+// ConfidenceBounds returns μ−βσ and μ+βσ at x in original units. β
+// controls bound tightness (Srinivas et al., 2010).
+func (g *GP) ConfidenceBounds(x []float64, beta float64) (lower, upper float64) {
+	mu, v := g.Predict(x)
+	s := beta * math.Sqrt(v)
+	return mu - s, mu + s
+}
+
+// LogMarginalLikelihood returns log p(y | X, kernel, noise) for the
+// standardized targets. Larger is better.
+func (g *GP) LogMarginalLikelihood() float64 {
+	if !g.fresh {
+		return math.Inf(-1)
+	}
+	n := float64(len(g.y))
+	return -0.5*mathx.Dot(g.y, g.alpha) -
+		0.5*mathx.LogDetFromCholesky(g.chol) -
+		0.5*n*math.Log(2*math.Pi)
+}
+
+// OptimizeHyperparams maximizes the log marginal likelihood over the
+// kernel's log-space hyperparameters and the log noise variance using
+// Nelder–Mead. maxEvals bounds the number of likelihood evaluations.
+func (g *GP) OptimizeHyperparams(maxEvals int) {
+	if len(g.x) < 3 {
+		return // too few points: keep priors
+	}
+	base := append(g.Kern.Params(), math.Log(g.Noise))
+	obj := func(p []float64) float64 {
+		kern := g.Kern.Clone()
+		kern.SetParams(p[:len(p)-1])
+		trial := &GP{Kern: kern, Noise: math.Exp(p[len(p)-1]), x: g.x, y: g.y}
+		if err := trial.refit(); err != nil {
+			return math.Inf(1)
+		}
+		ll := trial.LogMarginalLikelihood()
+		if math.IsNaN(ll) {
+			return math.Inf(1)
+		}
+		return -ll
+	}
+	lo := make([]float64, len(base))
+	hi := make([]float64, len(base))
+	for i := range base {
+		lo[i] = base[i] - 4 // bound search to e^±4 around the prior
+		hi[i] = base[i] + 4
+	}
+	best, bestVal := mathx.NelderMead(obj, base, &mathx.NelderMeadOptions{
+		MaxIter: maxEvals, InitStep: 0.5, LowerClip: lo, UpperClip: hi,
+	})
+	if math.IsInf(bestVal, 1) {
+		return
+	}
+	g.Kern.SetParams(best[:len(best)-1])
+	g.Noise = math.Exp(best[len(best)-1])
+	if err := g.refit(); err != nil {
+		// Roll back to the previous hyperparameters on numerical failure.
+		g.Kern.SetParams(base[:len(base)-1])
+		g.Noise = math.Exp(base[len(base)-1])
+		_ = g.refit()
+	}
+}

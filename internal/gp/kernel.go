@@ -1,0 +1,211 @@
+// Package gp implements Gaussian-process regression from scratch:
+// covariance kernels (RBF, Matérn-5/2, linear, additive/split), exact
+// inference via Cholesky factorization, log-marginal-likelihood
+// hyperparameter fitting with Nelder–Mead, and the contextual GP used by
+// OnlineTune, which joins a Matérn kernel over configurations with a
+// linear kernel over context features (Krause & Ong, 2011).
+package gp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mathx"
+)
+
+// Kernel is a positive-semidefinite covariance function over float
+// vectors. Hyperparameters are exposed in log space so optimizers can
+// search unconstrained.
+type Kernel interface {
+	// Eval returns k(a, b).
+	Eval(a, b []float64) float64
+	// Params returns the kernel hyperparameters in log space.
+	Params() []float64
+	// SetParams assigns hyperparameters from log space; the slice length
+	// must match Params().
+	SetParams(p []float64)
+	// Clone returns a deep copy.
+	Clone() Kernel
+	// Name identifies the kernel for diagnostics.
+	Name() string
+}
+
+// RBF is the squared-exponential kernel
+// k(a,b) = σ² exp(-‖a-b‖² / (2ℓ²)).
+type RBF struct {
+	Variance    float64
+	Lengthscale float64
+}
+
+// NewRBF returns an RBF kernel with the given signal variance and lengthscale.
+func NewRBF(variance, lengthscale float64) *RBF {
+	return &RBF{Variance: variance, Lengthscale: lengthscale}
+}
+
+func (k *RBF) Eval(a, b []float64) float64 {
+	d := mathx.Dist2(a, b)
+	return k.Variance * math.Exp(-d*d/(2*k.Lengthscale*k.Lengthscale))
+}
+
+func (k *RBF) Params() []float64 {
+	return []float64{math.Log(k.Variance), math.Log(k.Lengthscale)}
+}
+
+func (k *RBF) SetParams(p []float64) {
+	k.Variance = math.Exp(p[0])
+	k.Lengthscale = math.Exp(p[1])
+}
+
+func (k *RBF) Clone() Kernel { c := *k; return &c }
+func (k *RBF) Name() string  { return "rbf" }
+
+// Matern52 is the Matérn kernel with ν = 5/2:
+// k(r) = σ² (1 + √5 r/ℓ + 5r²/(3ℓ²)) exp(-√5 r/ℓ).
+// The paper uses a Matérn ("Martin") kernel over configurations to model
+// the non-smooth performance response. Optional per-dimension weights
+// rescale the distance metric (e.g. to treat a categorical knob's
+// neighbor as a moderate move rather than half the unit range).
+type Matern52 struct {
+	Variance    float64
+	Lengthscale float64
+	// Weights, when non-nil, scales each coordinate difference:
+	// r² = Σ (w_i (a_i − b_i))². Not exposed to the hyperparameter
+	// optimizer (structural, not fitted).
+	Weights []float64
+}
+
+// NewMatern52 returns a Matérn-5/2 kernel.
+func NewMatern52(variance, lengthscale float64) *Matern52 {
+	return &Matern52{Variance: variance, Lengthscale: lengthscale}
+}
+
+func (k *Matern52) dist(a, b []float64) float64 {
+	if k.Weights == nil {
+		return mathx.Dist2(a, b)
+	}
+	s := 0.0
+	for i := range a {
+		w := 1.0
+		if i < len(k.Weights) {
+			w = k.Weights[i]
+		}
+		d := w * (a[i] - b[i])
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+func (k *Matern52) Eval(a, b []float64) float64 {
+	r := k.dist(a, b) / k.Lengthscale
+	s := math.Sqrt(5) * r
+	return k.Variance * (1 + s + s*s/3) * math.Exp(-s)
+}
+
+func (k *Matern52) Params() []float64 {
+	return []float64{math.Log(k.Variance), math.Log(k.Lengthscale)}
+}
+
+func (k *Matern52) SetParams(p []float64) {
+	k.Variance = math.Exp(p[0])
+	k.Lengthscale = math.Exp(p[1])
+}
+
+func (k *Matern52) Clone() Kernel {
+	c := *k
+	if k.Weights != nil {
+		c.Weights = append([]float64{}, k.Weights...)
+	}
+	return &c
+}
+func (k *Matern52) Name() string { return "matern52" }
+
+// Linear is the (homogeneous-plus-bias) linear kernel
+// k(a,b) = σ² (a·b + bias). The paper uses it over context features to
+// model the overall performance trend across environments.
+type Linear struct {
+	Variance float64
+	Bias     float64
+}
+
+// NewLinear returns a linear kernel.
+func NewLinear(variance, bias float64) *Linear {
+	return &Linear{Variance: variance, Bias: bias}
+}
+
+func (k *Linear) Eval(a, b []float64) float64 {
+	return k.Variance * (mathx.Dot(a, b) + k.Bias)
+}
+
+func (k *Linear) Params() []float64 {
+	return []float64{math.Log(k.Variance), math.Log(k.Bias)}
+}
+
+func (k *Linear) SetParams(p []float64) {
+	k.Variance = math.Exp(p[0])
+	k.Bias = math.Exp(p[1])
+}
+
+func (k *Linear) Clone() Kernel { c := *k; return &c }
+func (k *Linear) Name() string  { return "linear" }
+
+// Split is the additive contextual kernel of the paper:
+// inputs are joint vectors [θ ‖ c] with θ occupying the first Dim
+// coordinates, and k(x,x') = kΘ(θ,θ') + kC(c,c').
+type Split struct {
+	Dim     int // number of leading coordinates belonging to the configuration
+	KConfig Kernel
+	KCtx    Kernel
+}
+
+// NewSplit builds the additive configuration+context kernel. dim is the
+// configuration dimensionality; coordinates ≥ dim are context.
+func NewSplit(dim int, kConfig, kCtx Kernel) *Split {
+	return &Split{Dim: dim, KConfig: kConfig, KCtx: kCtx}
+}
+
+func (k *Split) Eval(a, b []float64) float64 {
+	if len(a) < k.Dim || len(b) < k.Dim {
+		panic(fmt.Sprintf("gp: Split kernel input shorter than Dim=%d", k.Dim))
+	}
+	v := k.KConfig.Eval(a[:k.Dim], b[:k.Dim])
+	if len(a) > k.Dim {
+		v += k.KCtx.Eval(a[k.Dim:], b[k.Dim:])
+	}
+	return v
+}
+
+func (k *Split) Params() []float64 {
+	return append(mathx.VecClone(k.KConfig.Params()), k.KCtx.Params()...)
+}
+
+func (k *Split) SetParams(p []float64) {
+	n := len(k.KConfig.Params())
+	k.KConfig.SetParams(p[:n])
+	k.KCtx.SetParams(p[n:])
+}
+
+func (k *Split) Clone() Kernel {
+	return &Split{Dim: k.Dim, KConfig: k.KConfig.Clone(), KCtx: k.KCtx.Clone()}
+}
+
+func (k *Split) Name() string {
+	return fmt.Sprintf("split(%s+%s)", k.KConfig.Name(), k.KCtx.Name())
+}
+
+// Sum adds two kernels over the same input.
+type Sum struct{ A, B Kernel }
+
+func (k *Sum) Eval(a, b []float64) float64 { return k.A.Eval(a, b) + k.B.Eval(a, b) }
+
+func (k *Sum) Params() []float64 {
+	return append(mathx.VecClone(k.A.Params()), k.B.Params()...)
+}
+
+func (k *Sum) SetParams(p []float64) {
+	n := len(k.A.Params())
+	k.A.SetParams(p[:n])
+	k.B.SetParams(p[n:])
+}
+
+func (k *Sum) Clone() Kernel { return &Sum{A: k.A.Clone(), B: k.B.Clone()} }
+func (k *Sum) Name() string  { return fmt.Sprintf("sum(%s,%s)", k.A.Name(), k.B.Name()) }

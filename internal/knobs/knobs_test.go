@@ -1,0 +1,198 @@
+package knobs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMySQL57Has40Knobs(t *testing.T) {
+	s := MySQL57()
+	if s.Dim() != 40 {
+		t.Fatalf("MySQL57 has %d knobs, want 40 (the paper tunes 40 dynamic knobs)", s.Dim())
+	}
+	seen := map[string]bool{}
+	for _, k := range s.Knobs {
+		if seen[k.Name] {
+			t.Fatalf("duplicate knob %s", k.Name)
+		}
+		seen[k.Name] = true
+	}
+}
+
+func TestDefaultsWithinRange(t *testing.T) {
+	s := MySQL57()
+	for _, k := range s.Knobs {
+		for _, v := range []float64{k.Default, k.DBADefault} {
+			if k.ClampRaw(v) != v {
+				t.Fatalf("knob %s default %v outside legal domain", k.Name, v)
+			}
+		}
+	}
+}
+
+func TestEncodeDecodeDefaults(t *testing.T) {
+	s := MySQL57()
+	for _, cfg := range []Config{s.Default(), s.DBADefault()} {
+		u := s.Encode(cfg)
+		for i, x := range u {
+			if x < 0 || x > 1 || math.IsNaN(x) {
+				t.Fatalf("encode out of unit range at %s: %v", s.Knobs[i].Name, x)
+			}
+		}
+		back := s.Decode(u)
+		for name, v := range cfg {
+			if math.Abs(back[name]-v) > math.Max(1, math.Abs(v))*1e-6 {
+				t.Fatalf("round-trip changed %s: %v -> %v", name, v, back[name])
+			}
+		}
+	}
+}
+
+func TestBufferPoolDefaults(t *testing.T) {
+	s := MySQL57()
+	def := s.Default()
+	dba := s.DBADefault()
+	// Paper §7.3.4: MySQL default buffer pool is 128 MB, DBA default 13 GB.
+	if def["innodb_buffer_pool_size"] != 128*MiB {
+		t.Fatalf("mysql default buffer pool = %v", def["innodb_buffer_pool_size"])
+	}
+	if dba["innodb_buffer_pool_size"] != 13*GiB {
+		t.Fatalf("dba default buffer pool = %v", dba["innodb_buffer_pool_size"])
+	}
+}
+
+func TestEnumBoolEncoding(t *testing.T) {
+	s := MySQL57()
+	k, ok := s.Get("innodb_flush_log_at_trx_commit")
+	if !ok || k.Cardinality() != 3 {
+		t.Fatalf("flush_log knob wrong: %+v", k)
+	}
+	if k.unit(0) != 0 || k.unit(2) != 1 || k.unit(1) != 0.5 {
+		t.Fatalf("enum unit encoding wrong: %v %v %v", k.unit(0), k.unit(1), k.unit(2))
+	}
+	b, _ := s.Get("innodb_doublewrite")
+	if b.Cardinality() != 2 || b.raw(0.7) != 1 || b.raw(0.2) != 0 {
+		t.Fatal("bool decode wrong")
+	}
+}
+
+func TestLogScaledKnobResolution(t *testing.T) {
+	s := MySQL57()
+	k, _ := s.Get("innodb_buffer_pool_size")
+	// Midpoint of the log scale should be the geometric mean, not the
+	// arithmetic mean.
+	mid := k.raw(0.5)
+	geo := math.Sqrt(k.Min * k.Max)
+	if math.Abs(mid-geo)/geo > 0.01 {
+		t.Fatalf("log midpoint %v, want ~%v", mid, geo)
+	}
+}
+
+func TestSubspace(t *testing.T) {
+	s := CaseStudy5()
+	if s.Dim() != 5 {
+		t.Fatalf("case study dim = %d", s.Dim())
+	}
+	if s.Index("innodb_buffer_pool_size") != 0 {
+		t.Fatal("order not preserved")
+	}
+	if s.Index("nonexistent") != -1 {
+		t.Fatal("missing knob should index -1")
+	}
+}
+
+func TestQuantizeIdempotent(t *testing.T) {
+	s := MySQL57()
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		u := make([]float64, s.Dim())
+		for i := range u {
+			u[i] = rng.Float64()
+		}
+		q1 := s.Quantize(u)
+		q2 := s.Quantize(q1)
+		for i := range q1 {
+			if math.Abs(q1[i]-q2[i]) > 1e-9 {
+				t.Fatalf("quantize not idempotent at %s: %v vs %v", s.Knobs[i].Name, q1[i], q2[i])
+			}
+		}
+	}
+}
+
+func TestConfigClone(t *testing.T) {
+	c := Config{"a": 1}
+	d := c.Clone()
+	d["a"] = 2
+	if c["a"] != 1 {
+		t.Fatal("Clone aliases original")
+	}
+}
+
+func TestDecodeRespectsBounds(t *testing.T) {
+	s := MySQL57()
+	low := make([]float64, s.Dim())
+	high := make([]float64, s.Dim())
+	for i := range high {
+		low[i] = -3 // out-of-range unit values must clamp
+		high[i] = 7
+	}
+	cl := s.Decode(low)
+	ch := s.Decode(high)
+	for _, k := range s.Knobs {
+		if k.ClampRaw(cl[k.Name]) != cl[k.Name] || k.ClampRaw(ch[k.Name]) != ch[k.Name] {
+			t.Fatalf("decode out of domain for %s: %v / %v", k.Name, cl[k.Name], ch[k.Name])
+		}
+	}
+}
+
+// Property: Decode always produces in-domain raw values, and Encode maps
+// them back into [0,1].
+func TestQuickEncodeDecodeDomain(t *testing.T) {
+	s := MySQL57()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		u := make([]float64, s.Dim())
+		for i := range u {
+			u[i] = rng.Float64()*2 - 0.5 // include out-of-range values
+		}
+		cfg := s.Decode(u)
+		for _, k := range s.Knobs {
+			if k.ClampRaw(cfg[k.Name]) != cfg[k.Name] {
+				return false
+			}
+		}
+		for _, x := range s.Encode(cfg) {
+			if x < -1e-9 || x > 1+1e-9 || math.IsNaN(x) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: integer knobs decode to integers.
+func TestQuickIntKnobsAreIntegers(t *testing.T) {
+	s := MySQL57()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		u := make([]float64, s.Dim())
+		for i := range u {
+			u[i] = rng.Float64()
+		}
+		cfg := s.Decode(u)
+		for _, k := range s.Knobs {
+			if k.Type == TypeInt && cfg[k.Name] != math.Round(cfg[k.Name]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,82 @@
+package knobs
+
+// Size constants for knob ranges, in bytes.
+const (
+	KiB = 1 << 10
+	MiB = 1 << 20
+	GiB = 1 << 30
+)
+
+// MySQL57 returns the 40-knob dynamic configuration space used throughout
+// the paper's evaluation: MySQL 5.7 / InnoDB knobs chosen by DBAs for
+// their importance, with vendor defaults and DBA-tuned defaults for the
+// 8 vCPU / 16 GB reference instance.
+func MySQL57() *Space {
+	return NewSpace([]Knob{
+		// Memory sizing — the knobs behind the paper's overcommit hangs.
+		{Name: "innodb_buffer_pool_size", Type: TypeInt, Min: 128 * MiB, Max: 15 * GiB, Default: 128 * MiB, DBADefault: 13 * GiB, Log: true, Unit: "bytes"},
+		{Name: "innodb_log_file_size", Type: TypeInt, Min: 4 * MiB, Max: 4 * GiB, Default: 48 * MiB, DBADefault: 1 * GiB, Log: true, Unit: "bytes"},
+		{Name: "innodb_log_buffer_size", Type: TypeInt, Min: 1 * MiB, Max: 256 * MiB, Default: 16 * MiB, DBADefault: 64 * MiB, Log: true, Unit: "bytes"},
+		{Name: "sort_buffer_size", Type: TypeInt, Min: 32 * KiB, Max: 256 * MiB, Default: 256 * KiB, DBADefault: 2 * MiB, Log: true, Unit: "bytes"},
+		{Name: "join_buffer_size", Type: TypeInt, Min: 128 * KiB, Max: 512 * MiB, Default: 256 * KiB, DBADefault: 4 * MiB, Log: true, Unit: "bytes"},
+		{Name: "tmp_table_size", Type: TypeInt, Min: 1 * MiB, Max: 2 * GiB, Default: 16 * MiB, DBADefault: 64 * MiB, Log: true, Unit: "bytes"},
+		{Name: "max_heap_table_size", Type: TypeInt, Min: 1 * MiB, Max: 2 * GiB, Default: 16 * MiB, DBADefault: 64 * MiB, Log: true, Unit: "bytes"},
+		{Name: "read_buffer_size", Type: TypeInt, Min: 64 * KiB, Max: 64 * MiB, Default: 128 * KiB, DBADefault: 1 * MiB, Log: true, Unit: "bytes"},
+		{Name: "read_rnd_buffer_size", Type: TypeInt, Min: 64 * KiB, Max: 64 * MiB, Default: 256 * KiB, DBADefault: 1 * MiB, Log: true, Unit: "bytes"},
+		{Name: "binlog_cache_size", Type: TypeInt, Min: 4 * KiB, Max: 16 * MiB, Default: 32 * KiB, DBADefault: 1 * MiB, Log: true, Unit: "bytes"},
+		{Name: "key_buffer_size", Type: TypeInt, Min: 8 * MiB, Max: 4 * GiB, Default: 8 * MiB, DBADefault: 32 * MiB, Log: true, Unit: "bytes"},
+		{Name: "bulk_insert_buffer_size", Type: TypeInt, Min: 1 * MiB, Max: 256 * MiB, Default: 8 * MiB, DBADefault: 8 * MiB, Log: true, Unit: "bytes"},
+		{Name: "query_cache_size", Type: TypeInt, Min: 0, Max: 256 * MiB, Default: 1 * MiB, DBADefault: 0, Unit: "bytes"},
+
+		// Durability / logging.
+		{Name: "innodb_flush_log_at_trx_commit", Type: TypeEnum, Enum: []string{"0", "1", "2"}, Default: 1, DBADefault: 1},
+		{Name: "sync_binlog", Type: TypeInt, Min: 0, Max: 1000, Default: 1, DBADefault: 100, Unit: "count"},
+		{Name: "innodb_doublewrite", Type: TypeBool, Default: 1, DBADefault: 1},
+
+		// Concurrency and contention.
+		{Name: "innodb_thread_concurrency", Type: TypeInt, Min: 0, Max: 128, Default: 0, DBADefault: 16, Unit: "threads"},
+		{Name: "innodb_spin_wait_delay", Type: TypeInt, Min: 0, Max: 1500, Default: 6, DBADefault: 6, Unit: "loops"},
+		{Name: "innodb_sync_spin_loops", Type: TypeInt, Min: 0, Max: 1000, Default: 30, DBADefault: 30, Unit: "loops"},
+		{Name: "innodb_concurrency_tickets", Type: TypeInt, Min: 1, Max: 100000, Default: 5000, DBADefault: 5000, Log: true, Unit: "count"},
+		{Name: "max_connections", Type: TypeInt, Min: 10, Max: 10000, Default: 151, DBADefault: 800, Log: true, Unit: "count"},
+		{Name: "back_log", Type: TypeInt, Min: 10, Max: 65535, Default: 80, DBADefault: 900, Log: true, Unit: "count"},
+		{Name: "thread_cache_size", Type: TypeInt, Min: 0, Max: 1000, Default: 9, DBADefault: 100, Unit: "count"},
+		{Name: "table_open_cache", Type: TypeInt, Min: 100, Max: 10000, Default: 2000, DBADefault: 4000, Log: true, Unit: "count"},
+
+		// I/O subsystem.
+		{Name: "innodb_io_capacity", Type: TypeInt, Min: 100, Max: 20000, Default: 200, DBADefault: 2000, Log: true, Unit: "iops"},
+		{Name: "innodb_io_capacity_max", Type: TypeInt, Min: 200, Max: 40000, Default: 2000, DBADefault: 4000, Log: true, Unit: "iops"},
+		{Name: "innodb_read_io_threads", Type: TypeInt, Min: 1, Max: 64, Default: 4, DBADefault: 8, Unit: "threads"},
+		{Name: "innodb_write_io_threads", Type: TypeInt, Min: 1, Max: 64, Default: 4, DBADefault: 8, Unit: "threads"},
+		{Name: "innodb_purge_threads", Type: TypeInt, Min: 1, Max: 32, Default: 4, DBADefault: 4, Unit: "threads"},
+		{Name: "innodb_page_cleaners", Type: TypeInt, Min: 1, Max: 64, Default: 4, DBADefault: 8, Unit: "threads"},
+
+		// Flushing policy.
+		{Name: "innodb_lru_scan_depth", Type: TypeInt, Min: 100, Max: 16384, Default: 1024, DBADefault: 1024, Log: true, Unit: "pages"},
+		{Name: "innodb_max_dirty_pages_pct", Type: TypeFloat, Min: 1, Max: 99, Default: 75, DBADefault: 75, Unit: "percent"},
+		{Name: "innodb_max_dirty_pages_pct_lwm", Type: TypeFloat, Min: 0, Max: 99, Default: 0, DBADefault: 10, Unit: "percent"},
+		{Name: "innodb_adaptive_flushing_lwm", Type: TypeFloat, Min: 0, Max: 70, Default: 10, DBADefault: 10, Unit: "percent"},
+		{Name: "innodb_flush_neighbors", Type: TypeEnum, Enum: []string{"0", "1", "2"}, Default: 1, DBADefault: 0},
+
+		// Buffer-pool management and access paths.
+		{Name: "innodb_adaptive_hash_index", Type: TypeBool, Default: 1, DBADefault: 1},
+		{Name: "innodb_change_buffering", Type: TypeEnum, Enum: []string{"none", "inserts", "deletes", "changes", "purges", "all"}, Default: 5, DBADefault: 5},
+		{Name: "innodb_random_read_ahead", Type: TypeBool, Default: 0, DBADefault: 0},
+		{Name: "innodb_read_ahead_threshold", Type: TypeInt, Min: 0, Max: 64, Default: 56, DBADefault: 56, Unit: "pages"},
+		{Name: "innodb_old_blocks_pct", Type: TypeInt, Min: 5, Max: 95, Default: 37, DBADefault: 37, Unit: "percent"},
+	})
+}
+
+// CaseStudy5 returns the 5-knob subspace used in the paper's case study
+// (§7.2): buffer pool size, heap table size, spin-wait delay, thread
+// concurrency and sort buffer size. The joint context-configuration space
+// is small enough to map exhaustively.
+func CaseStudy5() *Space {
+	return MySQL57().Subspace(
+		"innodb_buffer_pool_size",
+		"max_heap_table_size",
+		"innodb_spin_wait_delay",
+		"innodb_thread_concurrency",
+		"sort_buffer_size",
+	)
+}

@@ -1,0 +1,151 @@
+package lstm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCellStepShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := NewCell(4, 6, rng)
+	s := c.NewState()
+	x := []float64{0.1, -0.2, 0.3, 0.4}
+	s2, cache := c.Step(x, s)
+	if len(s2.H) != 6 || len(s2.C) != 6 {
+		t.Fatalf("state dims %d/%d", len(s2.H), len(s2.C))
+	}
+	if cache == nil {
+		t.Fatal("cache missing")
+	}
+	for _, h := range s2.H {
+		if math.Abs(h) > 1 {
+			t.Fatalf("hidden out of tanh range: %v", h)
+		}
+	}
+}
+
+func TestCellGradientNumerically(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	c := NewCell(2, 3, rng)
+	x := []float64{0.5, -0.4}
+	s0 := c.NewState()
+	s0.H[0], s0.C[1] = 0.2, -0.1
+
+	// Scalar loss: sum of final hidden.
+	loss := func() float64 {
+		out, _ := c.Step(x, s0)
+		total := 0.0
+		for _, h := range out.H {
+			total += h
+		}
+		return total
+	}
+	c.zeroGrad()
+	_, cache := c.Step(x, s0)
+	ones := []float64{1, 1, 1}
+	_, _, dX := c.StepBack(cache, ones, make([]float64, 3))
+
+	const eps = 1e-6
+	// Check a sample of Wx gradients.
+	for _, wi := range []int{0, 5, 11, 17, 23} {
+		orig := c.Wx[wi]
+		c.Wx[wi] = orig + eps
+		lp := loss()
+		c.Wx[wi] = orig - eps
+		lm := loss()
+		c.Wx[wi] = orig
+		num := (lp - lm) / (2 * eps)
+		if math.Abs(num-c.GradWx[wi]) > 1e-5*(1+math.Abs(num)) {
+			t.Fatalf("Wx[%d]: numeric %v vs analytic %v", wi, num, c.GradWx[wi])
+		}
+	}
+	// Check input gradient.
+	for i := range x {
+		xp := append([]float64{}, x...)
+		xp[i] += eps
+		sp, _ := c.Step(xp, s0)
+		lp := sp.H[0] + sp.H[1] + sp.H[2]
+		xm := append([]float64{}, x...)
+		xm[i] -= eps
+		sm, _ := c.Step(xm, s0)
+		lm := sm.H[0] + sm.H[1] + sm.H[2]
+		num := (lp - lm) / (2 * eps)
+		if math.Abs(num-dX[i]) > 1e-5*(1+math.Abs(num)) {
+			t.Fatalf("dX[%d]: numeric %v vs analytic %v", i, num, dX[i])
+		}
+	}
+}
+
+func TestAutoencoderLearnsTinyLanguage(t *testing.T) {
+	a := NewAutoencoder(8, 6, 10, 3)
+	rng := rand.New(rand.NewSource(4))
+	// Three fixed "sentences" over a tiny vocabulary.
+	seqs := [][]int{
+		{1, 2, 3, 4},
+		{5, 6, 7, 1},
+		{2, 2, 5, 3},
+	}
+	var first, last float64
+	for epoch := 0; epoch < 300; epoch++ {
+		s := seqs[rng.Intn(len(seqs))]
+		l := a.Train(s)
+		if epoch == 0 {
+			first = l
+		}
+		last = l
+	}
+	if last > first*0.7 {
+		t.Fatalf("autoencoder loss did not shrink: %v -> %v", first, last)
+	}
+}
+
+func TestEncodeProperties(t *testing.T) {
+	a := NewAutoencoder(16, 8, 12, 5)
+	e1 := a.Encode([]int{1, 2, 3})
+	e2 := a.Encode([]int{1, 2, 3})
+	if len(e1) != 12 {
+		t.Fatalf("encoding dim %d", len(e1))
+	}
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatal("Encode must be deterministic")
+		}
+	}
+	e3 := a.Encode([]int{9, 10, 11, 12})
+	diff := 0.0
+	for i := range e1 {
+		diff += math.Abs(e1[i] - e3[i])
+	}
+	if diff < 1e-9 {
+		t.Fatal("different sequences should encode differently")
+	}
+	// Out-of-range tokens are clamped, not a panic.
+	_ = a.Encode([]int{-5, 999})
+}
+
+func TestTrainDegenerateSequences(t *testing.T) {
+	a := NewAutoencoder(8, 4, 6, 1)
+	if l := a.Train(nil); l != 0 {
+		t.Fatalf("nil sequence should be skipped, loss %v", l)
+	}
+	if l := a.Train([]int{3}); l != 0 {
+		t.Fatalf("length-1 sequence should be skipped, loss %v", l)
+	}
+}
+
+func TestTruncationToMaxLen(t *testing.T) {
+	a := NewAutoencoder(8, 4, 6, 2)
+	a.MaxLen = 4
+	long := make([]int, 100)
+	for i := range long {
+		long[i] = i % 8
+	}
+	short := a.Encode(long[:4])
+	full := a.Encode(long)
+	for i := range short {
+		if short[i] != full[i] {
+			t.Fatal("Encode should truncate to MaxLen")
+		}
+	}
+}

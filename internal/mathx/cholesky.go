@@ -1,0 +1,156 @@
+package mathx
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNotPositiveDefinite is returned by Cholesky when the input matrix is
+// not (numerically) symmetric positive definite even after jitter.
+var ErrNotPositiveDefinite = errors.New("mathx: matrix is not positive definite")
+
+// Cholesky computes the lower-triangular factor L with A = L Lᵀ.
+// A must be square and symmetric positive definite. The returned matrix
+// has zeros above the diagonal.
+func Cholesky(a *Matrix) (*Matrix, error) {
+	if a.Rows != a.Cols {
+		return nil, errors.New("mathx: Cholesky requires a square matrix")
+	}
+	n := a.Rows
+	l := NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		for k := 0; k < j; k++ {
+			ljk := l.At(j, k)
+			d -= ljk * ljk
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, ErrNotPositiveDefinite
+		}
+		ljj := math.Sqrt(d)
+		l.Set(j, j, ljj)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/ljj)
+		}
+	}
+	return l, nil
+}
+
+// CholeskyJitter is Cholesky with progressive diagonal jitter: if the
+// factorization fails it retries with jitter 1e-10, 1e-9, ... up to maxJitter.
+// It returns the factor and the jitter that was finally used.
+func CholeskyJitter(a *Matrix, maxJitter float64) (*Matrix, float64, error) {
+	if l, err := Cholesky(a); err == nil {
+		return l, 0, nil
+	}
+	for jit := 1e-10; jit <= maxJitter; jit *= 10 {
+		aj := a.Clone().AddDiag(jit)
+		if l, err := Cholesky(aj); err == nil {
+			return l, jit, nil
+		}
+	}
+	return nil, 0, ErrNotPositiveDefinite
+}
+
+// SolveLower solves L x = b for lower-triangular L by forward substitution.
+func SolveLower(l *Matrix, b []float64) []float64 {
+	n := l.Rows
+	if len(b) != n {
+		panic("mathx: SolveLower dimension mismatch")
+	}
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		row := l.Data[i*l.Cols : i*l.Cols+i]
+		for k, lv := range row {
+			s -= lv * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x
+}
+
+// SolveUpperT solves Lᵀ x = b for lower-triangular L (i.e. an
+// upper-triangular solve against the transpose) by back substitution.
+func SolveUpperT(l *Matrix, b []float64) []float64 {
+	n := l.Rows
+	if len(b) != n {
+		panic("mathx: SolveUpperT dimension mismatch")
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x
+}
+
+// CholeskySolve solves A x = b given the Cholesky factor L of A.
+func CholeskySolve(l *Matrix, b []float64) []float64 {
+	return SolveUpperT(l, SolveLower(l, b))
+}
+
+// LogDetFromCholesky returns log |A| = 2 Σ log L_ii.
+func LogDetFromCholesky(l *Matrix) float64 {
+	s := 0.0
+	for i := 0; i < l.Rows; i++ {
+		s += math.Log(l.At(i, i))
+	}
+	return 2 * s
+}
+
+// SolveLinear solves the general square system A x = b by Gaussian
+// elimination with partial pivoting. Used for small systems (SVM bias,
+// linear probes) where A is not necessarily positive definite.
+func SolveLinear(a *Matrix, b []float64) ([]float64, error) {
+	if a.Rows != a.Cols || a.Rows != len(b) {
+		return nil, errors.New("mathx: SolveLinear dimension mismatch")
+	}
+	n := a.Rows
+	m := a.Clone()
+	x := VecClone(b)
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		piv, pv := col, math.Abs(m.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if av := math.Abs(m.At(r, col)); av > pv {
+				piv, pv = r, av
+			}
+		}
+		if pv < 1e-14 {
+			return nil, errors.New("mathx: SolveLinear singular matrix")
+		}
+		if piv != col {
+			for j := 0; j < n; j++ {
+				m.Data[col*n+j], m.Data[piv*n+j] = m.Data[piv*n+j], m.Data[col*n+j]
+			}
+			x[col], x[piv] = x[piv], x[col]
+		}
+		inv := 1 / m.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := m.At(r, col) * inv
+			if f == 0 {
+				continue
+			}
+			for j := col; j < n; j++ {
+				m.Add(r, j, -f*m.At(col, j))
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= m.At(i, j) * x[j]
+		}
+		x[i] = s / m.At(i, i)
+	}
+	return x, nil
+}

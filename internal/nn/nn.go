@@ -1,0 +1,274 @@
+// Package nn implements the small neural-network stack the baselines
+// need: dense layers with ReLU/tanh/sigmoid activations, backpropagation,
+// and the Adam optimizer. CDBTune's DDPG actor-critic and QTune's
+// internal-metric predictor are built from these pieces.
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Activation selects a layer nonlinearity.
+type Activation int
+
+// Supported activations.
+const (
+	Identity Activation = iota
+	ReLU
+	Tanh
+	Sigmoid
+)
+
+func (a Activation) apply(x float64) float64 {
+	switch a {
+	case ReLU:
+		if x < 0 {
+			return 0
+		}
+		return x
+	case Tanh:
+		return math.Tanh(x)
+	case Sigmoid:
+		return 1 / (1 + math.Exp(-x))
+	default:
+		return x
+	}
+}
+
+// derivFromOut computes the activation derivative given the activation
+// output (all supported activations allow this).
+func (a Activation) derivFromOut(out float64) float64 {
+	switch a {
+	case ReLU:
+		if out > 0 {
+			return 1
+		}
+		return 0
+	case Tanh:
+		return 1 - out*out
+	case Sigmoid:
+		return out * (1 - out)
+	default:
+		return 1
+	}
+}
+
+// Dense is one fully connected layer with an activation.
+type Dense struct {
+	In, Out int
+	Act     Activation
+	W       []float64 // Out × In, row-major
+	B       []float64
+	GradW   []float64
+	GradB   []float64
+
+	lastIn  []float64
+	lastOut []float64
+}
+
+// NewDense returns a dense layer with Xavier-uniform initialization.
+func NewDense(in, out int, act Activation, rng *rand.Rand) *Dense {
+	d := &Dense{
+		In: in, Out: out, Act: act,
+		W: make([]float64, in*out), B: make([]float64, out),
+		GradW: make([]float64, in*out), GradB: make([]float64, out),
+	}
+	limit := math.Sqrt(6.0 / float64(in+out))
+	for i := range d.W {
+		d.W[i] = (rng.Float64()*2 - 1) * limit
+	}
+	return d
+}
+
+// Forward computes the layer output and caches activations for Backward.
+func (d *Dense) Forward(x []float64) []float64 {
+	d.lastIn = x
+	out := make([]float64, d.Out)
+	for o := 0; o < d.Out; o++ {
+		s := d.B[o]
+		row := d.W[o*d.In : (o+1)*d.In]
+		for i, xi := range x {
+			s += row[i] * xi
+		}
+		out[o] = d.Act.apply(s)
+	}
+	d.lastOut = out
+	return out
+}
+
+// Backward accumulates parameter gradients from the output gradient and
+// returns the gradient with respect to the layer input.
+func (d *Dense) Backward(gradOut []float64) []float64 {
+	gradIn := make([]float64, d.In)
+	for o := 0; o < d.Out; o++ {
+		g := gradOut[o] * d.Act.derivFromOut(d.lastOut[o])
+		d.GradB[o] += g
+		row := d.W[o*d.In : (o+1)*d.In]
+		grow := d.GradW[o*d.In : (o+1)*d.In]
+		for i, xi := range d.lastIn {
+			grow[i] += g * xi
+			gradIn[i] += g * row[i]
+		}
+	}
+	return gradIn
+}
+
+// MLP is a feed-forward stack of dense layers.
+type MLP struct {
+	Layers []*Dense
+}
+
+// NewMLP builds an MLP with the given layer sizes (len ≥ 2) and one
+// activation per weight layer.
+func NewMLP(sizes []int, acts []Activation, rng *rand.Rand) *MLP {
+	if len(acts) != len(sizes)-1 {
+		panic("nn: need one activation per layer")
+	}
+	m := &MLP{}
+	for i := 0; i+1 < len(sizes); i++ {
+		m.Layers = append(m.Layers, NewDense(sizes[i], sizes[i+1], acts[i], rng))
+	}
+	return m
+}
+
+// Forward runs the network.
+func (m *MLP) Forward(x []float64) []float64 {
+	for _, l := range m.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward propagates an output gradient back through the network,
+// accumulating parameter gradients, and returns the input gradient.
+func (m *MLP) Backward(gradOut []float64) []float64 {
+	for i := len(m.Layers) - 1; i >= 0; i-- {
+		gradOut = m.Layers[i].Backward(gradOut)
+	}
+	return gradOut
+}
+
+// ZeroGrad clears accumulated gradients.
+func (m *MLP) ZeroGrad() {
+	for _, l := range m.Layers {
+		for i := range l.GradW {
+			l.GradW[i] = 0
+		}
+		for i := range l.GradB {
+			l.GradB[i] = 0
+		}
+	}
+}
+
+// Params returns views of all parameter and gradient slices, aligned.
+func (m *MLP) Params() (params, grads [][]float64) {
+	for _, l := range m.Layers {
+		params = append(params, l.W, l.B)
+		grads = append(grads, l.GradW, l.GradB)
+	}
+	return params, grads
+}
+
+// Clone deep-copies the network (weights only; gradients reset).
+func (m *MLP) Clone() *MLP {
+	out := &MLP{}
+	for _, l := range m.Layers {
+		c := &Dense{
+			In: l.In, Out: l.Out, Act: l.Act,
+			W: append([]float64{}, l.W...), B: append([]float64{}, l.B...),
+			GradW: make([]float64, len(l.W)), GradB: make([]float64, len(l.B)),
+		}
+		out.Layers = append(out.Layers, c)
+	}
+	return out
+}
+
+// SoftUpdateFrom moves this network's weights toward src:
+// w ← (1-τ)·w + τ·w_src. Used for DDPG target networks.
+func (m *MLP) SoftUpdateFrom(src *MLP, tau float64) {
+	for li, l := range m.Layers {
+		s := src.Layers[li]
+		for i := range l.W {
+			l.W[i] = (1-tau)*l.W[i] + tau*s.W[i]
+		}
+		for i := range l.B {
+			l.B[i] = (1-tau)*l.B[i] + tau*s.B[i]
+		}
+	}
+}
+
+// Adam is the Adam optimizer over a set of parameter slices.
+type Adam struct {
+	LR      float64
+	Beta1   float64
+	Beta2   float64
+	Eps     float64
+	t       int
+	m, v    [][]float64
+	attach  [][]float64 // parameter slices this optimizer manages
+	gradSrc [][]float64
+}
+
+// NewAdam binds an Adam optimizer to the given parameter/gradient slices.
+func NewAdam(lr float64, params, grads [][]float64) *Adam {
+	a := &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, attach: params, gradSrc: grads}
+	for _, p := range params {
+		a.m = append(a.m, make([]float64, len(p)))
+		a.v = append(a.v, make([]float64, len(p)))
+	}
+	return a
+}
+
+// Step applies one Adam update from the accumulated gradients.
+func (a *Adam) Step() {
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for pi, p := range a.attach {
+		g := a.gradSrc[pi]
+		m, v := a.m[pi], a.v[pi]
+		for i := range p {
+			m[i] = a.Beta1*m[i] + (1-a.Beta1)*g[i]
+			v[i] = a.Beta2*v[i] + (1-a.Beta2)*g[i]*g[i]
+			p[i] -= a.LR * (m[i] / c1) / (math.Sqrt(v[i]/c2) + a.Eps)
+		}
+	}
+}
+
+// TrainMSE runs one SGD step on a single (x, y) pair with MSE loss and
+// returns the loss. Convenience for the metric-predictor baselines.
+func TrainMSE(m *MLP, opt *Adam, x, y []float64) float64 {
+	m.ZeroGrad()
+	out := m.Forward(x)
+	grad := make([]float64, len(out))
+	loss := 0.0
+	for i := range out {
+		d := out[i] - y[i]
+		loss += d * d
+		grad[i] = 2 * d / float64(len(out))
+	}
+	m.Backward(grad)
+	opt.Step()
+	return loss / float64(len(out))
+}
+
+// ClipGrads rescales all gradients so their global L2 norm is at most c.
+func ClipGrads(grads [][]float64, c float64) {
+	total := 0.0
+	for _, g := range grads {
+		for _, x := range g {
+			total += x * x
+		}
+	}
+	norm := math.Sqrt(total)
+	if norm <= c || norm == 0 {
+		return
+	}
+	scale := c / norm
+	for _, g := range grads {
+		for i := range g {
+			g[i] *= scale
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDenseForwardShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := NewDense(3, 2, Identity, rng)
+	out := d.Forward([]float64{1, 2, 3})
+	if len(out) != 2 {
+		t.Fatalf("output dim %d", len(out))
+	}
+}
+
+func TestActivations(t *testing.T) {
+	if ReLU.apply(-1) != 0 || ReLU.apply(2) != 2 {
+		t.Fatal("ReLU wrong")
+	}
+	if math.Abs(Tanh.apply(0)) > 1e-12 || math.Abs(Sigmoid.apply(0)-0.5) > 1e-12 {
+		t.Fatal("Tanh/Sigmoid wrong at 0")
+	}
+	if Tanh.derivFromOut(0) != 1 || Sigmoid.derivFromOut(0.5) != 0.25 {
+		t.Fatal("derivatives wrong")
+	}
+}
+
+// numericalGrad checks backprop against finite differences.
+func TestBackpropMatchesNumericalGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := NewMLP([]int{3, 4, 2}, []Activation{Tanh, Identity}, rng)
+	x := []float64{0.3, -0.7, 0.5}
+	y := []float64{0.1, -0.2}
+	loss := func() float64 {
+		out := m.Forward(x)
+		l := 0.0
+		for i := range out {
+			d := out[i] - y[i]
+			l += d * d
+		}
+		return l
+	}
+	// Analytic gradients.
+	m.ZeroGrad()
+	out := m.Forward(x)
+	grad := make([]float64, len(out))
+	for i := range out {
+		grad[i] = 2 * (out[i] - y[i])
+	}
+	m.Backward(grad)
+
+	const eps = 1e-6
+	for li, l := range m.Layers {
+		for wi := range l.W {
+			orig := l.W[wi]
+			l.W[wi] = orig + eps
+			lp := loss()
+			l.W[wi] = orig - eps
+			lm := loss()
+			l.W[wi] = orig
+			num := (lp - lm) / (2 * eps)
+			if math.Abs(num-l.GradW[wi]) > 1e-4*(1+math.Abs(num)) {
+				t.Fatalf("layer %d weight %d: numeric %v vs backprop %v", li, wi, num, l.GradW[wi])
+			}
+		}
+	}
+}
+
+func TestInputGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := NewMLP([]int{2, 5, 1}, []Activation{ReLU, Identity}, rng)
+	x := []float64{0.4, -0.3}
+	m.ZeroGrad()
+	m.Forward(x)
+	gin := m.Backward([]float64{1})
+
+	const eps = 1e-6
+	for i := range x {
+		xp := append([]float64{}, x...)
+		xp[i] += eps
+		up := m.Forward(xp)[0]
+		xm := append([]float64{}, x...)
+		xm[i] -= eps
+		um := m.Forward(xm)[0]
+		num := (up - um) / (2 * eps)
+		if math.Abs(num-gin[i]) > 1e-5*(1+math.Abs(num)) {
+			t.Fatalf("input grad %d: numeric %v vs backprop %v", i, num, gin[i])
+		}
+	}
+}
+
+func TestMLPLearnsXOR(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := NewMLP([]int{2, 8, 1}, []Activation{Tanh, Sigmoid}, rng)
+	p, g := m.Params()
+	opt := NewAdam(0.05, p, g)
+	data := [][]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	labels := []float64{0, 1, 1, 0}
+	for epoch := 0; epoch < 2000; epoch++ {
+		i := epoch % 4
+		TrainMSE(m, opt, data[i], []float64{labels[i]})
+	}
+	for i, x := range data {
+		out := m.Forward(x)[0]
+		if math.Abs(out-labels[i]) > 0.25 {
+			t.Fatalf("XOR not learned: f(%v) = %v, want %v", x, out, labels[i])
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := NewMLP([]int{2, 3, 1}, []Activation{ReLU, Identity}, rng)
+	c := m.Clone()
+	x := []float64{1, 1}
+	before := c.Forward(x)[0]
+	m.Layers[0].W[0] += 10
+	if c.Forward(x)[0] != before {
+		t.Fatal("clone shares weights")
+	}
+}
+
+func TestSoftUpdate(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := NewMLP([]int{1, 1}, []Activation{Identity}, rng)
+	b := a.Clone()
+	b.Layers[0].W[0] = a.Layers[0].W[0] + 1
+	w0 := a.Layers[0].W[0]
+	a.SoftUpdateFrom(b, 0.1)
+	want := 0.9*w0 + 0.1*(w0+1)
+	if math.Abs(a.Layers[0].W[0]-want) > 1e-12 {
+		t.Fatalf("soft update = %v, want %v", a.Layers[0].W[0], want)
+	}
+}
+
+func TestClipGrads(t *testing.T) {
+	g := [][]float64{{3, 0}, {0, 4}} // norm 5
+	ClipGrads(g, 1)
+	norm := math.Sqrt(g[0][0]*g[0][0] + g[1][1]*g[1][1])
+	if math.Abs(norm-1) > 1e-12 {
+		t.Fatalf("clipped norm %v", norm)
+	}
+	// Below the cap: untouched.
+	h := [][]float64{{0.1}}
+	ClipGrads(h, 1)
+	if h[0][0] != 0.1 {
+		t.Fatal("small grads should not be rescaled")
+	}
+}
+
+func TestAdamReducesLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := NewMLP([]int{1, 8, 1}, []Activation{Tanh, Identity}, rng)
+	p, g := m.Params()
+	opt := NewAdam(0.02, p, g)
+	target := func(x float64) float64 { return 2*x - 0.5 }
+	var first, last float64
+	for i := 0; i < 800; i++ {
+		x := rng.Float64()*2 - 1
+		l := TrainMSE(m, opt, []float64{x}, []float64{target(x)})
+		if i == 0 {
+			first = l
+		}
+		last = l
+	}
+	if last > first/4 {
+		t.Fatalf("loss did not shrink: %v -> %v", first, last)
+	}
+}

@@ -1,0 +1,105 @@
+// Package repo is OnlineTune's data repository (Appendix A1): the store
+// of historical ⟨context, configuration, performance⟩ observations kept
+// on the tuning server, with JSON persistence so tuning sessions can
+// resume.
+package repo
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"sync"
+)
+
+// Observation is one tuning-iteration record.
+type Observation struct {
+	Iter    int       `json:"iter"`
+	Context []float64 `json:"context"`
+	Unit    []float64 `json:"unit"` // configuration in unit encoding
+	Perf    float64   `json:"perf"`
+	Tau     float64   `json:"tau"`  // safety threshold at that iteration
+	Safe    bool      `json:"safe"` // measured perf ≥ τ
+	Failed  bool      `json:"failed"`
+}
+
+// Repo stores observations. Safe for concurrent use.
+type Repo struct {
+	mu  sync.RWMutex
+	obs []Observation
+}
+
+// New returns an empty repository.
+func New() *Repo { return &Repo{} }
+
+// Add appends one observation.
+func (r *Repo) Add(o Observation) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.obs = append(r.obs, o)
+}
+
+// Len returns the number of stored observations.
+func (r *Repo) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.obs)
+}
+
+// All returns a copy of all observations.
+func (r *Repo) All() []Observation {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Observation, len(r.obs))
+	copy(out, r.obs)
+	return out
+}
+
+// Contexts returns all stored context vectors (copies).
+func (r *Repo) Contexts() [][]float64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([][]float64, len(r.obs))
+	for i, o := range r.obs {
+		c := make([]float64, len(o.Context))
+		copy(c, o.Context)
+		out[i] = c
+	}
+	return out
+}
+
+// Save writes the repository to a JSON file.
+func (r *Repo) Save(path string) error {
+	r.mu.RLock()
+	data, err := json.MarshalIndent(r.obs, "", " ")
+	r.mu.RUnlock()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Load reads a repository from a JSON file.
+func Load(path string) (*Repo, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var obs []Observation
+	if err := json.Unmarshal(data, &obs); err != nil {
+		return nil, err
+	}
+	return &Repo{obs: obs}, nil
+}
+
+// ErrEmpty is returned by operations that need at least one observation.
+var ErrEmpty = errors.New("repo: empty repository")
+
+// Last returns the most recent observation.
+func (r *Repo) Last() (Observation, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.obs) == 0 {
+		return Observation{}, ErrEmpty
+	}
+	return r.obs[len(r.obs)-1], nil
+}

@@ -1,0 +1,102 @@
+package repo
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestAddLenAll(t *testing.T) {
+	r := New()
+	if r.Len() != 0 {
+		t.Fatal("new repo not empty")
+	}
+	r.Add(Observation{Iter: 1, Perf: 10, Context: []float64{0.5}})
+	r.Add(Observation{Iter: 2, Perf: 20})
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	all := r.All()
+	if all[0].Perf != 10 || all[1].Perf != 20 {
+		t.Fatalf("All = %+v", all)
+	}
+	// All returns a copy.
+	all[0].Perf = 99
+	if r.All()[0].Perf != 10 {
+		t.Fatal("All aliases internal storage")
+	}
+}
+
+func TestLast(t *testing.T) {
+	r := New()
+	if _, err := r.Last(); err != ErrEmpty {
+		t.Fatal("empty Last should error")
+	}
+	r.Add(Observation{Iter: 7})
+	last, err := r.Last()
+	if err != nil || last.Iter != 7 {
+		t.Fatalf("Last = %+v, %v", last, err)
+	}
+}
+
+func TestContextsCopied(t *testing.T) {
+	r := New()
+	ctx := []float64{1, 2}
+	r.Add(Observation{Context: ctx})
+	got := r.Contexts()
+	got[0][0] = 99
+	if r.Contexts()[0][0] != 1 {
+		t.Fatal("Contexts aliases stored slices")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "repo.json")
+	r := New()
+	r.Add(Observation{Iter: 3, Context: []float64{0.1, 0.2}, Unit: []float64{0.9}, Perf: 42, Tau: 40, Safe: true})
+	r.Add(Observation{Iter: 4, Perf: 10, Failed: true})
+	if err := r.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Len() != 2 {
+		t.Fatalf("loaded %d observations", r2.Len())
+	}
+	obs := r2.All()
+	if obs[0].Perf != 42 || !obs[0].Safe || obs[0].Context[1] != 0.2 {
+		t.Fatalf("first obs corrupted: %+v", obs[0])
+	}
+	if !obs[1].Failed {
+		t.Fatal("failure flag lost")
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load("/nonexistent/path.json"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Add(Observation{Iter: k*100 + j})
+				_ = r.Len()
+				_, _ = r.Last()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if r.Len() != 800 {
+		t.Fatalf("Len = %d after concurrent adds", r.Len())
+	}
+}

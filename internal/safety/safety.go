@@ -1,0 +1,80 @@
+// Package safety implements OnlineTune's safety assessment (§6.2): a
+// candidate configuration is considered safe when the contextual GP's
+// lower confidence bound on its performance clears the safety threshold τ
+// (black-box knowledge), and the white-box rule engine does not veto it.
+package safety
+
+import (
+	"math"
+
+	"repro/internal/gp"
+)
+
+// Assessment holds the per-candidate safety information of one round.
+type Assessment struct {
+	Candidates [][]float64 // unit configurations assessed
+	Lower      []float64   // μ − βσ
+	Upper      []float64   // μ + βσ (the UCB acquisition values)
+	Sigma      []float64
+	Safe       []bool
+	// NumSafe counts the safe candidates.
+	NumSafe int
+}
+
+// Assess computes confidence bounds for all candidates under a context
+// and marks those whose lower bound clears tau. beta follows Srinivas et
+// al. (2010); the paper sets it per that analysis.
+func Assess(model *gp.ContextualGP, ctx []float64, candidates [][]float64, beta, tau float64) *Assessment {
+	a := &Assessment{
+		Candidates: candidates,
+		Lower:      make([]float64, len(candidates)),
+		Upper:      make([]float64, len(candidates)),
+		Sigma:      make([]float64, len(candidates)),
+		Safe:       make([]bool, len(candidates)),
+	}
+	for i, c := range candidates {
+		mu, v := model.Predict(c, ctx)
+		s := math.Sqrt(v)
+		a.Lower[i] = mu - beta*s
+		a.Upper[i] = mu + beta*s
+		a.Sigma[i] = s
+		if a.Lower[i] >= tau {
+			a.Safe[i] = true
+			a.NumSafe++
+		}
+	}
+	return a
+}
+
+// ArgMaxUCB returns the index of the safe candidate with the highest
+// upper confidence bound (Eq. 4), or -1 when the safe set is empty.
+func (a *Assessment) ArgMaxUCB() int {
+	best, bestVal := -1, math.Inf(-1)
+	for i := range a.Candidates {
+		if a.Safe[i] && a.Upper[i] > bestVal {
+			best, bestVal = i, a.Upper[i]
+		}
+	}
+	return best
+}
+
+// ArgMaxBoundary returns the safe candidate with the largest posterior
+// uncertainty — the paper's boundary-expansion pick — or -1 when the
+// safe set is empty.
+func (a *Assessment) ArgMaxBoundary() int {
+	best, bestVal := -1, math.Inf(-1)
+	for i := range a.Candidates {
+		if a.Safe[i] && a.Sigma[i] > bestVal {
+			best, bestVal = i, a.Sigma[i]
+		}
+	}
+	return best
+}
+
+// Veto removes candidate i from the safe set (white-box rejection).
+func (a *Assessment) Veto(i int) {
+	if a.Safe[i] {
+		a.Safe[i] = false
+		a.NumSafe--
+	}
+}

@@ -1,0 +1,105 @@
+package safety
+
+import (
+	"testing"
+
+	"repro/internal/gp"
+)
+
+// fitted returns a contextual GP trained on a 1-D bump function at ctx 0.
+func fitted(t *testing.T) *gp.ContextualGP {
+	t.Helper()
+	m := gp.NewContextual(1, 1)
+	var configs, ctxs [][]float64
+	var perf []float64
+	for _, th := range []float64{0.0, 0.25, 0.5, 0.75, 1.0} {
+		configs = append(configs, []float64{th})
+		ctxs = append(ctxs, []float64{0})
+		perf = append(perf, 10-20*(th-0.5)*(th-0.5)) // peak 10 at 0.5, min 5
+	}
+	if err := m.Fit(configs, ctxs, perf); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestAssessMarksObservedSafePoints(t *testing.T) {
+	m := fitted(t)
+	cands := [][]float64{{0.5}, {0.45}}
+	a := Assess(m, []float64{0}, cands, 2, 7.0)
+	if !a.Safe[0] {
+		t.Fatalf("observed best point (perf 10 > τ 7) should be safe; lcb=%v", a.Lower[0])
+	}
+	if a.NumSafe < 1 {
+		t.Fatal("NumSafe wrong")
+	}
+}
+
+func TestAssessRejectsUncertainFarPoints(t *testing.T) {
+	m := fitted(t)
+	// Far context: posterior reverts toward the prior; with a threshold
+	// above the prior mean everything far should be unsafe.
+	a := Assess(m, []float64{50}, [][]float64{{0.5}}, 2, 9.9)
+	if a.Safe[0] {
+		t.Fatalf("far-context point should not be provably safe: lcb=%v", a.Lower[0])
+	}
+}
+
+func TestArgMaxUCBPrefersPeak(t *testing.T) {
+	m := fitted(t)
+	cands := [][]float64{{0.1}, {0.5}, {0.9}}
+	a := Assess(m, []float64{0}, cands, 2, 0) // low τ: all safe
+	if a.NumSafe != 3 {
+		t.Fatalf("all should be safe with τ=0, got %d", a.NumSafe)
+	}
+	if pick := a.ArgMaxUCB(); pick != 1 {
+		t.Fatalf("UCB should pick the peak, got %d (uppers %v)", pick, a.Upper)
+	}
+}
+
+func TestArgMaxBoundaryPrefersUncertain(t *testing.T) {
+	m := fitted(t)
+	cands := [][]float64{{0.5}, {0.51}, {0.97}} // 0.97 is farthest from data? (1.0 observed) use 0.6
+	a := Assess(m, []float64{0}, cands, 2, 0)
+	pick := a.ArgMaxBoundary()
+	if pick < 0 {
+		t.Fatal("boundary pick missing")
+	}
+	// The boundary pick must have the max sigma among safe candidates.
+	for i := range cands {
+		if a.Safe[i] && a.Sigma[i] > a.Sigma[pick] {
+			t.Fatalf("boundary pick %d not max-sigma", pick)
+		}
+	}
+}
+
+func TestEmptySafeSet(t *testing.T) {
+	m := fitted(t)
+	a := Assess(m, []float64{0}, [][]float64{{0.5}}, 2, 1e9)
+	if a.NumSafe != 0 || a.ArgMaxUCB() != -1 || a.ArgMaxBoundary() != -1 {
+		t.Fatal("impossible threshold should empty the safe set")
+	}
+}
+
+func TestVeto(t *testing.T) {
+	m := fitted(t)
+	a := Assess(m, []float64{0}, [][]float64{{0.5}, {0.45}}, 2, 0)
+	n := a.NumSafe
+	a.Veto(0)
+	if a.Safe[0] || a.NumSafe != n-1 {
+		t.Fatal("veto should remove exactly one")
+	}
+	a.Veto(0) // idempotent
+	if a.NumSafe != n-1 {
+		t.Fatal("double veto should not double count")
+	}
+}
+
+func TestBetaWidensBounds(t *testing.T) {
+	m := fitted(t)
+	narrow := Assess(m, []float64{0}, [][]float64{{0.6}}, 1, 0)
+	wide := Assess(m, []float64{0}, [][]float64{{0.6}}, 3, 0)
+	if wide.Lower[0] >= narrow.Lower[0] || wide.Upper[0] <= narrow.Upper[0] {
+		t.Fatal("larger beta must widen the interval")
+	}
+}

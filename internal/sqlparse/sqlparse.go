@@ -1,0 +1,154 @@
+// Package sqlparse tokenizes SQL text for workload featurization. It
+// normalizes literals (numbers → <num>, strings → <str>) so that queries
+// differing only in constants produce identical token streams, keeps SQL
+// keywords and identifiers, and maintains a bounded vocabulary that maps
+// tokens to ids for the LSTM encoder (§5.1.1).
+package sqlparse
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Special token ids.
+const (
+	TokUnk = 0 // out-of-vocabulary
+	TokNum = 1 // numeric literal
+	TokStr = 2 // string literal
+)
+
+// reservedSpecials is the number of reserved ids before learned tokens.
+const reservedSpecials = 3
+
+// Tokenize splits a SQL statement into normalized tokens: lowercased
+// words, operators as single tokens, numbers as "<num>", quoted strings
+// as "<str>".
+func Tokenize(sql string) []string {
+	var toks []string
+	i := 0
+	rs := []rune(sql)
+	n := len(rs)
+	for i < n {
+		c := rs[i]
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '\'' || c == '"':
+			// String literal: scan to the matching quote.
+			q := c
+			j := i + 1
+			for j < n && rs[j] != q {
+				j++
+			}
+			toks = append(toks, "<str>")
+			i = j + 1
+		case unicode.IsDigit(c):
+			j := i
+			for j < n && (unicode.IsDigit(rs[j]) || rs[j] == '.') {
+				j++
+			}
+			toks = append(toks, "<num>")
+			i = j
+		case unicode.IsLetter(c) || c == '_':
+			j := i
+			for j < n && (unicode.IsLetter(rs[j]) || unicode.IsDigit(rs[j]) || rs[j] == '_') {
+				j++
+			}
+			word := strings.ToLower(string(rs[i:j]))
+			toks = append(toks, word)
+			i = j
+		case strings.ContainsRune("<>=!", c):
+			j := i + 1
+			if j < n && strings.ContainsRune("<>=", rs[j]) {
+				j++
+			}
+			toks = append(toks, string(rs[i:j]))
+			i = j
+		default:
+			toks = append(toks, string(c))
+			i++
+		}
+	}
+	return toks
+}
+
+// Class is a coarse statement classification.
+type Class int
+
+// Statement classes.
+const (
+	ClassSelect Class = iota
+	ClassInsert
+	ClassUpdate
+	ClassDelete
+	ClassOther
+)
+
+// Classify returns the statement class from the leading keyword.
+func Classify(sql string) Class {
+	t := Tokenize(sql)
+	if len(t) == 0 {
+		return ClassOther
+	}
+	switch t[0] {
+	case "select":
+		return ClassSelect
+	case "insert", "replace":
+		return ClassInsert
+	case "update":
+		return ClassUpdate
+	case "delete":
+		return ClassDelete
+	default:
+		return ClassOther
+	}
+}
+
+// Vocab maps tokens to bounded integer ids. New tokens are admitted until
+// the capacity is reached; after that they map to TokUnk. This bounds the
+// LSTM's embedding table while generalizing across workloads.
+type Vocab struct {
+	Cap int
+	ids map[string]int
+}
+
+// NewVocab returns a vocabulary holding at most capacity tokens
+// (including the reserved specials).
+func NewVocab(capacity int) *Vocab {
+	if capacity < reservedSpecials+1 {
+		capacity = reservedSpecials + 1
+	}
+	return &Vocab{Cap: capacity, ids: make(map[string]int)}
+}
+
+// Size returns the number of ids in use (reserved included).
+func (v *Vocab) Size() int { return reservedSpecials + len(v.ids) }
+
+// ID maps a token to its id, admitting it if there is room.
+func (v *Vocab) ID(tok string) int {
+	switch tok {
+	case "<num>":
+		return TokNum
+	case "<str>":
+		return TokStr
+	}
+	if id, ok := v.ids[tok]; ok {
+		return id
+	}
+	if v.Size() >= v.Cap {
+		return TokUnk
+	}
+	id := v.Size()
+	v.ids[tok] = id
+	return id
+}
+
+// Encode tokenizes a statement and maps it to vocabulary ids.
+func (v *Vocab) Encode(sql string) []int {
+	toks := Tokenize(sql)
+	out := make([]int, len(toks))
+	for i, t := range toks {
+		out[i] = v.ID(t)
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+package sqlparse
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestTokenizeNormalizesLiterals(t *testing.T) {
+	a := Tokenize("SELECT * FROM tweets WHERE id = 42")
+	b := Tokenize("SELECT * FROM tweets WHERE id = 977")
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("constants should normalize: %v vs %v", a, b)
+	}
+	want := []string{"select", "*", "from", "tweets", "where", "id", "=", "<num>"}
+	if !reflect.DeepEqual(a, want) {
+		t.Fatalf("tokens = %v, want %v", a, want)
+	}
+}
+
+func TestTokenizeStrings(t *testing.T) {
+	toks := Tokenize("INSERT INTO t (k) VALUES ('user42')")
+	found := false
+	for _, tk := range toks {
+		if tk == "<str>" {
+			found = true
+		}
+		if tk == "user42" {
+			t.Fatal("string literal leaked")
+		}
+	}
+	if !found {
+		t.Fatalf("no <str> token in %v", toks)
+	}
+}
+
+func TestTokenizeOperators(t *testing.T) {
+	toks := Tokenize("a >= 1 AND b <> 2 AND c != 3")
+	join := ""
+	for _, tk := range toks {
+		join += tk + " "
+	}
+	for _, op := range []string{">=", "<>", "!="} {
+		found := false
+		for _, tk := range toks {
+			if tk == op {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("operator %q not tokenized in %v", op, toks)
+		}
+	}
+}
+
+func TestTokenizeFloatAndEmpty(t *testing.T) {
+	toks := Tokenize("select 3.14")
+	if !reflect.DeepEqual(toks, []string{"select", "<num>"}) {
+		t.Fatalf("float tokens = %v", toks)
+	}
+	if len(Tokenize("")) != 0 {
+		t.Fatal("empty SQL should yield no tokens")
+	}
+	if len(Tokenize("   ")) != 0 {
+		t.Fatal("whitespace should yield no tokens")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := map[string]Class{
+		"SELECT 1":             ClassSelect,
+		"insert into t values": ClassInsert,
+		"REPLACE INTO t":       ClassInsert,
+		"Update t set x = 1":   ClassUpdate,
+		"DELETE FROM t":        ClassDelete,
+		"BEGIN":                ClassOther,
+		"":                     ClassOther,
+	}
+	for sql, want := range cases {
+		if got := Classify(sql); got != want {
+			t.Fatalf("Classify(%q) = %v, want %v", sql, got, want)
+		}
+	}
+}
+
+func TestVocabBounded(t *testing.T) {
+	v := NewVocab(6) // 3 reserved + 3 learnable
+	a := v.ID("select")
+	b := v.ID("from")
+	c := v.ID("where")
+	if a < 3 || b < 3 || c < 3 || a == b || b == c {
+		t.Fatalf("learned ids wrong: %d %d %d", a, b, c)
+	}
+	if v.ID("overflow") != TokUnk {
+		t.Fatal("over-capacity token should map to <unk>")
+	}
+	if v.ID("select") != a {
+		t.Fatal("existing token id changed")
+	}
+	if v.ID("<num>") != TokNum || v.ID("<str>") != TokStr {
+		t.Fatal("specials wrong")
+	}
+}
+
+func TestVocabEncodeStable(t *testing.T) {
+	v := NewVocab(64)
+	e1 := v.Encode("SELECT a FROM b WHERE c = 5")
+	e2 := v.Encode("SELECT a FROM b WHERE c = 9")
+	if !reflect.DeepEqual(e1, e2) {
+		t.Fatalf("same-shape queries should encode identically: %v vs %v", e1, e2)
+	}
+	e3 := v.Encode("DELETE FROM b")
+	if reflect.DeepEqual(e1, e3) {
+		t.Fatal("different queries should differ")
+	}
+}
+
+func TestVocabMinCapacity(t *testing.T) {
+	v := NewVocab(0)
+	if v.Cap < 4 {
+		t.Fatalf("capacity floor not applied: %d", v.Cap)
+	}
+}

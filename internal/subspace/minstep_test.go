@@ -1,0 +1,96 @@
+package subspace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMinStepReachesEnumNeighbors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	r := &Region{
+		Kind:    Hypercube,
+		Center:  []float64{0.5, 0.5},
+		Radius:  0.05,
+		MinStep: []float64{0, 0.5}, // dim 1 is a 3-value enum
+	}
+	reachedFar := false
+	for _, c := range r.Candidates(400, rng) {
+		if math.Abs(c[1]-0.5) > 0.25 {
+			reachedFar = true
+		}
+		if math.Abs(c[0]-0.5) > 0.05+1e-9 {
+			t.Fatalf("continuous dim left the trust radius: %v", c)
+		}
+	}
+	if !reachedFar {
+		t.Fatal("enum dim never reached beyond the base radius despite MinStep")
+	}
+}
+
+func TestPerturbKSparsity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	dim := 20
+	center := make([]float64, dim)
+	for i := range center {
+		center[i] = 0.5
+	}
+	r := &Region{Kind: Hypercube, Center: center, Radius: 0.3, PerturbK: 3}
+	cands := r.Candidates(200, rng)
+	totalChanged := 0
+	for _, c := range cands[1:] { // skip the center itself
+		changed := 0
+		for i := range c {
+			if c[i] != center[i] {
+				changed++
+			}
+		}
+		if changed > 3 {
+			t.Fatalf("candidate changed %d dims, PerturbK=3", changed)
+		}
+		totalChanged += changed
+	}
+	if totalChanged == 0 {
+		t.Fatal("no perturbation happened at all")
+	}
+}
+
+func TestAdapterPropagatesMinStep(t *testing.T) {
+	a := NewAdapter(3, 1)
+	a.MinStep = []float64{0, 0, 0.5}
+	a.PerturbK = 2
+	r := a.Adapt([]float64{0.5, 0.5, 0.5}, false)
+	if r.MinStep == nil || r.PerturbK != 2 {
+		t.Fatal("initial region missing MinStep/PerturbK")
+	}
+	// Switch to line and back: settings survive.
+	r = a.Adapt([]float64{0.5, 0.5, 0.5}, true)
+	if r.Kind != Line {
+		t.Fatal("expected line")
+	}
+	for i := 0; i < a.LineIters; i++ {
+		a.Report(false, 0)
+	}
+	r = a.Adapt([]float64{0.5, 0.5, 0.5}, false)
+	if r.Kind != Hypercube || r.MinStep == nil || r.PerturbK != 2 {
+		t.Fatal("settings lost across region switches")
+	}
+}
+
+func TestReportUnsafeShrinks(t *testing.T) {
+	a := NewAdapter(2, 1)
+	a.Adapt([]float64{0.5, 0.5}, false)
+	for round := 0; round < 3; round++ {
+		for i := 0; i <= a.EtaSucc; i++ {
+			a.Report(true, 0.05)
+		}
+		a.Adapt([]float64{0.5, 0.5}, false)
+	}
+	if a.Region().Radius <= a.RBase {
+		t.Fatal("setup failed: radius should have grown")
+	}
+	a.ReportUnsafe()
+	if a.Region().Radius != a.RBase {
+		t.Fatalf("unsafe evaluation should snap the radius back to base, got %v", a.Region().Radius)
+	}
+}

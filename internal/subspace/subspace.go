@@ -1,0 +1,301 @@
+// Package subspace implements OnlineTune's subspace adaptation
+// (Algorithm 2, §6.1): optimization is restricted to a region around the
+// best configuration found so far — alternating between a hypercube
+// (trust region) that expands on consecutive successes and shrinks on
+// consecutive failures, and a one-dimensional line region whose direction
+// comes from a random or importance-guided oracle (Appendix A3.2). All
+// coordinates live in the unit hypercube encoding of the knob space.
+package subspace
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/mathx"
+)
+
+// Kind distinguishes region types.
+type Kind int
+
+// Region kinds.
+const (
+	Hypercube Kind = iota
+	Line
+)
+
+// Region is the current optimization subspace.
+type Region struct {
+	Kind   Kind
+	Center []float64 // θbest in unit coordinates
+	Radius float64   // hypercube half-width (max-norm)
+	Dir    []float64 // line direction (unit vector)
+	// MinStep optionally gives each dimension a minimum perturbation
+	// radius. Categorical knobs need it: a 3-value enum's neighbor is
+	// 0.5 away in unit coordinates, unreachable inside a 5% radius.
+	MinStep []float64
+	// PerturbK, when positive, perturbs only that many randomly chosen
+	// coordinates per candidate (the rest stay at the center) — the
+	// standard trick for trust regions in high dimension.
+	PerturbK int
+}
+
+// radiusAt returns the effective radius for one dimension.
+func (r *Region) radiusAt(d int) float64 {
+	if r.MinStep != nil && d < len(r.MinStep) && r.MinStep[d] > r.Radius {
+		return r.MinStep[d]
+	}
+	return r.Radius
+}
+
+// Contains reports whether a unit point lies in the region (lines accept
+// points within a thin tube).
+func (r *Region) Contains(u []float64) bool {
+	switch r.Kind {
+	case Hypercube:
+		for i := range u {
+			if math.Abs(u[i]-r.Center[i]) > r.radiusAt(i)+1e-9 {
+				return false
+			}
+		}
+		return true
+	default:
+		// Project onto the line and check the residual.
+		d := mathx.VecSub(u, r.Center)
+		alpha := mathx.Dot(d, r.Dir)
+		res := mathx.VecSub(d, mathx.VecScale(alpha, r.Dir))
+		return mathx.Norm2(res) < 1e-6
+	}
+}
+
+// Candidates discretizes the region into at most n unit points, always
+// including the center. Hypercubes are sampled uniformly; lines are
+// gridded over the α range that stays inside [0,1]^dim.
+func (r *Region) Candidates(n int, rng *rand.Rand) [][]float64 {
+	out := make([][]float64, 0, n)
+	out = append(out, mathx.VecClone(r.Center))
+	switch r.Kind {
+	case Hypercube:
+		dim := len(r.Center)
+		for len(out) < n {
+			p := mathx.VecClone(r.Center)
+			if r.PerturbK > 0 && r.PerturbK < dim {
+				for k := 0; k < r.PerturbK; k++ {
+					i := rng.Intn(dim)
+					p[i] = r.Center[i] + (rng.Float64()*2-1)*r.radiusAt(i)
+				}
+			} else {
+				for i := range p {
+					p[i] = r.Center[i] + (rng.Float64()*2-1)*r.radiusAt(i)
+				}
+			}
+			out = append(out, mathx.ClampVec(p))
+		}
+	default:
+		// Feasible α range: center + α·dir ∈ [0,1] per coordinate.
+		lo, hi := math.Inf(-1), math.Inf(1)
+		for i, d := range r.Dir {
+			if d == 0 {
+				continue
+			}
+			a := (0 - r.Center[i]) / d
+			b := (1 - r.Center[i]) / d
+			if a > b {
+				a, b = b, a
+			}
+			if a > lo {
+				lo = a
+			}
+			if b < hi {
+				hi = b
+			}
+		}
+		if math.IsInf(lo, -1) || math.IsInf(hi, 1) || hi <= lo {
+			return out
+		}
+		grid := n - 1
+		if grid < 2 {
+			grid = 2
+		}
+		for i := 0; i < grid; i++ {
+			alpha := lo + (hi-lo)*float64(i)/float64(grid-1)
+			p := mathx.VecAdd(r.Center, mathx.VecScale(alpha, r.Dir))
+			out = append(out, mathx.ClampVec(p))
+		}
+	}
+	return out
+}
+
+// Adapter implements the success/failure-driven adaptation of
+// Algorithm 2.
+type Adapter struct {
+	Dim int
+
+	// RBase/RMin/RMax bound the hypercube radius. RBase defaults to 5%
+	// of each dimension's range, per the paper.
+	RBase, RMin, RMax float64
+	// EtaSucc/EtaFail are the consecutive success/failure thresholds.
+	EtaSucc, EtaFail int
+	// LineIters is how many iterations a line region lasts before
+	// switching back to a hypercube.
+	LineIters int
+	// ImproveThreshold selects the direction oracle: if relative
+	// improvement in the last hypercube phase is below it, a random
+	// direction (exploration) is drawn; otherwise an important one.
+	ImproveThreshold float64
+	// ImportanceFn returns per-dimension importances for the important
+	// direction oracle; nil forces random directions.
+	ImportanceFn func() []float64
+	// MinStep and PerturbK are propagated to hypercube regions (see
+	// Region).
+	MinStep  []float64
+	PerturbK int
+
+	rng          *rand.Rand
+	region       *Region
+	succ, fail   int
+	lineAge      int
+	phaseImprove float64 // relative improvement accumulated this phase
+}
+
+// NewAdapter returns an adapter for a dim-dimensional unit space.
+func NewAdapter(dim int, seed int64) *Adapter {
+	return &Adapter{
+		Dim:              dim,
+		RBase:            0.05,
+		RMin:             0.01,
+		RMax:             0.5,
+		EtaSucc:          3,
+		EtaFail:          3,
+		LineIters:        8,
+		ImproveThreshold: 0.01,
+		rng:              rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Region returns the current region (nil before the first Adapt).
+func (a *Adapter) Region() *Region { return a.region }
+
+// ReportUnsafe reacts to an unsafe evaluation: the hypercube snaps back
+// to the base radius and the streak counters reset, so the next
+// recommendations stay near the evaluated-best configuration.
+func (a *Adapter) ReportUnsafe() {
+	a.succ, a.fail = 0, 0
+	if a.region != nil && a.region.Kind == Hypercube && a.region.Radius > a.RBase {
+		a.region.Radius = a.RBase
+	}
+}
+
+// Report feeds back whether the last recommendation improved on the
+// previous one ("success") and the relative improvement magnitude.
+func (a *Adapter) Report(success bool, relImprove float64) {
+	if success {
+		a.succ++
+		a.fail = 0
+		if relImprove > 0 {
+			a.phaseImprove += relImprove
+		}
+	} else {
+		a.fail++
+		a.succ = 0
+	}
+	if a.region != nil && a.region.Kind == Line {
+		a.lineAge++
+	}
+}
+
+// Adapt implements Algorithm 2: it recenters on θbest, grows/shrinks the
+// hypercube on success/failure streaks, and switches between hypercube
+// and line regions. noUnevaluatedSafe signals that the safety set inside
+// the current region is exhausted — one of the paper's switch triggers.
+func (a *Adapter) Adapt(best []float64, noUnevaluatedSafe bool) *Region {
+	if a.region == nil {
+		a.region = &Region{Kind: Hypercube, Center: mathx.VecClone(best), Radius: a.RBase, MinStep: a.MinStep, PerturbK: a.PerturbK}
+		return a.region
+	}
+	a.region.Center = mathx.VecClone(best)
+
+	switch a.region.Kind {
+	case Hypercube:
+		if a.succ > a.EtaSucc {
+			a.region.Radius = math.Min(a.RMax, 2*a.region.Radius)
+			a.succ, a.fail = 0, 0
+		}
+		if a.fail > a.EtaFail {
+			a.region.Radius = math.Max(a.RMin, a.region.Radius/2)
+			a.fail, a.succ = 0, 0
+			// Persistent failure at minimum radius triggers the switch.
+			if a.region.Radius <= a.RMin {
+				noUnevaluatedSafe = true
+			}
+		}
+		if noUnevaluatedSafe {
+			a.region = &Region{Kind: Line, Center: a.region.Center, Dir: a.generateDirection(), MinStep: a.MinStep}
+			a.lineAge = 0
+			a.phaseImprove = 0
+		}
+	default: // Line
+		if noUnevaluatedSafe || a.lineAge >= a.LineIters {
+			a.region = &Region{Kind: Hypercube, Center: a.region.Center, Radius: a.RBase, MinStep: a.MinStep, PerturbK: a.PerturbK}
+			a.succ, a.fail = 0, 0
+			a.phaseImprove = 0
+		}
+	}
+	return a.region
+}
+
+// generateDirection draws the line direction: random when the previous
+// hypercube phase improved little (explore), otherwise axis-aligned with
+// one of the top-5 important knobs (exploit), per Appendix A3.2.
+func (a *Adapter) generateDirection() []float64 {
+	useImportant := a.ImportanceFn != nil && a.phaseImprove >= a.ImproveThreshold
+	if useImportant {
+		imp := a.ImportanceFn()
+		if len(imp) == a.Dim {
+			idx := topKIndices(imp, 5)
+			if len(idx) > 0 {
+				d := make([]float64, a.Dim)
+				d[idx[a.rng.Intn(len(idx))]] = 1
+				return d
+			}
+		}
+	}
+	// Random unit direction.
+	d := make([]float64, a.Dim)
+	norm := 0.0
+	for i := range d {
+		d[i] = a.rng.NormFloat64()
+		norm += d[i] * d[i]
+	}
+	norm = math.Sqrt(norm)
+	if norm == 0 {
+		d[0] = 1
+		return d
+	}
+	for i := range d {
+		d[i] /= norm
+	}
+	return d
+}
+
+func topKIndices(v []float64, k int) []int {
+	idx := make([]int, 0, len(v))
+	for i, x := range v {
+		if x > 0 {
+			idx = append(idx, i)
+		}
+	}
+	// Selection sort is fine for k ≤ 5.
+	for i := 0; i < len(idx) && i < k; i++ {
+		best := i
+		for j := i + 1; j < len(idx); j++ {
+			if v[idx[j]] > v[idx[best]] {
+				best = j
+			}
+		}
+		idx[i], idx[best] = idx[best], idx[i]
+	}
+	if k > len(idx) {
+		k = len(idx)
+	}
+	return idx[:k]
+}

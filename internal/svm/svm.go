@@ -1,0 +1,210 @@
+// Package svm implements a kernel support-vector classifier trained with
+// a simplified SMO algorithm, plus the one-vs-rest multiclass wrapper
+// OnlineTune uses to learn the context-space decision boundary for model
+// selection (§5.3).
+package svm
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/mathx"
+)
+
+// Kernel computes an inner product in feature space.
+type Kernel func(a, b []float64) float64
+
+// RBFKernel returns an RBF kernel with bandwidth gamma.
+func RBFKernel(gamma float64) Kernel {
+	return func(a, b []float64) float64 {
+		d := mathx.Dist2(a, b)
+		return math.Exp(-gamma * d * d)
+	}
+}
+
+// LinearKernel is the plain dot product.
+func LinearKernel() Kernel {
+	return func(a, b []float64) float64 { return mathx.Dot(a, b) }
+}
+
+// Binary is a two-class SVM with labels in {-1, +1}.
+type Binary struct {
+	C      float64 // box constraint
+	Kern   Kernel
+	Tol    float64
+	MaxIt  int
+	alphas []float64
+	b      float64
+	x      [][]float64
+	y      []float64
+}
+
+// NewBinary returns a binary SVM with the given box constraint and kernel.
+func NewBinary(c float64, k Kernel) *Binary {
+	return &Binary{C: c, Kern: k, Tol: 1e-3, MaxIt: 60}
+}
+
+// Fit trains on x with labels y ∈ {-1, +1} using simplified SMO
+// (Platt, 1998; the Stanford CS229 variant). seed randomizes the second
+// working-set choice.
+func (s *Binary) Fit(x [][]float64, y []float64, seed int64) {
+	n := len(x)
+	s.x, s.y = x, y
+	s.alphas = make([]float64, n)
+	s.b = 0
+	if n == 0 {
+		return
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// Precompute the kernel matrix; training sets here are small (the
+	// cluster count times per-cluster cap).
+	k := mathx.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := s.Kern(x[i], x[j])
+			k.Set(i, j, v)
+			k.Set(j, i, v)
+		}
+	}
+	f := func(i int) float64 {
+		out := s.b
+		for j := 0; j < n; j++ {
+			if s.alphas[j] != 0 {
+				out += s.alphas[j] * y[j] * k.At(j, i)
+			}
+		}
+		return out
+	}
+
+	passes := 0
+	for passes < s.MaxIt {
+		changed := 0
+		for i := 0; i < n; i++ {
+			ei := f(i) - y[i]
+			if !((y[i]*ei < -s.Tol && s.alphas[i] < s.C) || (y[i]*ei > s.Tol && s.alphas[i] > 0)) {
+				continue
+			}
+			j := rng.Intn(n - 1)
+			if j >= i {
+				j++
+			}
+			ej := f(j) - y[j]
+			ai, aj := s.alphas[i], s.alphas[j]
+			var lo, hi float64
+			if y[i] != y[j] {
+				lo = math.Max(0, aj-ai)
+				hi = math.Min(s.C, s.C+aj-ai)
+			} else {
+				lo = math.Max(0, ai+aj-s.C)
+				hi = math.Min(s.C, ai+aj)
+			}
+			if lo == hi {
+				continue
+			}
+			eta := 2*k.At(i, j) - k.At(i, i) - k.At(j, j)
+			if eta >= 0 {
+				continue
+			}
+			ajNew := aj - y[j]*(ei-ej)/eta
+			ajNew = mathx.Clamp(ajNew, lo, hi)
+			if math.Abs(ajNew-aj) < 1e-5 {
+				continue
+			}
+			aiNew := ai + y[i]*y[j]*(aj-ajNew)
+			b1 := s.b - ei - y[i]*(aiNew-ai)*k.At(i, i) - y[j]*(ajNew-aj)*k.At(i, j)
+			b2 := s.b - ej - y[i]*(aiNew-ai)*k.At(i, j) - y[j]*(ajNew-aj)*k.At(j, j)
+			switch {
+			case aiNew > 0 && aiNew < s.C:
+				s.b = b1
+			case ajNew > 0 && ajNew < s.C:
+				s.b = b2
+			default:
+				s.b = (b1 + b2) / 2
+			}
+			s.alphas[i], s.alphas[j] = aiNew, ajNew
+			changed++
+		}
+		if changed == 0 {
+			passes++
+		} else {
+			passes = 0
+		}
+	}
+}
+
+// Decision returns the signed decision value for a point.
+func (s *Binary) Decision(p []float64) float64 {
+	out := s.b
+	for i, a := range s.alphas {
+		if a != 0 {
+			out += a * s.y[i] * s.Kern(s.x[i], p)
+		}
+	}
+	return out
+}
+
+// Predict returns the predicted label in {-1, +1}.
+func (s *Binary) Predict(p []float64) float64 {
+	if s.Decision(p) >= 0 {
+		return 1
+	}
+	return -1
+}
+
+// Multiclass is a one-vs-rest ensemble of binary SVMs.
+type Multiclass struct {
+	C       float64
+	Kern    Kernel
+	classes []int
+	models  []*Binary
+}
+
+// NewMulticlass returns a one-vs-rest classifier.
+func NewMulticlass(c float64, k Kernel) *Multiclass {
+	return &Multiclass{C: c, Kern: k}
+}
+
+// Fit trains one binary SVM per distinct label in y.
+func (m *Multiclass) Fit(x [][]float64, y []int, seed int64) {
+	seen := map[int]bool{}
+	m.classes = m.classes[:0]
+	for _, l := range y {
+		if !seen[l] {
+			seen[l] = true
+			m.classes = append(m.classes, l)
+		}
+	}
+	m.models = make([]*Binary, len(m.classes))
+	for ci, c := range m.classes {
+		lbl := make([]float64, len(y))
+		for i, l := range y {
+			if l == c {
+				lbl[i] = 1
+			} else {
+				lbl[i] = -1
+			}
+		}
+		b := NewBinary(m.C, m.Kern)
+		b.Fit(x, lbl, seed+int64(ci))
+		m.models[ci] = b
+	}
+}
+
+// Predict returns the class whose binary model scores highest. With no
+// training it returns 0.
+func (m *Multiclass) Predict(p []float64) int {
+	if len(m.models) == 0 {
+		return 0
+	}
+	best, bestVal := m.classes[0], math.Inf(-1)
+	for i, b := range m.models {
+		if v := b.Decision(p); v > bestVal {
+			best, bestVal = m.classes[i], v
+		}
+	}
+	return best
+}
+
+// NumClasses returns the number of classes seen at fit time.
+func (m *Multiclass) NumClasses() int { return len(m.classes) }

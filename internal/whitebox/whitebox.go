@@ -1,0 +1,304 @@
+// Package whitebox implements the heuristic rule engine OnlineTune
+// consults as its white-box safety assistant (§6.2.2), modeled on
+// MysqlTuner: static rules over DBMS metrics that emit per-knob legal
+// ranges or point suggestions. It also implements the paper's rule
+// relaxation: each rule carries a conflict counter and a conflict-safe
+// counter; when the black box repeatedly wants a configuration a rule
+// rejects, the rule is temporarily ignored, and if the controversial
+// configurations keep proving safe, the rule's range is permanently
+// relaxed.
+package whitebox
+
+import (
+	"math"
+
+	"repro/internal/dbsim"
+	"repro/internal/knobs"
+	"repro/internal/workload"
+)
+
+// Range restricts one knob to [Lo, Hi] (raw values, inclusive), with an
+// optional exclusion band inside it (e.g. thread_concurrency may be 0 =
+// unlimited or ≥ vCPUs/2, but not in between).
+type Range struct {
+	Knob    string
+	Lo, Hi  float64
+	exclude *Range
+}
+
+// Exclude returns a copy of the range with an exclusion band inside it.
+func (r Range) Exclude(lo, hi float64) Range {
+	r.exclude = &Range{Knob: r.Knob, Lo: lo, Hi: hi}
+	return r
+}
+
+// Contains reports whether the raw value satisfies the range.
+func (r *Range) Contains(v float64) bool { return v >= r.Lo-1e-9 && v <= r.Hi+1e-9 }
+
+// Rule produces a range restriction from the current environment, or
+// ok=false when the rule does not apply.
+type Rule struct {
+	Name string
+	// Credibility sets the relaxation thresholds: higher means the rule
+	// is trusted longer before being relaxed.
+	Credibility int
+	// Apply inspects the environment and emits a restriction.
+	Apply func(env Env) (Range, bool)
+
+	conflicts     int
+	conflictSafe  int
+	relaxations   int
+	ignoredActive bool
+}
+
+// Env is what the white box can observe: hardware, workload snapshot and
+// the latest internal metrics.
+type Env struct {
+	HW      dbsim.Hardware
+	Load    workload.Snapshot
+	Metrics dbsim.InternalMetrics
+}
+
+// Engine evaluates rules and manages relaxation state.
+type Engine struct {
+	Rules []*Rule
+	// ConflictThreshold is how many black-box/white-box decision
+	// conflicts a rule sustains before being ignored for one
+	// recommendation.
+	ConflictThreshold int
+	// RelaxThreshold is how many conflict-safe observations relax the
+	// rule's range permanently.
+	RelaxThreshold int
+}
+
+// NewEngine returns the MysqlTuner-style rule set for the 8 vCPU / 16 GB
+// reference instance.
+func NewEngine() *Engine {
+	return &Engine{
+		Rules:             DefaultRules(),
+		ConflictThreshold: 3,
+		RelaxThreshold:    3,
+	}
+}
+
+// DefaultRules is the MysqlTuner-inspired rule set. Each rule encodes a
+// piece of DBA folklore; ranges are deliberately conservative — the
+// relaxation machinery exists precisely because such rules can exclude
+// the optimum.
+func DefaultRules() []*Rule {
+	return []*Rule{
+		{
+			Name: "total-memory-budget",
+			// Memory overcommit hangs the instance: this rule is
+			// effectively non-relaxable (the paper scales relaxation
+			// thresholds by credibility).
+			Credibility: 1000,
+			Apply: func(env Env) (Range, bool) {
+				// Buffer pool at most 85% of RAM (the DBA's 13 GB on a
+				// 16 GB box sits just inside).
+				return Range{Knob: "innodb_buffer_pool_size", Lo: 0, Hi: 0.85 * env.HW.RAMBytes}, true
+			},
+		},
+		{
+			Name:        "thread-concurrency-floor",
+			Credibility: 6,
+			Apply: func(env Env) (Range, bool) {
+				// 0 means unlimited and is fine; otherwise at least half
+				// the vCPUs (the paper's §7.3.2 example).
+				rg := Range{Knob: "innodb_thread_concurrency", Lo: 0, Hi: 128}
+				return rg.Exclude(0.5, float64(env.HW.VCPUs)/2-0.5), true
+			},
+		},
+		{
+			Name:        "spin-wait-ceiling",
+			Credibility: 4,
+			Apply: func(env Env) (Range, bool) {
+				if env.Load.Skew*env.Load.WriteFrac() > 0.05 {
+					return Range{Knob: "innodb_spin_wait_delay", Lo: 0, Hi: 96}, true
+				}
+				return Range{}, false
+			},
+		},
+		{
+			Name:        "join-buffer-on-joins",
+			Credibility: 2,
+			Apply: func(env Env) (Range, bool) {
+				// Joins without indexes per day > 250 → raise join buffer.
+				if env.Load.JoinFrac > 0.2 {
+					return Range{Knob: "join_buffer_size", Lo: 1 * knobs.MiB, Hi: 512 * knobs.MiB}, true
+				}
+				return Range{}, false
+			},
+		},
+		{
+			Name:        "per-connection-buffer-cap",
+			Credibility: 3,
+			Apply: func(env Env) (Range, bool) {
+				// Sort buffers are allocated per connection; MysqlTuner's
+				// classic warning is that values beyond a few MB multiply
+				// into gigabytes under load.
+				return Range{Knob: "sort_buffer_size", Lo: 0, Hi: 64 * knobs.MiB}, true
+			},
+		},
+		{
+			Name:        "sort-buffer-on-sorts",
+			Credibility: 2,
+			Apply: func(env Env) (Range, bool) {
+				if env.Metrics.SortMergePassesPS > 10 || env.Load.SortFrac > 0.3 {
+					return Range{Knob: "sort_buffer_size", Lo: 512 * knobs.KiB, Hi: 64 * knobs.MiB}, true
+				}
+				return Range{}, false
+			},
+		},
+		{
+			Name:        "durability-on-writes",
+			Credibility: 3,
+			Apply: func(env Env) (Range, bool) {
+				// Conservative DBA folklore: keep full durability on
+				// write-heavy workloads. Often wrong for throughput — the
+				// relaxation path exercises exactly this rule.
+				if env.Load.WriteFrac() > 0.5 {
+					return Range{Knob: "innodb_flush_log_at_trx_commit", Lo: 1, Hi: 1}, true
+				}
+				return Range{}, false
+			},
+		},
+		{
+			Name:        "io-capacity-floor",
+			Credibility: 2,
+			Apply: func(env Env) (Range, bool) {
+				if env.Metrics.DirtyPagesPct > 60 {
+					return Range{Knob: "innodb_io_capacity", Lo: 1000, Hi: 20000}, true
+				}
+				return Range{}, false
+			},
+		},
+		{
+			Name:        "max-connections-floor",
+			Credibility: 5,
+			Apply: func(env Env) (Range, bool) {
+				return Range{Knob: "max_connections", Lo: 64, Hi: 10000}, true
+			},
+		},
+		{
+			Name:        "tmp-table-cap",
+			Credibility: 2,
+			Apply: func(env Env) (Range, bool) {
+				// Per-connection temp tables beyond 1 GB are reckless at
+				// high connection counts.
+				return Range{Knob: "tmp_table_size", Lo: 0, Hi: 1 * knobs.GiB}, true
+			},
+		},
+	}
+}
+
+// Verdict reports the engine's judgment of one configuration.
+type Verdict struct {
+	OK bool
+	// ViolatedRules lists rules the configuration fails.
+	ViolatedRules []*Rule
+	// IgnoredRule is the rule bypassed via conflict-relaxation, if any.
+	IgnoredRule *Rule
+}
+
+// Check evaluates all rules against a configuration. Rules currently in
+// the "ignored" state (conflict threshold reached) do not veto, but at
+// most one rule may be ignored per recommendation (§6.2.2).
+func (e *Engine) Check(cfg knobs.Config, env Env) Verdict {
+	v := Verdict{OK: true}
+	for _, r := range e.Rules {
+		rg, ok := r.Apply(env)
+		if !ok {
+			continue
+		}
+		if satisfies(cfg, rg) {
+			continue
+		}
+		if r.ignoredActive && v.IgnoredRule == nil {
+			v.IgnoredRule = r
+			continue // bypassed this once
+		}
+		v.OK = false
+		v.ViolatedRules = append(v.ViolatedRules, r)
+	}
+	return v
+}
+
+// satisfies checks a configuration value against a range (with optional
+// exclusion band).
+func satisfies(cfg knobs.Config, rg Range) bool {
+	val, present := cfg[rg.Knob]
+	if !present {
+		return true // knob not tuned: rule cannot bind
+	}
+	if !rg.Contains(val) {
+		return false
+	}
+	if rg.exclude != nil && val >= rg.exclude.Lo && val <= rg.exclude.Hi {
+		return false
+	}
+	return true
+}
+
+// ReportConflict records that the black box wanted a configuration this
+// rule rejects. When the conflict counter passes the engine threshold
+// (scaled by credibility), the rule enters the ignored state so the next
+// controversial recommendation can go through.
+func (e *Engine) ReportConflict(r *Rule) {
+	r.conflicts++
+	if r.conflicts >= e.ConflictThreshold+r.Credibility {
+		r.ignoredActive = true
+	}
+}
+
+// ReportOutcome records the evaluation result of a configuration that
+// was recommended while ignoring the rule. Safe outcomes accumulate
+// toward permanent relaxation; an unsafe outcome re-arms the rule.
+func (e *Engine) ReportOutcome(r *Rule, safe bool) {
+	if !safe {
+		r.ignoredActive = false
+		r.conflicts = 0
+		r.conflictSafe = 0
+		return
+	}
+	r.conflictSafe++
+	if r.conflictSafe >= e.RelaxThreshold {
+		r.relax()
+		r.ignoredActive = false
+		r.conflicts = 0
+		r.conflictSafe = 0
+	}
+}
+
+// relax permanently widens the rule by wrapping its Apply with a range
+// expansion (each relaxation widens by 50% around the range midpoint,
+// and drops exclusion bands).
+func (r *Rule) relax() {
+	r.relaxations++
+	inner := r.Apply
+	r.Apply = func(env Env) (Range, bool) {
+		rg, ok := inner(env)
+		if !ok {
+			return rg, ok
+		}
+		span := rg.Hi - rg.Lo
+		if span <= 0 {
+			// Point suggestion: open to a band one unit-scale wide on
+			// each side (for enum knobs this admits the neighbors).
+			rg.Lo = rg.Lo - math.Max(1, math.Abs(rg.Lo))
+			rg.Hi = rg.Hi + math.Max(1, math.Abs(rg.Hi))
+		} else {
+			rg.Lo -= 0.25 * span
+			rg.Hi += 0.25 * span
+		}
+		rg.exclude = nil
+		return rg, ok
+	}
+}
+
+// Relaxations returns how many times a rule has been relaxed (for
+// diagnostics and the case-study visualization).
+func (r *Rule) Relaxations() int { return r.relaxations }
+
+// Ignored reports whether the rule is currently bypassable.
+func (r *Rule) Ignored() bool { return r.ignoredActive }

@@ -1,0 +1,176 @@
+package whitebox
+
+import (
+	"testing"
+
+	"repro/internal/dbsim"
+	"repro/internal/knobs"
+	"repro/internal/workload"
+)
+
+func tpccEnv() Env {
+	return Env{
+		HW:   dbsim.DefaultHardware(),
+		Load: workload.NewTPCC(1, false).At(0),
+	}
+}
+
+func TestDefaultsPassAllRules(t *testing.T) {
+	e := NewEngine()
+	env := tpccEnv()
+	for _, cfg := range []knobs.Config{knobs.MySQL57().DBADefault()} {
+		v := e.Check(cfg, env)
+		if !v.OK {
+			names := ""
+			for _, r := range v.ViolatedRules {
+				names += r.Name + " "
+			}
+			t.Fatalf("DBA default violates rules: %s", names)
+		}
+	}
+}
+
+func TestBufferPoolCapRule(t *testing.T) {
+	e := NewEngine()
+	cfg := knobs.MySQL57().DBADefault()
+	cfg["innodb_buffer_pool_size"] = 15 * knobs.GiB // > 80% of 16 GB
+	v := e.Check(cfg, tpccEnv())
+	if v.OK {
+		t.Fatal("15 GB pool should violate the memory rule")
+	}
+}
+
+func TestThreadConcurrencyExclusionBand(t *testing.T) {
+	e := NewEngine()
+	env := tpccEnv()
+	cfg := knobs.MySQL57().DBADefault()
+	cfg["innodb_thread_concurrency"] = 1 // in the forbidden band (0.5 .. 3.5)
+	if e.Check(cfg, env).OK {
+		t.Fatal("tc=1 should violate the concurrency floor")
+	}
+	cfg["innodb_thread_concurrency"] = 0 // unlimited: allowed
+	if !e.Check(cfg, env).OK {
+		t.Fatal("tc=0 should pass")
+	}
+	cfg["innodb_thread_concurrency"] = 16
+	if !e.Check(cfg, env).OK {
+		t.Fatal("tc=16 should pass")
+	}
+}
+
+func TestSpinRuleConditional(t *testing.T) {
+	e := NewEngine()
+	cfg := knobs.MySQL57().DBADefault()
+	cfg["innodb_spin_wait_delay"] = 1200
+	if e.Check(cfg, tpccEnv()).OK {
+		t.Fatal("extreme spin delay should violate under contended write load")
+	}
+	// Read-only, low-skew environment: the rule does not apply.
+	env := Env{HW: dbsim.DefaultHardware(), Load: workload.NewJOB(1, false).At(0)}
+	if !e.Check(cfg, env).OK {
+		t.Fatal("spin rule should not bind for JOB")
+	}
+}
+
+func TestDurabilityRuleAndRelaxation(t *testing.T) {
+	e := NewEngine()
+	env := tpccEnv()
+	cfg := knobs.MySQL57().DBADefault()
+	cfg["innodb_flush_log_at_trx_commit"] = 2 // violates durability-on-writes
+
+	var durRule *Rule
+	for _, r := range e.Rules {
+		if r.Name == "durability-on-writes" {
+			durRule = r
+		}
+	}
+	if durRule == nil {
+		t.Fatal("rule missing")
+	}
+	if e.Check(cfg, env).OK {
+		t.Fatal("flush=2 on write-heavy load should initially violate")
+	}
+	// Black box keeps wanting it: conflicts accumulate to the threshold.
+	for i := 0; i < e.ConflictThreshold+durRule.Credibility; i++ {
+		e.ReportConflict(durRule)
+	}
+	if !durRule.Ignored() {
+		t.Fatal("rule should be ignorable after repeated conflicts")
+	}
+	v := e.Check(cfg, env)
+	if !v.OK || v.IgnoredRule != durRule {
+		t.Fatalf("controversial config should pass via ignored rule: %+v", v)
+	}
+	// Repeated safe outcomes relax the rule permanently.
+	for i := 0; i < e.RelaxThreshold; i++ {
+		e.ReportOutcome(durRule, true)
+	}
+	if durRule.Relaxations() != 1 {
+		t.Fatalf("rule should have relaxed once, got %d", durRule.Relaxations())
+	}
+	if !e.Check(cfg, env).OK {
+		t.Fatal("relaxed rule should now admit flush=2")
+	}
+}
+
+func TestUnsafeOutcomeRearmsRule(t *testing.T) {
+	e := NewEngine()
+	r := e.Rules[0]
+	for i := 0; i < e.ConflictThreshold+r.Credibility; i++ {
+		e.ReportConflict(r)
+	}
+	if !r.Ignored() {
+		t.Fatal("setup failed")
+	}
+	e.ReportOutcome(r, false)
+	if r.Ignored() {
+		t.Fatal("unsafe outcome should re-arm the rule")
+	}
+	if r.Relaxations() != 0 {
+		t.Fatal("unsafe outcome must not relax")
+	}
+}
+
+func TestOnlyOneRuleIgnoredPerCheck(t *testing.T) {
+	e := NewEngine()
+	env := tpccEnv()
+	// Violate two rules, both in ignored state: only one may be bypassed.
+	var bpRule, tcRule *Rule
+	for _, r := range e.Rules {
+		switch r.Name {
+		case "total-memory-budget":
+			bpRule = r
+		case "thread-concurrency-floor":
+			tcRule = r
+		}
+	}
+	for i := 0; i < 30; i++ {
+		e.ReportConflict(bpRule)
+		e.ReportConflict(tcRule)
+	}
+	cfg := knobs.MySQL57().DBADefault()
+	cfg["innodb_buffer_pool_size"] = 15 * knobs.GiB
+	cfg["innodb_thread_concurrency"] = 1
+	v := e.Check(cfg, env)
+	if v.OK {
+		t.Fatal("two simultaneous violations must not both be ignored")
+	}
+}
+
+func TestUntunedKnobCannotViolate(t *testing.T) {
+	e := NewEngine()
+	// A 5-knob case-study config without max_connections must not trip
+	// the max-connections rule.
+	cfg := knobs.CaseStudy5().DBADefault()
+	v := e.Check(cfg, tpccEnv())
+	if !v.OK {
+		t.Fatalf("subspace config should pass: %+v", v.ViolatedRules[0].Name)
+	}
+}
+
+func TestRangeContains(t *testing.T) {
+	r := Range{Knob: "x", Lo: 1, Hi: 3}
+	if !r.Contains(1) || !r.Contains(3) || r.Contains(0.5) || r.Contains(3.5) {
+		t.Fatal("Contains wrong")
+	}
+}

@@ -1,0 +1,301 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+)
+
+// snapshotFromProfiles assembles a Snapshot by mixing op profiles with
+// the given weights and sampling one SQL statement per profile.
+func snapshotFromProfiles(bench string, iter int, seed int64, profiles []opProfile, weights []float64, dataGB float64, skew, workingSet float64) Snapshot {
+	rng := rand.New(rand.NewSource(seed*7919 + int64(iter)*104729))
+	reads := make([]float64, len(profiles))
+	scans := make([]float64, len(profiles))
+	sorts := make([]float64, len(profiles))
+	tmps := make([]float64, len(profiles))
+	joins := make([]float64, len(profiles))
+	points := make([]float64, len(profiles))
+	mix := make(map[string]float64, len(profiles))
+	queries := make([]Query, 0, len(profiles))
+	for i, p := range profiles {
+		reads[i], scans[i], sorts[i] = p.read, p.scan, p.sort
+		tmps[i], joins[i], points[i] = p.tmp, p.join, p.point
+		mix[p.name] = weights[i]
+		sql, tables := p.sql(rng)
+		queries = append(queries, Query{
+			SQL: sql, Class: p.class, Tables: tables, Weight: weights[i],
+			RowsExamined: p.rowsExamined, FilterPct: p.filterPct, UsesIndex: p.usesIndex,
+		})
+	}
+	return Snapshot{
+		Iter: iter, Bench: bench, Unlimited: true,
+		Mix:      mix,
+		ReadFrac: blend(weights, reads), ScanFrac: blend(weights, scans),
+		SortFrac: blend(weights, sorts), TmpFrac: blend(weights, tmps),
+		JoinFrac: blend(weights, joins), PointFrac: blend(weights, points),
+		Skew: skew, WorkingSetFrac: workingSet,
+		TxnOps: txnOpsFor(bench),
+		DataGB: dataGB, Queries: queries,
+	}
+}
+
+// txnOpsFor returns the average statements per transaction by benchmark.
+func txnOpsFor(bench string) float64 {
+	switch bench {
+	case "tpcc", "tpcc-drift":
+		return 28 // TPC-C transactions bundle dozens of statements
+	case "twitter":
+		return 1.6
+	case "ycsb":
+		return 1.0
+	case "realworld":
+		return 2.2
+	default:
+		return 2.0
+	}
+}
+
+// TPCC generates the TPC-C workload: write-heavy transactions with
+// complex relations and data growing from 18 GB toward ~48 GB over a
+// 400-iteration run, as observed in the paper.
+type TPCC struct {
+	Seed    int64
+	Dynamic bool // sine-varying transaction weights with 10% noise
+}
+
+// NewTPCC returns a TPC-C generator.
+func NewTPCC(seed int64, dynamic bool) *TPCC { return &TPCC{Seed: seed, Dynamic: dynamic} }
+
+// Name implements Generator.
+func (g *TPCC) Name() string { return "tpcc" }
+
+// At implements Generator.
+func (g *TPCC) At(iter int) Snapshot {
+	w := tpccBaseWeights
+	if g.Dynamic {
+		w = mixSchedule(g.Seed, iter, tpccBaseWeights, 0.5, 120)
+	}
+	// Write-heavy growth: ≈30 GB over 400 iterations at the base mix.
+	dataGB := 18 + 0.075*float64(iter)
+	s := snapshotFromProfiles("tpcc", iter, g.Seed, tpccProfiles, w, dataGB, 0.35, 0.30)
+	return s
+}
+
+// Twitter generates the Twitter workload: read-dominant, heavily skewed
+// many-to-many access over ~29 GB of data.
+type Twitter struct {
+	Seed    int64
+	Dynamic bool
+}
+
+// NewTwitter returns a Twitter generator.
+func NewTwitter(seed int64, dynamic bool) *Twitter { return &Twitter{Seed: seed, Dynamic: dynamic} }
+
+// Name implements Generator.
+func (g *Twitter) Name() string { return "twitter" }
+
+// At implements Generator.
+func (g *Twitter) At(iter int) Snapshot {
+	w := twitterBaseWeights
+	if g.Dynamic {
+		w = mixSchedule(g.Seed, iter, twitterBaseWeights, 0.5, 100)
+	}
+	dataGB := 29 + 0.004*float64(iter)
+	return snapshotFromProfiles("twitter", iter, g.Seed, twitterProfiles, w, dataGB, 0.85, 0.08)
+}
+
+// JOB generates the Join Order Benchmark: 113 analytical multi-join
+// queries over 9 GB of static data. Each iteration runs ten queries; in
+// dynamic mode five of them are re-sampled every iteration (§7.1.1).
+type JOB struct {
+	Seed    int64
+	Dynamic bool
+}
+
+// NewJOB returns a JOB generator.
+func NewJOB(seed int64, dynamic bool) *JOB { return &JOB{Seed: seed, Dynamic: dynamic} }
+
+// Name implements Generator.
+func (g *JOB) Name() string { return "job" }
+
+// At implements Generator.
+func (g *JOB) At(iter int) Snapshot {
+	rng := rand.New(rand.NewSource(g.Seed*31 + int64(iter)*613))
+	// Ten query ids: five stable within a phase, five re-sampled each
+	// iteration (static mode keeps all ten fixed).
+	stableRng := rand.New(rand.NewSource(g.Seed * 97))
+	ids := make([]int, 0, 10)
+	for i := 0; i < 5; i++ {
+		ids = append(ids, stableRng.Intn(113))
+	}
+	for i := 0; i < 5; i++ {
+		if g.Dynamic {
+			ids = append(ids, rng.Intn(113))
+		} else {
+			ids = append(ids, stableRng.Intn(113))
+		}
+	}
+	queries := make([]Query, 0, len(ids))
+	totalJoins := 0.0
+	for _, qid := range ids {
+		sql, tables, nJoins := jobQuerySQL(qid, rng)
+		totalJoins += float64(nJoins)
+		queries = append(queries, Query{
+			SQL: sql, Class: OpJoin, Tables: tables, Weight: 0.1,
+			RowsExamined: 40000 * float64(nJoins), FilterPct: 92, UsesIndex: nJoins < 8,
+		})
+	}
+	joinDepth := totalJoins / float64(len(ids)) / 11.0 // normalize to [0,1]
+	return Snapshot{
+		Iter: iter, Bench: "job",
+		ArrivalRate: 10.0 / 180.0, Unlimited: false, OLAP: true,
+		Mix:      map[string]float64{"join": 1},
+		ReadFrac: 1, ScanFrac: 0.9, SortFrac: 0.7, TmpFrac: 0.6,
+		JoinFrac: joinDepth, PointFrac: 0.02,
+		Skew: 0.2, WorkingSetFrac: 0.65,
+		TxnOps: 1,
+		DataGB: 9, Queries: queries,
+	}
+}
+
+// YCSB generates the YCSB workload used in the case study (§7.2): a
+// key-value mix whose read ratio follows a schedule between 25% and 100%.
+type YCSB struct {
+	Seed int64
+	// ReadRatioAt returns the fraction of reads at an iteration. Nil
+	// defaults to the paper's Figure 9 style pattern (40%..100% waves).
+	ReadRatioAt func(iter int) float64
+}
+
+// NewYCSB returns a YCSB generator with the Figure 9 read-ratio pattern.
+func NewYCSB(seed int64) *YCSB { return &YCSB{Seed: seed} }
+
+// Name implements Generator.
+func (g *YCSB) Name() string { return "ycsb" }
+
+// DefaultYCSBReadRatio is the Figure 9 pattern: plateaus at 100%, 75%,
+// 50% and 40% arranged in waves across 400 iterations.
+func DefaultYCSBReadRatio(iter int) float64 {
+	phase := (iter / 50) % 8
+	switch phase {
+	case 0, 4:
+		return 1.0
+	case 1, 5:
+		return 0.75
+	case 2, 6:
+		return 0.50
+	default:
+		return 0.40
+	}
+}
+
+// At implements Generator.
+func (g *YCSB) At(iter int) Snapshot {
+	rr := DefaultYCSBReadRatio
+	if g.ReadRatioAt != nil {
+		rr = g.ReadRatioAt
+	}
+	read := rr(iter)
+	write := 1 - read
+	// Split reads 85/15 between point reads and scans; writes 70/30
+	// between updates and inserts.
+	w := []float64{read * 0.85, write * 0.7, write * 0.3, read * 0.15}
+	dataGB := 10 + 0.002*float64(iter)
+	s := snapshotFromProfiles("ycsb", iter, g.Seed, ycsbProfiles, w, dataGB, 0.6, 0.15)
+	return s
+}
+
+// RealWorld generates the production trace of §7.1.3: a 6-hour window
+// with a diurnal arrival-rate curve and a read/write ratio drifting
+// between 3:1 and 74:1 per minute.
+type RealWorld struct {
+	Seed int64
+}
+
+// NewRealWorld returns the real-world trace generator.
+func NewRealWorld(seed int64) *RealWorld { return &RealWorld{Seed: seed} }
+
+// Name implements Generator.
+func (g *RealWorld) Name() string { return "realworld" }
+
+// At implements Generator.
+func (g *RealWorld) At(iter int) Snapshot {
+	t := float64(iter)
+	// Read/write ratio drifts between 3:1 and 74:1 with two slow waves
+	// plus deterministic jitter.
+	wave := 0.5 + 0.35*math.Sin(2*math.Pi*t/90) + 0.15*math.Sin(2*math.Pi*t/17+1.3)
+	ratio := 3 + 71*math.Min(1, math.Max(0, wave))
+	read := ratio / (ratio + 1)
+	write := 1 - read
+	w := []float64{read, write * 0.55, write * 0.3, write * 0.15}
+	// Diurnal arrival rate: 1.5k–9k QPS as in Figure 1(a)/6(b).
+	rate := 5000 + 3500*math.Sin(2*math.Pi*t/160+0.7) + 500*math.Sin(2*math.Pi*t/23)
+	if rate < 800 {
+		rate = 800
+	}
+	s := snapshotFromProfiles("realworld", iter, g.Seed, realProfiles, w, 22+0.003*t, 0.55, 0.12)
+	s.Unlimited = false
+	s.ArrivalRate = rate
+	return s
+}
+
+// Alternate switches between two generators every period iterations,
+// reproducing the transactional-analytical daily cycle of §7.1.2.
+type Alternate struct {
+	A, B   Generator
+	Period int
+}
+
+// NewAlternate builds an alternating generator (A first).
+func NewAlternate(a, b Generator, period int) *Alternate {
+	return &Alternate{A: a, B: b, Period: period}
+}
+
+// Name implements Generator.
+func (g *Alternate) Name() string { return g.A.Name() + "-" + g.B.Name() + "-cycle" }
+
+// At implements Generator.
+func (g *Alternate) At(iter int) Snapshot {
+	if (iter/g.Period)%2 == 0 {
+		s := g.A.At(iter)
+		s.Iter = iter
+		return s
+	}
+	s := g.B.At(iter)
+	s.Iter = iter
+	return s
+}
+
+// DriftedTPCC reproduces Figure 1(d): a TPC-C variant whose transaction
+// weights drift away from the original mix linearly with iterations, so
+// a configuration tuned for the original mix gradually mismatches.
+type DriftedTPCC struct {
+	Seed int64
+	// DriftPerIter controls how quickly weight mass moves from the
+	// write transactions to the analytic ones.
+	DriftPerIter float64
+}
+
+// NewDriftedTPCC returns the drifting TPC-C generator.
+func NewDriftedTPCC(seed int64, driftPerIter float64) *DriftedTPCC {
+	return &DriftedTPCC{Seed: seed, DriftPerIter: driftPerIter}
+}
+
+// Name implements Generator.
+func (g *DriftedTPCC) Name() string { return "tpcc-drift" }
+
+// At implements Generator.
+func (g *DriftedTPCC) At(iter int) Snapshot {
+	shift := math.Min(0.8, g.DriftPerIter*float64(iter))
+	w := make([]float64, len(tpccBaseWeights))
+	copy(w, tpccBaseWeights)
+	// Move mass from NewOrder/Payment to StockLevel/OrderStatus.
+	w0, w1 := w[0], w[1]
+	take := shift * (w0 + w1)
+	w[0] -= take * w0 / (w0 + w1)
+	w[1] -= take * w1 / (w0 + w1)
+	w[2] += take * 0.5
+	w[4] += take * 0.5
+	dataGB := 18 + 0.075*float64(iter)
+	return snapshotFromProfiles("tpcc-drift", iter, g.Seed, tpccProfiles, w, dataGB, 0.35, 0.30)
+}

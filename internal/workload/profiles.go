@@ -1,0 +1,252 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// opProfile describes the operational character of one transaction or
+// query type: its coarse class, derived characteristics used by the DBMS
+// simulator, optimizer-facing base statistics, and a SQL text sampler
+// used by the context featurizer.
+type opProfile struct {
+	name         string
+	class        OpClass
+	read         float64 // fraction of the operation's work that is reads
+	scan         float64 // large-scan propensity
+	sort         float64 // sort propensity
+	tmp          float64 // temp-table propensity
+	join         float64 // multi-join propensity
+	point        float64 // point-lookup propensity
+	rowsExamined float64 // base optimizer estimate at reference data size
+	filterPct    float64 // rows filtered by predicates (percent)
+	usesIndex    bool
+	sql          func(rng *rand.Rand) (string, []string)
+}
+
+// --- TPC-C (write-heavy OLTP, complex relations, growing data) ---
+
+var tpccProfiles = []opProfile{
+	{
+		name: "NewOrder", class: OpInsert,
+		read: 0.42, scan: 0.03, sort: 0.02, tmp: 0.01, join: 0.10, point: 0.85,
+		rowsExamined: 45, filterPct: 12, usesIndex: true,
+		sql: func(rng *rand.Rand) (string, []string) {
+			return fmt.Sprintf(
+				"INSERT INTO order_line (ol_o_id, ol_d_id, ol_w_id, ol_i_id, ol_quantity) VALUES (%d, %d, %d, %d, %d)",
+				rng.Intn(30000), 1+rng.Intn(10), 1+rng.Intn(32), 1+rng.Intn(100000), 1+rng.Intn(10),
+			), []string{"order_line", "stock", "item", "district"}
+		},
+	},
+	{
+		name: "Payment", class: OpUpdate,
+		read: 0.30, scan: 0.02, sort: 0.01, tmp: 0.0, join: 0.05, point: 0.90,
+		rowsExamined: 12, filterPct: 5, usesIndex: true,
+		sql: func(rng *rand.Rand) (string, []string) {
+			return fmt.Sprintf(
+				"UPDATE customer SET c_balance = c_balance - %d WHERE c_w_id = %d AND c_d_id = %d AND c_id = %d",
+				rng.Intn(5000), 1+rng.Intn(32), 1+rng.Intn(10), 1+rng.Intn(3000),
+			), []string{"customer", "warehouse", "district", "history"}
+		},
+	},
+	{
+		name: "OrderStatus", class: OpSelect,
+		read: 1.0, scan: 0.10, sort: 0.60, tmp: 0.10, join: 0.30, point: 0.50,
+		rowsExamined: 180, filterPct: 40, usesIndex: true,
+		sql: func(rng *rand.Rand) (string, []string) {
+			return fmt.Sprintf(
+				"SELECT o_id, o_carrier_id, o_entry_d FROM orders WHERE o_w_id = %d AND o_d_id = %d AND o_c_id = %d ORDER BY o_id DESC",
+				1+rng.Intn(32), 1+rng.Intn(10), 1+rng.Intn(3000),
+			), []string{"orders", "order_line", "customer"}
+		},
+	},
+	{
+		name: "Delivery", class: OpDelete,
+		read: 0.25, scan: 0.05, sort: 0.05, tmp: 0.0, join: 0.15, point: 0.70,
+		rowsExamined: 130, filterPct: 20, usesIndex: true,
+		sql: func(rng *rand.Rand) (string, []string) {
+			return fmt.Sprintf(
+				"DELETE FROM new_order WHERE no_w_id = %d AND no_d_id = %d AND no_o_id = %d",
+				1+rng.Intn(32), 1+rng.Intn(10), rng.Intn(30000),
+			), []string{"new_order", "orders", "order_line", "customer"}
+		},
+	},
+	{
+		name: "StockLevel", class: OpSelect,
+		read: 1.0, scan: 0.70, sort: 0.10, tmp: 0.40, join: 0.85, point: 0.10,
+		rowsExamined: 4200, filterPct: 78, usesIndex: true,
+		sql: func(rng *rand.Rand) (string, []string) {
+			return fmt.Sprintf(
+				"SELECT COUNT(DISTINCT s_i_id) FROM order_line, stock WHERE ol_w_id = %d AND ol_d_id = %d AND s_quantity < %d AND ol_i_id = s_i_id",
+				1+rng.Intn(32), 1+rng.Intn(10), 10+rng.Intn(10),
+			), []string{"order_line", "stock", "district"}
+		},
+	},
+}
+
+var tpccBaseWeights = []float64{0.45, 0.43, 0.04, 0.04, 0.04}
+
+// --- Twitter (web OLTP, heavily skewed many-to-many reads) ---
+
+var twitterProfiles = []opProfile{
+	{
+		name: "GetTweet", class: OpSelect,
+		read: 1.0, scan: 0.01, sort: 0.0, tmp: 0.0, join: 0.0, point: 1.0,
+		rowsExamined: 1.5, filterPct: 0, usesIndex: true,
+		sql: func(rng *rand.Rand) (string, []string) {
+			return fmt.Sprintf("SELECT * FROM tweets WHERE id = %d", rng.Intn(5000000)), []string{"tweets"}
+		},
+	},
+	{
+		name: "GetTweetsFromFollowing", class: OpSelect,
+		read: 1.0, scan: 0.25, sort: 0.40, tmp: 0.20, join: 0.80, point: 0.20,
+		rowsExamined: 900, filterPct: 55, usesIndex: true,
+		sql: func(rng *rand.Rand) (string, []string) {
+			return fmt.Sprintf(
+				"SELECT t.* FROM tweets t, follows f WHERE f.f1 = %d AND t.uid = f.f2 LIMIT 20",
+				rng.Intn(500000),
+			), []string{"tweets", "follows"}
+		},
+	},
+	{
+		name: "GetFollowers", class: OpSelect,
+		read: 1.0, scan: 0.20, sort: 0.30, tmp: 0.10, join: 0.50, point: 0.30,
+		rowsExamined: 420, filterPct: 35, usesIndex: true,
+		sql: func(rng *rand.Rand) (string, []string) {
+			return fmt.Sprintf(
+				"SELECT u.uid, u.name FROM followers f, user_profiles u WHERE f.f1 = %d AND u.uid = f.f2 LIMIT 20",
+				rng.Intn(500000),
+			), []string{"followers", "user_profiles"}
+		},
+	},
+	{
+		name: "GetUserTweets", class: OpSelect,
+		read: 1.0, scan: 0.15, sort: 0.70, tmp: 0.15, join: 0.10, point: 0.40,
+		rowsExamined: 240, filterPct: 30, usesIndex: true,
+		sql: func(rng *rand.Rand) (string, []string) {
+			return fmt.Sprintf(
+				"SELECT * FROM tweets WHERE uid = %d ORDER BY createdate DESC LIMIT 10",
+				rng.Intn(500000),
+			), []string{"tweets", "user_profiles"}
+		},
+	},
+	{
+		name: "InsertTweet", class: OpInsert,
+		read: 0.10, scan: 0.0, sort: 0.0, tmp: 0.0, join: 0.0, point: 0.95,
+		rowsExamined: 2, filterPct: 0, usesIndex: true,
+		sql: func(rng *rand.Rand) (string, []string) {
+			return fmt.Sprintf(
+				"INSERT INTO tweets (uid, text, createdate) VALUES (%d, 'tweet_%d', NOW())",
+				rng.Intn(500000), rng.Intn(1000000),
+			), []string{"tweets", "added_tweets"}
+		},
+	},
+}
+
+var twitterBaseWeights = []float64{0.40, 0.25, 0.15, 0.12, 0.08}
+
+// --- YCSB (key-value OLTP with a tunable read/write dial) ---
+
+var ycsbProfiles = []opProfile{
+	{
+		name: "Read", class: OpSelect,
+		read: 1.0, scan: 0.0, sort: 0.0, tmp: 0.0, join: 0.0, point: 1.0,
+		rowsExamined: 1, filterPct: 0, usesIndex: true,
+		sql: func(rng *rand.Rand) (string, []string) {
+			return fmt.Sprintf("SELECT * FROM usertable WHERE ycsb_key = 'user%d'", rng.Intn(10000000)), []string{"usertable"}
+		},
+	},
+	{
+		name: "Update", class: OpUpdate,
+		read: 0.30, scan: 0.0, sort: 0.0, tmp: 0.0, join: 0.0, point: 1.0,
+		rowsExamined: 1, filterPct: 0, usesIndex: true,
+		sql: func(rng *rand.Rand) (string, []string) {
+			return fmt.Sprintf("UPDATE usertable SET field%d = 'v%d' WHERE ycsb_key = 'user%d'", rng.Intn(10), rng.Intn(100000), rng.Intn(10000000)), []string{"usertable"}
+		},
+	},
+	{
+		name: "Insert", class: OpInsert,
+		read: 0.05, scan: 0.0, sort: 0.0, tmp: 0.0, join: 0.0, point: 1.0,
+		rowsExamined: 1, filterPct: 0, usesIndex: true,
+		sql: func(rng *rand.Rand) (string, []string) {
+			return fmt.Sprintf("INSERT INTO usertable (ycsb_key, field0) VALUES ('user%d', 'v%d')", rng.Intn(10000000), rng.Intn(100000)), []string{"usertable"}
+		},
+	},
+	{
+		name: "Scan", class: OpSelect,
+		read: 1.0, scan: 0.90, sort: 0.20, tmp: 0.30, join: 0.0, point: 0.0,
+		rowsExamined: 800, filterPct: 10, usesIndex: true,
+		sql: func(rng *rand.Rand) (string, []string) {
+			return fmt.Sprintf("SELECT * FROM usertable WHERE ycsb_key >= 'user%d' LIMIT %d", rng.Intn(10000000), 10+rng.Intn(990)), []string{"usertable"}
+		},
+	},
+}
+
+// --- JOB (analytical multi-join, read-only) ---
+
+var jobTables = []string{
+	"title", "movie_companies", "company_name", "movie_info", "info_type",
+	"cast_info", "name", "aka_name", "movie_keyword", "keyword",
+	"company_type", "movie_info_idx", "kind_type", "char_name", "role_type",
+	"complete_cast", "comp_cast_type", "aka_title", "movie_link", "link_type",
+	"person_info",
+}
+
+// jobQuerySQL emits a multi-join query in the style of JOB's 113 queries;
+// qid ∈ [0, 113) selects a deterministic shape (join count, tables).
+func jobQuerySQL(qid int, rng *rand.Rand) (string, []string, int) {
+	shape := rand.New(rand.NewSource(int64(qid) + 7919))
+	nJoins := 4 + shape.Intn(8) // 4..11 relations, as in JOB
+	tables := make([]string, 0, nJoins)
+	perm := shape.Perm(len(jobTables))
+	for i := 0; i < nJoins; i++ {
+		tables = append(tables, jobTables[perm[i]])
+	}
+	sql := "SELECT MIN(" + tables[0] + ".id) FROM " + tables[0]
+	for _, t := range tables[1:] {
+		sql += ", " + t
+	}
+	sql += fmt.Sprintf(" WHERE %s.id = %s.movie_id", tables[0], tables[1])
+	for i := 2; i < len(tables); i++ {
+		sql += fmt.Sprintf(" AND %s.id = %s.%s_id", tables[i-1], tables[i], tables[i-1])
+	}
+	sql += fmt.Sprintf(" AND %s.production_year > %d", tables[0], 1950+rng.Intn(60))
+	return sql, tables, nJoins
+}
+
+// --- Real-world trace (select/insert/update/delete with drifting mix) ---
+
+var realProfiles = []opProfile{
+	{
+		name: "select", class: OpSelect,
+		read: 1.0, scan: 0.10, sort: 0.15, tmp: 0.05, join: 0.25, point: 0.70,
+		rowsExamined: 80, filterPct: 25, usesIndex: true,
+		sql: func(rng *rand.Rand) (string, []string) {
+			return fmt.Sprintf("SELECT * FROM app_events WHERE tenant_id = %d AND ts > %d LIMIT 50", rng.Intn(2000), rng.Intn(1000000)), []string{"app_events", "tenants"}
+		},
+	},
+	{
+		name: "insert", class: OpInsert,
+		read: 0.05, scan: 0.0, sort: 0.0, tmp: 0.0, join: 0.0, point: 0.95,
+		rowsExamined: 1, filterPct: 0, usesIndex: true,
+		sql: func(rng *rand.Rand) (string, []string) {
+			return fmt.Sprintf("INSERT INTO app_events (tenant_id, payload) VALUES (%d, 'p%d')", rng.Intn(2000), rng.Intn(99999)), []string{"app_events"}
+		},
+	},
+	{
+		name: "update", class: OpUpdate,
+		read: 0.30, scan: 0.02, sort: 0.0, tmp: 0.0, join: 0.05, point: 0.90,
+		rowsExamined: 3, filterPct: 2, usesIndex: true,
+		sql: func(rng *rand.Rand) (string, []string) {
+			return fmt.Sprintf("UPDATE app_state SET v = v + 1 WHERE tenant_id = %d", rng.Intn(2000)), []string{"app_state"}
+		},
+	},
+	{
+		name: "delete", class: OpDelete,
+		read: 0.15, scan: 0.05, sort: 0.0, tmp: 0.0, join: 0.0, point: 0.85,
+		rowsExamined: 6, filterPct: 4, usesIndex: true,
+		sql: func(rng *rand.Rand) (string, []string) {
+			return fmt.Sprintf("DELETE FROM app_events WHERE tenant_id = %d AND ts < %d", rng.Intn(2000), rng.Intn(500000)), []string{"app_events"}
+		},
+	},
+}

@@ -1,0 +1,157 @@
+// Package workload generates the dynamic database workloads the paper
+// evaluates on: TPC-C, Twitter and YCSB from OLTP-Bench, the Join Order
+// Benchmark (JOB), and a real-world trace with drifting arrival rate and
+// read/write ratio. Each generator emits per-iteration Snapshots: the
+// transaction mix, derived operational characteristics consumed by the
+// DBMS simulator, the current data size, and sampled SQL text consumed by
+// the context featurizer. Dynamics follow the paper's construction —
+// transaction weights sampled from a normal distribution with a sine
+// function of the iteration as mean and 10% standard deviation (§7.1.1).
+package workload
+
+import (
+	"math"
+	"math/rand"
+)
+
+// OpClass is the coarse operation class of a query.
+type OpClass int
+
+// Operation classes.
+const (
+	OpSelect OpClass = iota
+	OpInsert
+	OpUpdate
+	OpDelete
+	OpJoin // large analytical multi-join read
+)
+
+// String returns the class name.
+func (o OpClass) String() string {
+	switch o {
+	case OpSelect:
+		return "select"
+	case OpInsert:
+		return "insert"
+	case OpUpdate:
+		return "update"
+	case OpDelete:
+		return "delete"
+	case OpJoin:
+		return "join"
+	default:
+		return "unknown"
+	}
+}
+
+// Query is one sampled SQL statement with optimizer-facing metadata.
+type Query struct {
+	SQL    string
+	Class  OpClass
+	Tables []string
+	// Weight is the relative frequency of this query within the snapshot.
+	Weight float64
+	// RowsExamined is the optimizer's base estimate of rows examined per
+	// execution at the reference data size (scaled by the simulator).
+	RowsExamined float64
+	// FilterPct is the percentage of examined rows filtered by predicates.
+	FilterPct float64
+	// UsesIndex reports whether the access path is an index.
+	UsesIndex bool
+}
+
+// Snapshot describes the workload observed during one tuning interval.
+type Snapshot struct {
+	Iter  int
+	Bench string
+
+	// ArrivalRate is the offered load in queries/second; Unlimited means
+	// a closed loop saturating the instance (as the paper runs OLTP).
+	ArrivalRate float64
+	Unlimited   bool
+
+	// Mix is the transaction-type composition (fractions sum to 1).
+	Mix map[string]float64
+
+	// Derived operational characteristics in [0,1] unless noted.
+	ReadFrac       float64 // fraction of read operations
+	ScanFrac       float64 // fraction of operations doing large scans
+	SortFrac       float64 // fraction requiring sorts
+	TmpFrac        float64 // fraction materializing temp tables
+	JoinFrac       float64 // fraction running multi-table joins
+	Skew           float64 // access skew (0 = uniform, 1 = extremely hot)
+	WorkingSetFrac float64 // hot fraction of the data
+	PointFrac      float64 // fraction of point lookups
+
+	// TxnOps is the average number of statements per transaction; TPC-C
+	// transactions bundle dozens, YCSB exactly one.
+	TxnOps float64
+
+	// DataGB is the current size of the underlying data.
+	DataGB float64
+
+	// OLAP reports whether the interval's objective is analytic latency
+	// (JOB) rather than transactional throughput.
+	OLAP bool
+
+	// Queries holds sampled SQL for featurization.
+	Queries []Query
+}
+
+// WriteFrac returns 1 - ReadFrac.
+func (s *Snapshot) WriteFrac() float64 { return 1 - s.ReadFrac }
+
+// QPSByClass aggregates the snapshot's per-class query frequencies,
+// scaled by the arrival rate (or 1.0 when unlimited). Used to plot the
+// Figure 1(a)-style workload traces.
+func (s *Snapshot) QPSByClass() map[string]float64 {
+	rate := s.ArrivalRate
+	if s.Unlimited {
+		rate = 1
+	}
+	out := map[string]float64{}
+	for _, q := range s.Queries {
+		out[q.Class.String()] += q.Weight * rate
+	}
+	return out
+}
+
+// Generator produces the workload snapshot for each tuning iteration.
+// Implementations are deterministic for a fixed seed.
+type Generator interface {
+	Name() string
+	At(iter int) Snapshot
+}
+
+// mixSchedule produces dynamic transaction weights following the paper:
+// per-type weights drawn from N(base_i·(1+amp·sin(2πt/period+phase_i)), 10%),
+// then normalized. A fresh rand seeded by (seed, iter) keeps At
+// deterministic and random-access.
+func mixSchedule(seed int64, iter int, base []float64, amp float64, period float64) []float64 {
+	rng := rand.New(rand.NewSource(seed*1000003 + int64(iter)))
+	out := make([]float64, len(base))
+	sum := 0.0
+	for i, b := range base {
+		phase := 2 * math.Pi * float64(i) / float64(len(base))
+		mean := b * (1 + amp*math.Sin(2*math.Pi*float64(iter)/period+phase))
+		v := mean * (1 + 0.1*rng.NormFloat64())
+		if v < 0.005 {
+			v = 0.005
+		}
+		out[i] = v
+		sum += v
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// blend computes Σ w_i·v_i for aligned weights and values.
+func blend(weights, values []float64) float64 {
+	s := 0.0
+	for i, w := range weights {
+		s += w * values[i]
+	}
+	return s
+}

@@ -1,0 +1,262 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func checkSnapshotInvariants(t *testing.T, s Snapshot) {
+	t.Helper()
+	sum := 0.0
+	for _, w := range s.Mix {
+		if w < 0 {
+			t.Fatalf("%s iter %d: negative mix weight", s.Bench, s.Iter)
+		}
+		sum += w
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("%s iter %d: mix sums to %v", s.Bench, s.Iter, sum)
+	}
+	for name, v := range map[string]float64{
+		"ReadFrac": s.ReadFrac, "ScanFrac": s.ScanFrac, "SortFrac": s.SortFrac,
+		"TmpFrac": s.TmpFrac, "JoinFrac": s.JoinFrac, "Skew": s.Skew,
+		"WorkingSetFrac": s.WorkingSetFrac, "PointFrac": s.PointFrac,
+	} {
+		if v < 0 || v > 1 || math.IsNaN(v) {
+			t.Fatalf("%s iter %d: %s = %v out of [0,1]", s.Bench, s.Iter, name, v)
+		}
+	}
+	if s.DataGB <= 0 {
+		t.Fatalf("%s iter %d: DataGB = %v", s.Bench, s.Iter, s.DataGB)
+	}
+	if len(s.Queries) == 0 {
+		t.Fatalf("%s iter %d: no queries", s.Bench, s.Iter)
+	}
+	for _, q := range s.Queries {
+		if q.SQL == "" || len(q.Tables) == 0 {
+			t.Fatalf("%s iter %d: empty query", s.Bench, s.Iter)
+		}
+	}
+}
+
+func TestAllGeneratorsInvariants(t *testing.T) {
+	gens := []Generator{
+		NewTPCC(1, true), NewTPCC(1, false),
+		NewTwitter(2, true), NewJOB(3, true), NewJOB(3, false),
+		NewYCSB(4), NewRealWorld(5),
+		NewAlternate(NewTPCC(1, true), NewJOB(3, true), 100),
+		NewDriftedTPCC(6, 0.002),
+	}
+	for _, g := range gens {
+		for _, iter := range []int{0, 1, 50, 199, 399} {
+			checkSnapshotInvariants(t, g.At(iter))
+		}
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := NewTPCC(42, true)
+	b := NewTPCC(42, true)
+	for _, iter := range []int{0, 7, 100} {
+		sa, sb := a.At(iter), b.At(iter)
+		if sa.ReadFrac != sb.ReadFrac || sa.Queries[0].SQL != sb.Queries[0].SQL {
+			t.Fatalf("generator not deterministic at iter %d", iter)
+		}
+	}
+	// Different seeds give different SQL.
+	c := NewTPCC(43, true)
+	if c.At(5).Queries[0].SQL == a.At(5).Queries[0].SQL {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestTPCCDataGrowth(t *testing.T) {
+	g := NewTPCC(1, true)
+	d0 := g.At(0).DataGB
+	d400 := g.At(400).DataGB
+	if math.Abs(d0-18) > 0.1 {
+		t.Fatalf("TPC-C starts at %v GB, want 18", d0)
+	}
+	// Paper: 18 GB -> ~48 GB during a 400-iteration tuning run.
+	if d400 < 40 || d400 > 55 {
+		t.Fatalf("TPC-C ends at %v GB, want ~48", d400)
+	}
+}
+
+func TestTPCCWriteHeavy(t *testing.T) {
+	s := NewTPCC(1, false).At(0)
+	if s.ReadFrac > 0.6 {
+		t.Fatalf("static TPC-C should be write-heavy, ReadFrac = %v", s.ReadFrac)
+	}
+}
+
+func TestTwitterReadHeavySkewed(t *testing.T) {
+	s := NewTwitter(1, false).At(0)
+	if s.ReadFrac < 0.8 {
+		t.Fatalf("Twitter should be read-heavy, ReadFrac = %v", s.ReadFrac)
+	}
+	if s.Skew < 0.7 {
+		t.Fatalf("Twitter should be heavily skewed, Skew = %v", s.Skew)
+	}
+}
+
+func TestJOBAnalytical(t *testing.T) {
+	g := NewJOB(1, true)
+	s := g.At(0)
+	if !s.OLAP || s.ReadFrac != 1 {
+		t.Fatal("JOB should be read-only OLAP")
+	}
+	if len(s.Queries) != 10 {
+		t.Fatalf("JOB runs 10 queries per iteration, got %d", len(s.Queries))
+	}
+	// Dynamic JOB re-samples five queries: compare the join structure
+	// (tables), since predicate constants vary every iteration.
+	s2 := g.At(1)
+	same := 0
+	for i := range s.Queries {
+		if strings.Join(s.Queries[i].Tables, ",") == strings.Join(s2.Queries[i].Tables, ",") {
+			same++
+		}
+	}
+	if same == 10 {
+		t.Fatal("dynamic JOB should re-sample queries")
+	}
+	if same < 5 {
+		t.Fatalf("five queries should stay structurally stable, only %d matched", same)
+	}
+	// Static JOB keeps all ten.
+	st := NewJOB(1, false)
+	q1, q2 := st.At(0).Queries, st.At(1).Queries
+	for i := range q1 {
+		// Predicate constants may differ; join structure (tables) must not.
+		if strings.Join(q1[i].Tables, ",") != strings.Join(q2[i].Tables, ",") {
+			t.Fatal("static JOB changed query structure across iterations")
+		}
+	}
+}
+
+func TestYCSBReadRatioSchedule(t *testing.T) {
+	g := NewYCSB(1)
+	seen := map[float64]bool{}
+	for iter := 0; iter < 400; iter++ {
+		r := DefaultYCSBReadRatio(iter)
+		seen[r] = true
+		s := g.At(iter)
+		if math.Abs(s.ReadFrac-blendedYCSBRead(r)) > 0.15 {
+			t.Fatalf("iter %d: ReadFrac %v far from schedule %v", iter, s.ReadFrac, r)
+		}
+	}
+	for _, want := range []float64{1.0, 0.75, 0.5, 0.4} {
+		if !seen[want] {
+			t.Fatalf("schedule never hits %v", want)
+		}
+	}
+}
+
+// blendedYCSBRead approximates the op-level read fraction implied by a
+// transaction-level read ratio (updates still do some reading).
+func blendedYCSBRead(r float64) float64 {
+	w := 1 - r
+	return r*0.85*1.0 + w*0.7*0.30 + w*0.3*0.05 + r*0.15*1.0
+}
+
+func TestRealWorldRatioRange(t *testing.T) {
+	g := NewRealWorld(1)
+	minRatio, maxRatio := math.Inf(1), math.Inf(-1)
+	for iter := 0; iter < 360; iter++ {
+		s := g.At(iter)
+		if s.Unlimited {
+			t.Fatal("real-world trace should have a finite arrival rate")
+		}
+		if s.ArrivalRate < 500 || s.ArrivalRate > 12000 {
+			t.Fatalf("arrival rate %v out of plausible range", s.ArrivalRate)
+		}
+		ratio := s.ReadFrac / (1 - s.ReadFrac)
+		if ratio < minRatio {
+			minRatio = ratio
+		}
+		if ratio > maxRatio {
+			maxRatio = ratio
+		}
+	}
+	// Paper: read/write ratio varies 3:1 ~ 74:1.
+	if minRatio > 4 {
+		t.Fatalf("min read/write ratio %v, want ≈3", minRatio)
+	}
+	if maxRatio < 50 {
+		t.Fatalf("max read/write ratio %v, want ≈74", maxRatio)
+	}
+}
+
+func TestAlternateSwitches(t *testing.T) {
+	g := NewAlternate(NewTPCC(1, false), NewJOB(2, false), 100)
+	if g.At(0).Bench != "tpcc" || g.At(99).Bench != "tpcc" {
+		t.Fatal("first phase should be TPC-C")
+	}
+	if g.At(100).Bench != "job" || g.At(199).Bench != "job" {
+		t.Fatal("second phase should be JOB")
+	}
+	if g.At(200).Bench != "tpcc" {
+		t.Fatal("third phase should return to TPC-C")
+	}
+	if g.At(150).Iter != 150 {
+		t.Fatal("Alternate must preserve the outer iteration")
+	}
+}
+
+func TestDriftedTPCCDrifts(t *testing.T) {
+	g := NewDriftedTPCC(1, 0.002)
+	early := g.At(0)
+	late := g.At(300)
+	if late.ScanFrac <= early.ScanFrac {
+		t.Fatalf("drift should increase analytic share: %v -> %v", early.ScanFrac, late.ScanFrac)
+	}
+}
+
+func TestDynamicMixVaries(t *testing.T) {
+	g := NewTPCC(9, true)
+	a := g.At(10).Mix["NewOrder"]
+	b := g.At(70).Mix["NewOrder"]
+	if math.Abs(a-b) < 1e-4 {
+		t.Fatalf("dynamic mix should vary: %v vs %v", a, b)
+	}
+	st := NewTPCC(9, false)
+	if st.At(10).Mix["NewOrder"] != st.At(70).Mix["NewOrder"] {
+		t.Fatal("static mix should not vary")
+	}
+}
+
+func TestQPSByClass(t *testing.T) {
+	s := NewRealWorld(1).At(0)
+	byClass := s.QPSByClass()
+	total := 0.0
+	for _, v := range byClass {
+		total += v
+	}
+	if math.Abs(total-s.ArrivalRate) > s.ArrivalRate*0.01 {
+		t.Fatalf("QPS by class sums to %v, want %v", total, s.ArrivalRate)
+	}
+	if byClass["select"] <= byClass["delete"] {
+		t.Fatal("selects should dominate deletes in the real-world trace")
+	}
+}
+
+// Property: mixSchedule always returns a normalized positive mix.
+func TestQuickMixSchedule(t *testing.T) {
+	f := func(seed int64, iter uint8) bool {
+		w := mixSchedule(seed, int(iter), []float64{0.45, 0.43, 0.04, 0.04, 0.04}, 0.5, 120)
+		sum := 0.0
+		for _, x := range w {
+			if x <= 0 || math.IsNaN(x) {
+				return false
+			}
+			sum += x
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
