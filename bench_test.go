@@ -14,9 +14,11 @@ package main
 
 import (
 	"flag"
+	"math/rand"
 	"testing"
 
 	"repro/internal/bench"
+	"repro/internal/gp"
 )
 
 var benchIters = flag.Int("benchiters", 60, "iterations per experiment in benchmarks")
@@ -74,3 +76,72 @@ func BenchmarkTableA1TimeBreakdown(b *testing.B) {
 	runExperiment(b, "tableA1", *benchIters)
 }
 func BenchmarkExt1Stopping(b *testing.B) { runExperiment(b, "ext1", *benchIters) }
+func BenchmarkExt2IncrementalSpeedup(b *testing.B) {
+	runExperiment(b, "ext2", *benchIters)
+}
+
+// synthGPObs generates a deterministic synthetic training set for the
+// inference microbenchmarks.
+func synthGPObs(n, dim int) (xs [][]float64, ys []float64) {
+	rng := rand.New(rand.NewSource(7))
+	xs = make([][]float64, n)
+	ys = make([]float64, n)
+	for i := range xs {
+		x := make([]float64, dim)
+		s := 0.0
+		for d := range x {
+			x[d] = rng.Float64()
+			s += x[d]
+		}
+		xs[i] = x
+		ys[i] = s + 0.05*rng.NormFloat64()
+	}
+	return xs, ys
+}
+
+// BenchmarkIncrementalGP compares conditioning a GP one observation at a
+// time with the incremental Cholesky extension (O(n²) per append) against
+// the full-refit path (O(n³) per append) at n=200 observations — the
+// inference hot path of every tuning iteration.
+func BenchmarkIncrementalGP(b *testing.B) {
+	xs, ys := synthGPObs(200, 6)
+	run := func(b *testing.B, fullRefit bool) {
+		for i := 0; i < b.N; i++ {
+			g := gp.New(gp.NewMatern52(1.0, 0.3), 1e-4)
+			g.FullRefitOnly = fullRefit
+			for j := range xs {
+				if err := g.Append(xs[j], ys[j]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("incremental", func(b *testing.B) { run(b, false) })
+	b.Run("full-refit", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkCandidateScoring compares batched posterior evaluation of 100
+// candidate configurations (PredictAll: shared factor, scratch-buffer
+// solves, parallel candidate blocks) against one-at-a-time Predict calls
+// on a 200-observation model — the candidate-scoring hot path of
+// Recommend.
+func BenchmarkCandidateScoring(b *testing.B) {
+	xs, ys := synthGPObs(200, 6)
+	g := gp.New(gp.NewMatern52(1.0, 0.3), 1e-4)
+	if err := g.Fit(xs, ys); err != nil {
+		b.Fatal(err)
+	}
+	cands, _ := synthGPObs(100, 6)
+	b.Run("batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g.PredictAll(cands)
+		}
+	})
+	b.Run("per-point", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, c := range cands {
+				g.Predict(c)
+			}
+		}
+	})
+}

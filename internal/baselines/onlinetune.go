@@ -13,6 +13,7 @@ type OnlineTuneAdapter struct {
 	T        *core.OnlineTune
 	lastUnit []float64
 	lastCtx  []float64
+	name     string
 }
 
 // NewOnlineTune builds the adapter. initial is the initial safety set
@@ -23,8 +24,21 @@ func NewOnlineTune(space *knobs.Space, ctxDim int, initial knobs.Config, seed in
 	}
 }
 
+// NewOnlineTuneNamed is NewOnlineTune with a custom display name, for
+// experiments that run several OnlineTune variants side by side.
+func NewOnlineTuneNamed(name string, space *knobs.Space, ctxDim int, initial knobs.Config, seed int64, opts core.Options) *OnlineTuneAdapter {
+	a := NewOnlineTune(space, ctxDim, initial, seed, opts)
+	a.name = name
+	return a
+}
+
 // Name implements Tuner.
-func (a *OnlineTuneAdapter) Name() string { return "OnlineTune" }
+func (a *OnlineTuneAdapter) Name() string {
+	if a.name != "" {
+		return a.name
+	}
+	return "OnlineTune"
+}
 
 // Propose implements Tuner.
 func (a *OnlineTuneAdapter) Propose(env TuneEnv) knobs.Config {

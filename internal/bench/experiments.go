@@ -29,6 +29,7 @@ func ExperimentIDs() []string {
 		"fig5tpcc", "fig5twitter", "fig5job", "fig6", "fig7", "fig8",
 		"fig9", "fig10", "fig11", "fig12", "fig13",
 		"fig14", "fig15", "fig16", "fig17", "table1", "tableA1", "ext1",
+		"ext2",
 	}
 }
 
@@ -84,6 +85,8 @@ func Experiment(id string, iters int, seed int64) (Report, error) {
 		return TableA1TimeBreakdown(orDefault(iters, 400), seed), nil
 	case "ext1":
 		return Ext1Stopping(orDefault(iters, 400), seed), nil
+	case "ext2":
+		return Ext2IncrementalSpeedup(orDefault(iters, 300), seed), nil
 	default:
 		return Report{}, fmt.Errorf("unknown experiment %q (known: %s)", id, strings.Join(ExperimentIDs(), ", "))
 	}
@@ -355,8 +358,11 @@ func Fig8Overhead(iters int, seed int64) Report {
 	space := knobs.MySQL57()
 	gen := workload.NewJOB(seed, true)
 	feat := NewFeaturizer(seed)
+	fullOpts := core.DefaultOptions()
+	fullOpts.FullRefitGP = true
 	tuners := []baselines.Tuner{
 		baselines.NewOnlineTune(space, feat.Dim(), space.DBADefault(), seed, core.DefaultOptions()),
+		baselines.NewOnlineTuneNamed("OnlineTune-FullRefit", space, feat.Dim(), space.DBADefault(), seed, fullOpts),
 		baselines.NewBO(space, seed+1),
 		baselines.NewDDPG(space, seed+2),
 		baselines.NewResTune(space, seed+3),

@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/knobs"
+	"repro/internal/workload"
+)
+
+// Ext2IncrementalSpeedup measures the tuner-overhead win from the
+// incremental inference engine: the same OnlineTune run twice with
+// identical seeds — once with incremental Cholesky extension and batched
+// candidate scoring, once with the pre-incremental full-refit path — and
+// compares per-iteration computation time and the recommendations
+// themselves. The recommendation-divergence columns document that the
+// fast path changes results only within numerical tolerance.
+func Ext2IncrementalSpeedup(iters int, seed int64) Report {
+	space := knobs.CaseStudy5()
+	gen := workload.NewYCSB(seed)
+	feat := NewFeaturizer(seed)
+
+	// Isolate the inference path: a production-scale observation window
+	// in a single model (no clustering, so the GP actually grows to
+	// hundreds of points instead of being split across cluster models and
+	// capped at the paper's P=80) and no periodic hyperparameter refit,
+	// which costs the same in both variants and would drown the
+	// append-path delta.
+	opts := core.DefaultOptions()
+	opts.ClusterCap = iters
+	opts.UseClustering = false
+	opts.HyperoptEvery = 0
+	fullOpts := opts
+	fullOpts.FullRefitGP = true
+	inc := Run(baselines.NewOnlineTuneNamed("OnlineTune-Incremental", space, feat.Dim(), space.DBADefault(), seed, opts),
+		RunConfig{Space: space, Gen: gen, Iters: iters, Seed: seed, Feat: feat})
+	full := Run(baselines.NewOnlineTuneNamed("OnlineTune-FullRefit", space, feat.Dim(), space.DBADefault(), seed, fullOpts),
+		RunConfig{Space: space, Gen: gen, Iters: iters, Seed: seed, Feat: feat})
+
+	overhead := func(s *Series) (propose, feedback, max float64) {
+		for i := range s.ProposeMs {
+			propose += s.ProposeMs[i]
+			feedback += s.FeedbackMs[i]
+			if t := s.ProposeMs[i] + s.FeedbackMs[i]; t > max {
+				max = t
+			}
+		}
+		n := float64(len(s.ProposeMs))
+		return propose / n, feedback / n, max
+	}
+	incProp, incFeed, incMax := overhead(inc)
+	fullProp, fullFeed, fullMax := overhead(full)
+
+	diverged, maxDelta := 0, 0.0
+	for i := range inc.Units {
+		d := 0.0
+		for j := range inc.Units[i] {
+			if dd := math.Abs(inc.Units[i][j] - full.Units[i][j]); dd > d {
+				d = dd
+			}
+		}
+		if d > 1e-6 {
+			diverged++
+		}
+		if d > maxDelta {
+			maxDelta = d
+		}
+	}
+
+	t := NewTable("variant", "mean_propose_ms", "mean_update_ms", "max_iter_ms", "cumulative_txn", "unsafe")
+	t.Add(full.Name, fullProp, fullFeed, fullMax, full.CumFinal(), full.Unsafe)
+	t.Add(inc.Name, incProp, incFeed, incMax, inc.CumFinal(), inc.Unsafe)
+	verdict := "the incremental factor updates are\nnumerically equivalent to the full refit within documented tolerance."
+	if diverged > 0 {
+		verdict = "REGRESSION: the incremental path no longer\nmatches the full refit within tolerance — investigate before trusting it."
+	}
+	body := t.String() + fmt.Sprintf(
+		"\nIncremental engine speedup: %.1fx on the model-update path, %.1fx on total\n"+
+			"per-iteration tuner overhead. Recommendations diverged beyond 1e-6 on %d/%d\n"+
+			"iterations (max unit-space delta %.2g): %s\n",
+		fullFeed/math.Max(incFeed, 1e-9),
+		(fullProp+fullFeed)/math.Max(incProp+incFeed, 1e-9),
+		diverged, len(inc.Units), maxDelta, verdict)
+	return Report{ID: "ext2", Title: "Extension: incremental GP inference overhead", Body: body}
+}

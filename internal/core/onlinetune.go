@@ -53,6 +53,12 @@ type Options struct {
 	// HyperoptEvery refits GP hyperparameters every N observations
 	// (0 disables).
 	HyperoptEvery int
+
+	// FullRefitGP disables the incremental Cholesky extension in the
+	// cluster models' GPs so every observation triggers a full O(n³)
+	// refit — the pre-incremental cost profile, kept for the overhead
+	// benchmarks and as an ablation.
+	FullRefitGP bool
 }
 
 // DefaultOptions mirrors the paper's settings.
@@ -388,17 +394,35 @@ func (o *OnlineTune) globalCandidates(n int) [][]float64 {
 // applyWhiteBox vetoes safe candidates the rule engine rejects and
 // manages conflict accounting. At most one currently "ignored" rule may
 // be bypassed; the bypassed rule is returned for outcome reporting.
+//
+// Rule checks are fanned across a bounded worker pool — Check and Decode
+// only read engine and space state — and the verdicts are then applied
+// serially in candidate order. Conflict reporting at the black box's
+// pick can flip a rule into the ignored state mid-batch; when that
+// happens the remaining candidates are re-checked against the updated
+// engine state, so the vetoes, conflict counters and the returned rule
+// are identical to a sequential check-as-you-go loop for any worker
+// count (deterministic for a fixed seed).
 func (o *OnlineTune) applyWhiteBox(assess *safety.Assessment, env whitebox.Env) *whitebox.Rule {
 	// Find the black box's preferred candidate to detect decision
 	// conflicts (§6.2.2: conflict = white box rejects what the black box
 	// recommends).
 	blackPick := assess.ArgMaxUCB()
+	verdicts := make([]whitebox.Verdict, len(assess.Candidates))
+	checkFrom := func(start int) {
+		mathx.ParallelFor(len(assess.Candidates)-start, func(k int) {
+			if i := start + k; assess.Safe[i] {
+				verdicts[i] = o.White.Check(o.Space.Decode(assess.Candidates[i]), env)
+			}
+		})
+	}
+	checkFrom(0)
 	var ignored *whitebox.Rule
-	for i, c := range assess.Candidates {
+	for i := range assess.Candidates {
 		if !assess.Safe[i] {
 			continue
 		}
-		verdict := o.White.Check(o.Space.Decode(c), env)
+		verdict := verdicts[i]
 		if verdict.OK {
 			if verdict.IgnoredRule != nil && i == blackPick {
 				ignored = verdict.IgnoredRule
@@ -406,8 +430,19 @@ func (o *OnlineTune) applyWhiteBox(assess *safety.Assessment, env whitebox.Env) 
 			continue
 		}
 		if i == blackPick {
+			newlyIgnored := false
 			for _, r := range verdict.ViolatedRules {
+				was := r.Ignored()
 				o.White.ReportConflict(r)
+				if !was && r.Ignored() {
+					newlyIgnored = true
+				}
+			}
+			// A rule just crossed its conflict threshold: candidates after
+			// the pick must see the updated ignored state, exactly as a
+			// sequential check-as-you-go loop would.
+			if newlyIgnored && i+1 < len(assess.Candidates) {
+				checkFrom(i + 1)
 			}
 		}
 		assess.Veto(i)
@@ -474,18 +509,22 @@ func (o *OnlineTune) Observe(iter int, ctx, unit []float64, perf, tau float64, f
 	}
 }
 
-// appendCapped adds an observation to a model, dropping its oldest when
-// the cluster cap P is exceeded — this is what bounds the GP's cubic
-// cost (§5.3).
+// appendCapped adds an observation to a model. Below the cluster cap P
+// the contextual GP extends its cached Cholesky factor in O(n²); at the
+// cap the oldest observation is dropped and the model refit — the
+// sliding window is what bounds the GP's cost (§5.3), and a factor
+// downdate is not worth the complexity at window size P.
 func (o *OnlineTune) appendCapped(m *model, unit, ctx []float64, perf float64) {
+	if m.gp.Len() < o.Opts.ClusterCap {
+		_ = m.gp.Append(unit, ctx, perf)
+		return
+	}
 	configs, ctxs, perfs := m.gp.Observations()
 	configs = append(configs, mathx.VecClone(unit))
 	ctxs = append(ctxs, mathx.VecClone(ctx))
 	perfs = append(perfs, perf)
-	if len(configs) > o.Opts.ClusterCap {
-		drop := len(configs) - o.Opts.ClusterCap
-		configs, ctxs, perfs = configs[drop:], ctxs[drop:], perfs[drop:]
-	}
+	drop := len(configs) - o.Opts.ClusterCap
+	configs, ctxs, perfs = configs[drop:], ctxs[drop:], perfs[drop:]
 	_ = m.gp.Fit(configs, ctxs, perfs)
 }
 
@@ -571,6 +610,7 @@ func (o *OnlineTune) newModelAt(idx int, center []float64) *model {
 		bestPerf:  math.Inf(-1),
 		evaluated: map[string]bool{},
 	}
+	m.gp.SetFullRefitOnly(o.Opts.FullRefitGP)
 	m.adapter.MinStep = minSteps(o.Space)
 	if d := o.Space.Dim(); d > 10 {
 		m.adapter.PerturbK = 8 // sparse coordinate perturbation in high dimension

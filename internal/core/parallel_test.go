@@ -1,0 +1,69 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dbsim"
+	"repro/internal/featurize"
+	"repro/internal/knobs"
+	"repro/internal/mathx"
+	"repro/internal/whitebox"
+	"repro/internal/workload"
+)
+
+// recommendationTrace drives a fresh tuner for iters iterations and
+// returns every recommended unit configuration.
+func recommendationTrace(t *testing.T, iters int) [][]float64 {
+	t.Helper()
+	space := knobs.CaseStudy5()
+	gen := workload.NewYCSB(5)
+	in := dbsim.New(space, 7)
+	feat := featurize.New(3)
+	feat.Pretrain([]workload.Generator{gen}, 2)
+	tuner := New(space, feat.Dim(), space.Encode(space.DBADefault()), 11, DefaultOptions())
+
+	var lastMetrics dbsim.InternalMetrics
+	out := make([][]float64, 0, iters)
+	for i := 0; i < iters; i++ {
+		w := gen.At(i)
+		ctx := feat.Context(w, in.OptimizerStats(w))
+		dba := in.DBAResult(w)
+		tau := dba.Objective(w.OLAP)
+		env := whitebox.Env{HW: in.HW, Load: w, Metrics: lastMetrics}
+		rec := tuner.Recommend(ctx, env, tau)
+		res := in.Eval(rec.Config, w, dbsim.EvalOptions{})
+		tuner.Observe(i, ctx, rec.Unit, res.Objective(w.OLAP), tau, res.Failed)
+		lastMetrics = res.Metrics
+		out = append(out, mathx.VecClone(rec.Unit))
+	}
+	return out
+}
+
+// The parallel candidate assessment (batched posterior + white-box rule
+// fan-out across the worker pool) must recommend exactly what the
+// sequential path recommends for a fixed seed: all fan-out writes to
+// disjoint indices and the verdicts are applied serially in candidate
+// order, so worker count cannot change the outcome.
+func TestParallelAssessmentIsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	const iters = 60
+	defer mathx.SetMaxWorkers(0)
+	mathx.SetMaxWorkers(1)
+	sequential := recommendationTrace(t, iters)
+	mathx.SetMaxWorkers(8)
+	parallel := recommendationTrace(t, iters)
+
+	for i := range sequential {
+		if len(sequential[i]) != len(parallel[i]) {
+			t.Fatalf("iteration %d: dimension mismatch", i)
+		}
+		for j := range sequential[i] {
+			if sequential[i][j] != parallel[i][j] {
+				t.Fatalf("iteration %d knob %d: sequential %v != parallel %v",
+					i, j, sequential[i][j], parallel[i][j])
+			}
+		}
+	}
+}

@@ -35,14 +35,19 @@ func NewContextualWeighted(configDim, ctxDim int, weights []float64) *Contextual
 // BestByPosterior returns the evaluated configuration with the highest
 // posterior mean under ctx — the paper's "best configuration estimated
 // so far", robust to measurement noise (unlike the max of raw samples).
+// All training configurations are scored in one batched posterior pass.
 func (c *ContextualGP) BestByPosterior(ctx []float64) (config []float64, mean float64, ok bool) {
 	xs := c.gp.TrainX()
 	if len(xs) == 0 {
 		return nil, 0, false
 	}
-	bestIdx, bestMu := -1, math.Inf(-1)
+	pts := make([][]float64, len(xs))
 	for i, x := range xs {
-		mu, _ := c.gp.Predict(Joint(x[:c.configDim], ctx))
+		pts[i] = Joint(x[:c.configDim], ctx)
+	}
+	mus, _ := c.gp.PredictAll(pts)
+	bestIdx, bestMu := -1, math.Inf(-1)
+	for i, mu := range mus {
 		if mu > bestMu {
 			bestIdx, bestMu = i, mu
 		}
@@ -88,6 +93,22 @@ func (c *ContextualGP) Append(config, ctx []float64, perf float64) error {
 func (c *ContextualGP) Predict(config, ctx []float64) (mean, variance float64) {
 	return c.gp.Predict(Joint(config, ctx))
 }
+
+// PredictAll returns posterior means and variances for every
+// configuration under a shared context in one batched pass: the factor
+// and weights are shared, per-candidate solves reuse scratch buffers,
+// and candidate blocks are fanned across a bounded worker pool.
+func (c *ContextualGP) PredictAll(configs [][]float64, ctx []float64) (means, variances []float64) {
+	pts := make([][]float64, len(configs))
+	for i, cfg := range configs {
+		pts[i] = Joint(cfg, ctx)
+	}
+	return c.gp.PredictAll(pts)
+}
+
+// SetFullRefitOnly toggles the underlying GP's incremental factor
+// updates off (true) or on (false). Used by benchmarks and ablations.
+func (c *ContextualGP) SetFullRefitOnly(v bool) { c.gp.FullRefitOnly = v }
 
 // Bounds returns the β-confidence interval [μ−βσ, μ+βσ] at (config, ctx).
 func (c *ContextualGP) Bounds(config, ctx []float64, beta float64) (lower, upper float64) {
@@ -144,7 +165,7 @@ func (c *ContextualGP) BestObserved(ctx []float64, ctxRadius float64) (config []
 // and raw targets.
 func (c *ContextualGP) Observations() (configs, ctxs [][]float64, perf []float64) {
 	xs := c.gp.TrainX()
-	perf = c.gp.TrainYRaw()
+	perf = mathx.VecClone(c.gp.TrainYRaw())
 	configs = make([][]float64, len(xs))
 	ctxs = make([][]float64, len(xs))
 	for i, x := range xs {

@@ -7,20 +7,41 @@ import (
 	"repro/internal/mathx"
 )
 
+// refactorEvery bounds how many incremental Cholesky extensions are
+// applied before a full refactorization, for numerical hygiene: the
+// extension is backward-stable per step but errors compound, so the
+// factor is rebuilt from the cached Gram matrix every so often.
+const refactorEvery = 64
+
 // GP is an exact Gaussian-process regressor. Targets are standardized
 // internally; predictions are returned in the original units.
+//
+// Conditioning is incremental: the kernel Gram matrix and its Cholesky
+// factor are cached, so Append extends them in O(n²) instead of the
+// O(n³) full refit (with a periodic full refactorization, and a full
+// refit whenever the kernel hyperparameters change).
 type GP struct {
 	Kern  Kernel
 	Noise float64 // observation noise variance (in standardized units)
 
+	// FullRefitOnly disables the incremental factor extension so every
+	// Append rebuilds the Gram matrix and refactorizes from scratch —
+	// the pre-incremental cost profile, kept for benchmarks and as an
+	// ablation switch.
+	FullRefitOnly bool
+
 	x     [][]float64
+	yRaw  []float64 // targets in original units
 	y     []float64 // standardized targets
 	yMean float64
 	yStd  float64
 
-	chol  *mathx.Matrix
-	alpha []float64
-	fresh bool
+	gram    *mathx.Matrix // K + Noise·I for the current kernel
+	jitter  float64       // diagonal jitter baked into chol
+	chol    *mathx.Matrix
+	alpha   []float64
+	fresh   bool
+	appends int // incremental extensions since the last full factorization
 }
 
 // New returns an unfitted GP with the given kernel and noise variance.
@@ -34,14 +55,9 @@ func (g *GP) Len() int { return len(g.x) }
 // TrainX returns the training inputs (not copied; treat as read-only).
 func (g *GP) TrainX() [][]float64 { return g.x }
 
-// TrainYRaw returns the training targets in original units.
-func (g *GP) TrainYRaw() []float64 {
-	out := make([]float64, len(g.y))
-	for i, v := range g.y {
-		out[i] = v*g.yStd + g.yMean
-	}
-	return out
-}
+// TrainYRaw returns the training targets in original units (not copied;
+// treat as read-only).
+func (g *GP) TrainYRaw() []float64 { return g.yRaw }
 
 // Fit conditions the GP on inputs X and targets y.
 func (g *GP) Fit(x [][]float64, y []float64) error {
@@ -52,8 +68,61 @@ func (g *GP) Fit(x [][]float64, y []float64) error {
 		return errors.New("gp: empty training set")
 	}
 	g.x = x
-	g.yMean = mathx.Mean(y)
-	g.yStd = mathx.StdDev(y)
+	g.yRaw = mathx.VecClone(y)
+	g.standardize()
+	return g.refit()
+}
+
+// Append adds one observation. When a cached factor is available it is
+// extended in O(n²) (kernel row + rank-1 Cholesky extension + triangular
+// solves); otherwise — and periodically, for numerical hygiene — it
+// falls back to a full refactorization.
+func (g *GP) Append(x []float64, y float64) error {
+	if len(g.x) == 0 {
+		return g.Fit([][]float64{x}, []float64{y})
+	}
+	g.x = append(g.x, x)
+	g.yRaw = append(g.yRaw, y)
+	g.standardize()
+	if g.FullRefitOnly {
+		return g.refit()
+	}
+	n := len(g.x)
+	// Extend the cached Gram matrix with the new kernel row.
+	row := make([]float64, n)
+	for i := 0; i < n-1; i++ {
+		row[i] = g.Kern.Eval(g.x[i], x)
+	}
+	row[n-1] = g.Kern.Eval(x, x) + g.Noise
+	if g.gram == nil || g.gram.Rows != n-1 {
+		return g.refit()
+	}
+	g.gram = extendSym(g.gram, row)
+	// !fresh covers a previously failed factorization: g.chol would be a
+	// stale factor of older training data, so extending it would silently
+	// produce an inconsistent posterior — refactor the (correct) Gram
+	// matrix instead.
+	if g.chol == nil || !g.fresh || g.appends >= refactorEvery {
+		return g.refactor()
+	}
+	l, err := mathx.CholeskyExtend(g.chol, row[:n-1], row[n-1]+g.jitter)
+	if err != nil {
+		// Extension lost positive-definiteness: fall back to a fresh
+		// (jittered) factorization of the cached Gram matrix.
+		return g.refactor()
+	}
+	g.chol = l
+	g.appends++
+	g.alpha = mathx.CholeskySolve(l, g.y)
+	g.fresh = true
+	return nil
+}
+
+// standardize recomputes the target standardization from yRaw. It is
+// O(n) and reuses the standardized buffer across calls.
+func (g *GP) standardize() {
+	g.yMean = mathx.Mean(g.yRaw)
+	g.yStd = mathx.StdDev(g.yRaw)
 	// Guard the degenerate scale: with one observation (or nearly
 	// constant targets) the sample std collapses, which would shrink the
 	// posterior's raw-unit uncertainty to nothing and make every
@@ -64,22 +133,32 @@ func (g *GP) Fit(x [][]float64, y []float64) error {
 	if g.yStd == 0 {
 		g.yStd = 1
 	}
-	ys := make([]float64, len(y))
-	for i, v := range y {
-		ys[i] = (v - g.yMean) / g.yStd
+	if cap(g.y) < len(g.yRaw) {
+		// Grow with headroom so successive Appends amortize instead of
+		// reallocating every call.
+		g.y = make([]float64, len(g.yRaw), 2*len(g.yRaw))
 	}
-	g.y = ys
-	return g.refit()
+	g.y = g.y[:len(g.yRaw)]
+	for i, v := range g.yRaw {
+		g.y[i] = (v - g.yMean) / g.yStd
+	}
 }
 
-// Append adds one observation and refits. It is O(n³) like Fit; callers
-// that add many points should batch with Fit.
-func (g *GP) Append(x []float64, y float64) error {
-	xs := append(append([][]float64{}, g.x...), x)
-	raw := append(g.TrainYRaw(), y)
-	return g.Fit(xs, raw)
+// extendSym returns the (n+1)×(n+1) symmetric matrix formed by bordering
+// a with row (row[n] is the new diagonal entry).
+func extendSym(a *mathx.Matrix, row []float64) *mathx.Matrix {
+	n := a.Rows
+	out := mathx.NewMatrix(n+1, n+1)
+	for i := 0; i < n; i++ {
+		copy(out.Data[i*(n+1):i*(n+1)+n], a.Data[i*n:(i+1)*n])
+		out.Set(i, n, row[i])
+	}
+	copy(out.Data[n*(n+1):(n+1)*(n+1)], row)
+	return out
 }
 
+// refit rebuilds the Gram matrix from the kernel and refactorizes. Called
+// on Fit and whenever kernel hyperparameters change.
 func (g *GP) refit() error {
 	n := len(g.x)
 	k := mathx.NewMatrix(n, n)
@@ -91,11 +170,21 @@ func (g *GP) refit() error {
 		}
 	}
 	k.AddDiag(g.Noise)
-	l, _, err := mathx.CholeskyJitter(k, 1e-3)
+	g.gram = k
+	return g.refactor()
+}
+
+// refactor recomputes the Cholesky factor and weights from the cached
+// Gram matrix.
+func (g *GP) refactor() error {
+	l, jit, err := mathx.CholeskyJitter(g.gram, 1e-3)
 	if err != nil {
+		g.fresh = false
 		return err
 	}
 	g.chol = l
+	g.jitter = jit
+	g.appends = 0
 	g.alpha = mathx.CholeskySolve(l, g.y)
 	g.fresh = true
 	return nil
@@ -122,13 +211,51 @@ func (g *GP) Predict(x []float64) (mean, variance float64) {
 	return mu*g.yStd + g.yMean, varStd * g.yStd * g.yStd
 }
 
-// PredictBatch evaluates Predict at many points.
-func (g *GP) PredictBatch(xs [][]float64) (means, variances []float64) {
-	means = make([]float64, len(xs))
-	variances = make([]float64, len(xs))
-	for i, x := range xs {
-		means[i], variances[i] = g.Predict(x)
+// predictBlock is how many candidates one PredictAll work unit scores:
+// blocks are fanned across the worker pool, and each worker reuses a
+// single scratch buffer for its kernel rows and triangular solves.
+const predictBlock = 16
+
+// PredictAll computes the posterior mean and variance at every point in
+// xs. The factor and weights are shared across all candidates, the
+// per-candidate kernel row and triangular solve reuse one scratch
+// buffer per block (no per-candidate allocation, unlike repeated
+// Predict calls), and blocks run on a bounded worker pool. Results are
+// identical to calling Predict per point.
+func (g *GP) PredictAll(xs [][]float64) (means, variances []float64) {
+	m := len(xs)
+	means = make([]float64, m)
+	variances = make([]float64, m)
+	if !g.fresh || len(g.x) == 0 {
+		for j, x := range xs {
+			variances[j] = g.Kern.Eval(x, x)
+		}
+		return means, variances
 	}
+	n := len(g.x)
+	nb := (m + predictBlock - 1) / predictBlock
+	mathx.ParallelFor(nb, func(bi int) {
+		j0 := bi * predictBlock
+		j1 := j0 + predictBlock
+		if j1 > m {
+			j1 = m
+		}
+		buf := make([]float64, n)
+		for j := j0; j < j1; j++ {
+			x := xs[j]
+			for i := 0; i < n; i++ {
+				buf[i] = g.Kern.Eval(g.x[i], x)
+			}
+			mu := mathx.Dot(buf, g.alpha)
+			mathx.SolveLowerInPlace(g.chol, buf)
+			varStd := g.Kern.Eval(x, x) - mathx.Dot(buf, buf)
+			if varStd < 1e-12 {
+				varStd = 1e-12
+			}
+			means[j] = mu*g.yStd + g.yMean
+			variances[j] = varStd * g.yStd * g.yStd
+		}
+	})
 	return means, variances
 }
 

@@ -1,0 +1,7 @@
+//go:build race
+
+package gp
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build; wall-clock timing assertions skip themselves under it.
+const raceEnabled = true

@@ -40,6 +40,43 @@ func Cholesky(a *Matrix) (*Matrix, error) {
 	return l, nil
 }
 
+// CholeskyExtend extends the lower Cholesky factor L of an n×n matrix A
+// to the factor of the bordered (n+1)×(n+1) matrix
+//
+//	[ A   k ]
+//	[ kᵀ  d ]
+//
+// in O(n²): the new off-diagonal row is c = L⁻¹k and the new diagonal
+// entry is √(d − cᵀc). It returns ErrNotPositiveDefinite when the
+// extension loses positive-definiteness (d − cᵀc ≤ 0 or numerically
+// negligible relative to d); callers should then refactorize from
+// scratch, typically via CholeskyJitter.
+func CholeskyExtend(l *Matrix, k []float64, d float64) (*Matrix, error) {
+	n := l.Rows
+	if l.Cols != n {
+		return nil, errors.New("mathx: CholeskyExtend requires a square factor")
+	}
+	if len(k) != n {
+		return nil, errors.New("mathx: CholeskyExtend border length mismatch")
+	}
+	c := SolveLower(l, k)
+	s := d - Dot(c, c)
+	// Guard against a numerically tiny pivot as well as a negative one: a
+	// pivot many orders of magnitude below the diagonal scale means the
+	// extension has lost almost all precision and a fresh factorization
+	// (with jitter if needed) is the safe path.
+	if s <= 0 || math.IsNaN(s) || s < 1e-12*math.Abs(d) {
+		return nil, ErrNotPositiveDefinite
+	}
+	out := NewMatrix(n+1, n+1)
+	for i := 0; i < n; i++ {
+		copy(out.Data[i*(n+1):i*(n+1)+i+1], l.Data[i*n:i*n+i+1])
+	}
+	copy(out.Data[n*(n+1):n*(n+1)+n], c)
+	out.Set(n, n, math.Sqrt(s))
+	return out, nil
+}
+
 // CholeskyJitter is Cholesky with progressive diagonal jitter: if the
 // factorization fails it retries with jitter 1e-10, 1e-9, ... up to maxJitter.
 // It returns the factor and the jitter that was finally used.
@@ -58,20 +95,27 @@ func CholeskyJitter(a *Matrix, maxJitter float64) (*Matrix, float64, error) {
 
 // SolveLower solves L x = b for lower-triangular L by forward substitution.
 func SolveLower(l *Matrix, b []float64) []float64 {
+	x := VecClone(b)
+	SolveLowerInPlace(l, x)
+	return x
+}
+
+// SolveLowerInPlace solves L x = b in place, overwriting b with the
+// solution. It is the allocation-free core of SolveLower for hot loops
+// that reuse a scratch buffer.
+func SolveLowerInPlace(l *Matrix, b []float64) {
 	n := l.Rows
 	if len(b) != n {
-		panic("mathx: SolveLower dimension mismatch")
+		panic("mathx: SolveLowerInPlace dimension mismatch")
 	}
-	x := make([]float64, n)
 	for i := 0; i < n; i++ {
 		s := b[i]
 		row := l.Data[i*l.Cols : i*l.Cols+i]
 		for k, lv := range row {
-			s -= lv * x[k]
+			s -= lv * b[k]
 		}
-		x[i] = s / l.At(i, i)
+		b[i] = s / l.At(i, i)
 	}
-	return x
 }
 
 // SolveUpperT solves Lᵀ x = b for lower-triangular L (i.e. an
@@ -95,6 +139,97 @@ func SolveUpperT(l *Matrix, b []float64) []float64 {
 // CholeskySolve solves A x = b given the Cholesky factor L of A.
 func CholeskySolve(l *Matrix, b []float64) []float64 {
 	return SolveUpperT(l, SolveLower(l, b))
+}
+
+// solveBlock is the column-block width for the multi-right-hand-side
+// triangular solves: columns are independent, so blocks of this width
+// are fanned across the worker pool while staying contiguous in memory.
+const solveBlock = 16
+
+// SolveLowerMulti solves L X = B for lower-triangular L and an n×m
+// right-hand-side matrix B by forward substitution, sharing the factor
+// traversal across all m columns and fanning independent column blocks
+// across the worker pool. It is the general-purpose batched solve; note
+// that gp's candidate-scoring hot path instead reuses a scratch vector
+// with SolveLowerInPlace per candidate, which benchmarks faster there
+// because the dot-product formulation pipelines better at that size.
+func SolveLowerMulti(l *Matrix, b *Matrix) *Matrix {
+	n := l.Rows
+	if b.Rows != n {
+		panic("mathx: SolveLowerMulti dimension mismatch")
+	}
+	m := b.Cols
+	x := b.Clone()
+	nb := (m + solveBlock - 1) / solveBlock
+	ParallelFor(nb, func(bi int) {
+		j0 := bi * solveBlock
+		j1 := j0 + solveBlock
+		if j1 > m {
+			j1 = m
+		}
+		for i := 0; i < n; i++ {
+			xrow := x.Data[i*m+j0 : i*m+j1 : i*m+j1]
+			lrow := l.Data[i*l.Cols : i*l.Cols+i]
+			for k, lv := range lrow {
+				if lv == 0 {
+					continue
+				}
+				xk := x.Data[k*m+j0 : k*m+j1 : k*m+j1]
+				for j := range xrow {
+					xrow[j] -= lv * xk[j]
+				}
+			}
+			inv := 1 / l.At(i, i)
+			for j := range xrow {
+				xrow[j] *= inv
+			}
+		}
+	})
+	return x
+}
+
+// SolveUpperTMulti solves Lᵀ X = B for lower-triangular L and an n×m
+// right-hand side by back substitution across all columns, with the
+// same column-block parallelism as SolveLowerMulti.
+func SolveUpperTMulti(l *Matrix, b *Matrix) *Matrix {
+	n := l.Rows
+	if b.Rows != n {
+		panic("mathx: SolveUpperTMulti dimension mismatch")
+	}
+	m := b.Cols
+	x := b.Clone()
+	nb := (m + solveBlock - 1) / solveBlock
+	ParallelFor(nb, func(bi int) {
+		j0 := bi * solveBlock
+		j1 := j0 + solveBlock
+		if j1 > m {
+			j1 = m
+		}
+		for i := n - 1; i >= 0; i-- {
+			xrow := x.Data[i*m+j0 : i*m+j1 : i*m+j1]
+			for k := i + 1; k < n; k++ {
+				lv := l.At(k, i)
+				if lv == 0 {
+					continue
+				}
+				xk := x.Data[k*m+j0 : k*m+j1 : k*m+j1]
+				for j := range xrow {
+					xrow[j] -= lv * xk[j]
+				}
+			}
+			inv := 1 / l.At(i, i)
+			for j := range xrow {
+				xrow[j] *= inv
+			}
+		}
+	})
+	return x
+}
+
+// CholeskySolveMulti solves A X = B for an n×m right-hand side given the
+// Cholesky factor L of A.
+func CholeskySolveMulti(l *Matrix, b *Matrix) *Matrix {
+	return SolveUpperTMulti(l, SolveLowerMulti(l, b))
 }
 
 // LogDetFromCholesky returns log |A| = 2 Σ log L_ii.

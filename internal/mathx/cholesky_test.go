@@ -1,0 +1,154 @@
+package mathx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: extending a factor one bordered row at a time reproduces the
+// from-scratch Cholesky factor of the full matrix.
+func TestCholeskyExtendMatchesFullFactorization(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(18)
+		a := randSPD(rng, n)
+		l, err := Cholesky(&Matrix{Rows: 1, Cols: 1, Data: []float64{a.At(0, 0)}})
+		if err != nil {
+			return false
+		}
+		for k := 1; k < n; k++ {
+			border := make([]float64, k)
+			for i := 0; i < k; i++ {
+				border[i] = a.At(k, i)
+			}
+			l, err = CholeskyExtend(l, border, a.At(k, k))
+			if err != nil {
+				return false
+			}
+		}
+		full, err := Cholesky(a)
+		if err != nil {
+			return false
+		}
+		for i := range full.Data {
+			if math.Abs(full.Data[i]-l.Data[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCholeskyExtendRejectsNonPD(t *testing.T) {
+	// Extending I₂ with a border that makes the matrix singular
+	// (duplicate row) must fail rather than produce a NaN factor.
+	l, err := Cholesky(Identity(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CholeskyExtend(l, []float64{1, 0}, 1); err != ErrNotPositiveDefinite {
+		t.Fatalf("expected ErrNotPositiveDefinite, got %v", err)
+	}
+	if _, err := CholeskyExtend(l, []float64{2, 0}, 1); err != ErrNotPositiveDefinite {
+		t.Fatalf("indefinite extension: expected ErrNotPositiveDefinite, got %v", err)
+	}
+}
+
+func TestCholeskyExtendDimensionErrors(t *testing.T) {
+	l, _ := Cholesky(Identity(3))
+	if _, err := CholeskyExtend(l, []float64{1, 2}, 5); err == nil {
+		t.Fatal("expected border length error")
+	}
+	if _, err := CholeskyExtend(&Matrix{Rows: 2, Cols: 3, Data: make([]float64, 6)}, []float64{1, 2}, 5); err == nil {
+		t.Fatal("expected non-square error")
+	}
+}
+
+// Property: the multi-right-hand-side solves agree with the single-RHS
+// solves column by column, and CholeskySolveMulti reconstructs solutions
+// of A X = B.
+func TestSolveMultiMatchesSingle(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(12)
+		m := 1 + rng.Intn(40)
+		a := randSPD(rng, n)
+		l, err := Cholesky(a)
+		if err != nil {
+			return false
+		}
+		b := NewMatrix(n, m)
+		for i := range b.Data {
+			b.Data[i] = rng.NormFloat64()
+		}
+		lo := SolveLowerMulti(l, b)
+		up := SolveUpperTMulti(l, b)
+		full := CholeskySolveMulti(l, b)
+		for j := 0; j < m; j++ {
+			col := b.Col(j)
+			wantLo := SolveLower(l, col)
+			wantUp := SolveUpperT(l, col)
+			wantFull := CholeskySolve(l, col)
+			for i := 0; i < n; i++ {
+				if math.Abs(lo.At(i, j)-wantLo[i]) > 1e-10 ||
+					math.Abs(up.At(i, j)-wantUp[i]) > 1e-10 ||
+					math.Abs(full.At(i, j)-wantFull[i]) > 1e-10 {
+					return false
+				}
+			}
+		}
+		// CholeskySolveMulti solves A X = B: check the residual.
+		recon := a.Mul(full)
+		for i := range recon.Data {
+			if math.Abs(recon.Data[i]-b.Data[i]) > 1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveLowerInPlaceMatchesSolveLower(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randSPD(rng, 8)
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, 8)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	want := SolveLower(l, b)
+	got := VecClone(b)
+	SolveLowerInPlace(l, got)
+	for i := range want {
+		if math.Abs(want[i]-got[i]) > 1e-12 {
+			t.Fatalf("in-place solve diverged at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestParallelForCoversAllIterationsOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 8} {
+		SetMaxWorkers(workers)
+		for _, n := range []int{0, 1, 3, 33, 1000} {
+			hits := make([]int32, n)
+			ParallelFor(n, func(i int) { hits[i]++ })
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: iteration %d ran %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+	SetMaxWorkers(0)
+}

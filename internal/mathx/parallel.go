@@ -1,0 +1,69 @@
+package mathx
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// maxWorkers caps the worker pool used by ParallelFor. Zero means
+// "use GOMAXPROCS".
+var maxWorkers atomic.Int32
+
+// SetMaxWorkers bounds the worker pool used by ParallelFor. n ≤ 1 forces
+// sequential execution (useful for determinism checks and profiling);
+// n = 0 restores the default of GOMAXPROCS.
+func SetMaxWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	maxWorkers.Store(int32(n))
+}
+
+// MaxWorkers returns the current worker-pool bound.
+func MaxWorkers() int {
+	if v := maxWorkers.Load(); v > 0 {
+		return int(v)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// parallelThreshold is the minimum iteration count worth fanning out;
+// below it the goroutine overhead dominates the work. It is small
+// because every ParallelFor call site does substantial per-iteration
+// work (kernel rows, triangular-solve column blocks, rule checks).
+const parallelThreshold = 4
+
+// ParallelFor runs fn(i) for every i in [0, n) across a bounded worker
+// pool and returns when all iterations have finished. Iterations must
+// write only to disjoint locations (e.g. element i of a shared slice),
+// which keeps the result independent of scheduling — identical to the
+// sequential loop for any worker count. Small n runs inline.
+func ParallelFor(n int, fn func(i int)) {
+	w := MaxWorkers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 || n < parallelThreshold {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

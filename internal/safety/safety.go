@@ -23,7 +23,9 @@ type Assessment struct {
 
 // Assess computes confidence bounds for all candidates under a context
 // and marks those whose lower bound clears tau. beta follows Srinivas et
-// al. (2010); the paper sets it per that analysis.
+// al. (2010); the paper sets it per that analysis. All candidates are
+// scored in one batched posterior pass (shared factor and weights,
+// candidate blocks fanned across a bounded worker pool).
 func Assess(model *gp.ContextualGP, ctx []float64, candidates [][]float64, beta, tau float64) *Assessment {
 	a := &Assessment{
 		Candidates: candidates,
@@ -32,11 +34,11 @@ func Assess(model *gp.ContextualGP, ctx []float64, candidates [][]float64, beta,
 		Sigma:      make([]float64, len(candidates)),
 		Safe:       make([]bool, len(candidates)),
 	}
-	for i, c := range candidates {
-		mu, v := model.Predict(c, ctx)
-		s := math.Sqrt(v)
-		a.Lower[i] = mu - beta*s
-		a.Upper[i] = mu + beta*s
+	mus, vars := model.PredictAll(candidates, ctx)
+	for i := range candidates {
+		s := math.Sqrt(vars[i])
+		a.Lower[i] = mus[i] - beta*s
+		a.Upper[i] = mus[i] + beta*s
 		a.Sigma[i] = s
 		if a.Lower[i] >= tau {
 			a.Safe[i] = true
