@@ -18,7 +18,12 @@ import (
 	"testing"
 
 	"repro/internal/bench"
+	"repro/internal/cluster"
+	"repro/internal/dbsim"
+	"repro/internal/featurize"
 	"repro/internal/gp"
+	"repro/internal/knobs"
+	"repro/internal/workload"
 )
 
 var benchIters = flag.Int("benchiters", 60, "iterations per experiment in benchmarks")
@@ -78,6 +83,95 @@ func BenchmarkTableA1TimeBreakdown(b *testing.B) {
 func BenchmarkExt1Stopping(b *testing.B) { runExperiment(b, "ext1", *benchIters) }
 func BenchmarkExt2IncrementalSpeedup(b *testing.B) {
 	runExperiment(b, "ext2", *benchIters)
+}
+func BenchmarkExt3FeaturizeClusterSpeedup(b *testing.B) {
+	runExperiment(b, "ext3", *benchIters)
+}
+
+// BenchmarkFeaturizeContext measures context featurization over a
+// repeating-template workload snapshot at paper scale (the per-iteration
+// hot path outside the GP): the template-keyed encoding cache against
+// the uncached per-query LSTM encode. The cached path must show ≥5x.
+func BenchmarkFeaturizeContext(b *testing.B) {
+	gen := workload.NewTPCC(1, true)
+	in := dbsim.New(knobs.MySQL57(), 1)
+	snaps := make([]workload.Snapshot, 64)
+	stats := make([]dbsim.OptimizerStats, len(snaps))
+	for i := range snaps {
+		snaps[i] = gen.At(i)
+		stats[i] = in.OptimizerStats(snaps[i])
+	}
+	run := func(b *testing.B, cacheBound int) {
+		f := bench.NewFeaturizer(1)
+		f.SetCacheBound(cacheBound)
+		var buf []float64
+		// Warm outside the timed region: vocabulary admission and the
+		// first cold encode per template are one-time costs.
+		for i := range snaps {
+			buf = f.ContextInto(buf, snaps[i], stats[i])
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s := i % len(snaps)
+			buf = f.ContextInto(buf, snaps[s], stats[s])
+		}
+	}
+	b.Run("cached", func(b *testing.B) { run(b, featurize.DefaultCacheBound) })
+	b.Run("uncached", func(b *testing.B) { run(b, 0) })
+}
+
+// BenchmarkDBSCAN compares the grid-indexed DBSCAN against the O(n²)
+// brute-force reference on clustered low-dimensional points (where the
+// grid prunes) and on 12-dimensional context-like points (where the
+// occupied-cell scan must at least hold its own).
+func BenchmarkDBSCAN(b *testing.B) {
+	uniform := func(n, dim int) [][]float64 {
+		rng := rand.New(rand.NewSource(3))
+		pts := make([][]float64, n)
+		for i := range pts {
+			p := make([]float64, dim)
+			for d := range p {
+				p[d] = rng.Float64()
+			}
+			pts[i] = p
+		}
+		return pts
+	}
+	// Context-like clusters: tight blobs sitting mid-cell, the shape the
+	// occupied-cell scan exploits in high dimension.
+	blobs := func(n, dim int) [][]float64 {
+		rng := rand.New(rand.NewSource(3))
+		pts := make([][]float64, n)
+		for i := range pts {
+			c := float64(rng.Intn(4)) + 0.25
+			p := make([]float64, dim)
+			for d := range p {
+				p[d] = c + 0.05*rng.NormFloat64()
+			}
+			pts[i] = p
+		}
+		return pts
+	}
+	for _, cfg := range []struct {
+		name string
+		pts  [][]float64
+		eps  float64
+	}{
+		{"n2000_d3", uniform(2000, 3), 0.1},
+		{"n600_d12", blobs(600, 12), 0.5},
+	} {
+		pts := cfg.pts
+		b.Run("grid/"+cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cluster.DBSCAN(pts, cfg.eps, 4)
+			}
+		})
+		b.Run("brute/"+cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cluster.DBSCANBrute(pts, cfg.eps, 4)
+			}
+		})
+	}
 }
 
 // synthGPObs generates a deterministic synthetic training set for the

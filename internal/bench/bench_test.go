@@ -1,8 +1,12 @@
 package bench
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/baselines"
 	"repro/internal/knobs"
@@ -101,6 +105,66 @@ func TestFig5SmallRunShape(t *testing.T) {
 		if !strings.Contains(rep.Body, name) {
 			t.Fatalf("fig5 missing %s:\n%s", name, rep.Body)
 		}
+	}
+}
+
+func TestExt3SmallRunEquivalence(t *testing.T) {
+	rep, err := Experiment("ext3", 15, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(rep.Body, "REGRESSION") {
+		t.Fatalf("ext3 reports a regression:\n%s", rep.Body)
+	}
+	if !strings.Contains(rep.Body, "diverged on 0/15 iterations") {
+		t.Fatalf("cached featurization diverged:\n%s", rep.Body)
+	}
+	if len(rep.Series) != 2 {
+		t.Fatalf("ext3 should carry both series, got %d", len(rep.Series))
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	rep := Report{
+		ID: "unit", Title: "unit test", Body: "body",
+		Series: []*Series{{
+			Name: "T", Perf: []float64{1, 2}, Tau: []float64{0, 0}, Cum: []float64{1, 3},
+			ProposeMs: []float64{0.5, 1.5}, FeedbackMs: []float64{0.5, 0.5},
+		}},
+	}
+	art := NewArtifact(rep, 2, 7, 1500*time.Millisecond)
+	path, err := WriteJSON(dir, art, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_unit.json" {
+		t.Fatalf("artifact name = %s", filepath.Base(path))
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Artifact
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if back.ID != "unit" || back.Seed != 7 || back.Iters != 2 || back.WallClockSec != 1.5 {
+		t.Fatalf("roundtrip mismatch: %+v", back)
+	}
+	if len(back.Series) != 1 || back.Series[0].Name != "T" || len(back.Series[0].Perf) != 2 {
+		t.Fatalf("series lost in roundtrip: %+v", back.Series)
+	}
+	if len(back.Overhead) != 1 || back.Overhead[0].MeanProposeMs != 1 || back.Overhead[0].MaxIterMs != 2 {
+		t.Fatalf("overhead stats wrong: %+v", back.Overhead)
+	}
+	// Replicate artifacts get a seed suffix.
+	p2, err := WriteJSON(dir, art, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(p2) != "BENCH_unit_s7.json" {
+		t.Fatalf("replicate name = %s", filepath.Base(p2))
 	}
 }
 

@@ -20,6 +20,10 @@ type Report struct {
 	ID    string
 	Title string
 	Body  string
+	// Series carries the raw per-tuner traces for experiments that run
+	// the harness, so WriteJSON can persist the perf trajectory; table-
+	// or surface-only experiments leave it empty.
+	Series []*Series
 }
 
 // ExperimentIDs lists every reproducible artifact in paper order.
@@ -29,7 +33,7 @@ func ExperimentIDs() []string {
 		"fig5tpcc", "fig5twitter", "fig5job", "fig6", "fig7", "fig8",
 		"fig9", "fig10", "fig11", "fig12", "fig13",
 		"fig14", "fig15", "fig16", "fig17", "table1", "tableA1", "ext1",
-		"ext2",
+		"ext2", "ext3",
 	}
 }
 
@@ -87,6 +91,8 @@ func Experiment(id string, iters int, seed int64) (Report, error) {
 		return Ext1Stopping(orDefault(iters, 400), seed), nil
 	case "ext2":
 		return Ext2IncrementalSpeedup(orDefault(iters, 300), seed), nil
+	case "ext3":
+		return Ext3FeaturizeClusterSpeedup(orDefault(iters, 300), seed), nil
 	default:
 		return Report{}, fmt.Errorf("unknown experiment %q (known: %s)", id, strings.Join(ExperimentIDs(), ", "))
 	}
@@ -134,8 +140,10 @@ func Fig1cOfflineExploration(iters int, seed int64) Report {
 	feat := NewFeaturizer(seed)
 	var b strings.Builder
 	summary := NewTable("tuner", "below_dba_pct", "failures", "best_improv_pct")
+	var series []*Series
 	for _, tn := range []baselines.Tuner{baselines.NewBO(space, seed+1), baselines.NewDDPG(space, seed+2)} {
 		s := Run(tn, RunConfig{Space: space, Gen: gen, Iters: iters, Seed: seed, Feat: feat})
+		series = append(series, s)
 		below := 0
 		best := math.Inf(-1)
 		for i, p := range s.Perf {
@@ -156,7 +164,7 @@ func Fig1cOfflineExploration(iters int, seed int64) Report {
 		summary.Add(tn.Name(), 100*float64(below)/float64(iters), s.Failures, 100*(best/s.Tau[0]-1))
 	}
 	b.WriteString(summary.String())
-	return Report{ID: "fig1c", Title: "Figure 1(c): unconstrained exploration of offline auto-tuners on static TPC-C", Body: b.String()}
+	return Report{ID: "fig1c", Title: "Figure 1(c): unconstrained exploration of offline auto-tuners on static TPC-C", Body: b.String(), Series: series}
 }
 
 // Fig1dFixedConfigDrift reproduces Figure 1(d): the best configuration
@@ -293,7 +301,7 @@ func Fig5Dynamic(bench string, iters int, seed int64) Report {
 		t.Add(s.Name, s.CumFinal(), vs, s.Unsafe, s.Failures)
 	}
 	title := fmt.Sprintf("Figure 5 (%s): dynamic %s — cumulative performance and safety", bench, bench)
-	return Report{ID: "fig5" + bench, Title: title, Body: t.String()}
+	return Report{ID: "fig5" + bench, Title: title, Body: t.String(), Series: series}
 }
 
 // --- Figures 6 & 7 ------------------------------------------------------------
@@ -307,9 +315,11 @@ func Fig6OLTPOLAPCycle(iters int, seed int64) Report {
 	var b strings.Builder
 	t := NewTable("tuner", "cum_neg_p99", "unsafe", "failures")
 	var ot *Series
+	var series []*Series
 	for _, tn := range StandardTuners(space, feat.Dim(), seed) {
 		s := Run(tn, RunConfig{Space: space, Gen: gen, Iters: iters, Seed: seed, Feat: feat, Objective: NegP99})
 		t.Add(s.Name, s.CumFinal(), s.Unsafe, s.Failures)
+		series = append(series, s)
 		if s.Name == "OnlineTune" {
 			ot = s
 		}
@@ -327,7 +337,7 @@ func Fig6OLTPOLAPCycle(iters int, seed int64) Report {
 		}
 		b.WriteString(it.String())
 	}
-	return Report{ID: "fig6", Title: "Figures 6(a)/7(a): transactional-analytical cycle (99th-percentile latency)", Body: b.String()}
+	return Report{ID: "fig6", Title: "Figures 6(a)/7(a): transactional-analytical cycle (99th-percentile latency)", Body: b.String(), Series: series}
 }
 
 // Fig7RealWorkload reproduces Figures 6(b)/7(b): the production trace.
@@ -348,7 +358,7 @@ func Fig7RealWorkload(iters int, seed int64) Report {
 	for _, s := range series {
 		t.Add(s.Name, s.CumFinal(), 100*(s.CumFinal()/dba-1), s.Unsafe, s.Failures)
 	}
-	return Report{ID: "fig7", Title: "Figures 6(b)/7(b): real-world workload", Body: t.String()}
+	return Report{ID: "fig7", Title: "Figures 6(b)/7(b): real-world workload", Body: t.String(), Series: series}
 }
 
 // Fig8Overhead reproduces Figure 8: per-iteration tuner computation time
@@ -370,8 +380,10 @@ func Fig8Overhead(iters int, seed int64) Report {
 		baselines.NewMysqlTuner(space),
 	}
 	t := NewTable("tuner", "iter50_ms", "iter_mid_ms", "iter_last_ms", "max_ms")
+	var series []*Series
 	for _, tn := range tuners {
 		s := Run(tn, RunConfig{Space: space, Gen: gen, Iters: iters, Seed: seed, Feat: feat})
+		series = append(series, s)
 		total := make([]float64, iters)
 		maxMs := 0.0
 		for i := range total {
@@ -401,5 +413,5 @@ func Fig8Overhead(iters int, seed int64) Report {
 		}
 		t.Add(tn.Name(), probe(50), probe(iters/2), probe(iters-1), maxMs)
 	}
-	return Report{ID: "fig8", Title: "Figure 8: tuner computation time per iteration (JOB)", Body: t.String()}
+	return Report{ID: "fig8", Title: "Figure 8: tuner computation time per iteration (JOB)", Body: t.String(), Series: series}
 }

@@ -83,5 +83,5 @@ func Ext2IncrementalSpeedup(iters int, seed int64) Report {
 		fullFeed/math.Max(incFeed, 1e-9),
 		(fullProp+fullFeed)/math.Max(incProp+incFeed, 1e-9),
 		diverged, len(inc.Units), maxDelta, verdict)
-	return Report{ID: "ext2", Title: "Extension: incremental GP inference overhead", Body: body}
+	return Report{ID: "ext2", Title: "Extension: incremental GP inference overhead", Body: body, Series: []*Series{full, inc}}
 }

@@ -62,24 +62,27 @@ type RunConfig struct {
 	Feat *featurize.Featurizer
 }
 
-// Series is the recorded trace of one tuner's run.
+// Series is the recorded trace of one tuner's run. The JSON tags define
+// the BENCH_*.json artifact schema (see WriteJSON and the README's
+// "Benchmark trajectory" section); renaming a tag is a breaking change
+// for the cross-PR perf tracking.
 type Series struct {
-	Name     string
-	Perf     []float64 // per-iteration objective
-	Tau      []float64 // per-iteration safety threshold
-	Cum      []float64 // cumulative objective
-	Unsafe   int
-	Failures int
+	Name     string    `json:"name"`
+	Perf     []float64 `json:"perf"` // per-iteration objective
+	Tau      []float64 `json:"tau"`  // per-iteration safety threshold
+	Cum      []float64 `json:"cum"`  // cumulative objective
+	Unsafe   int       `json:"unsafe"`
+	Failures int       `json:"failures"`
 	// ProposeMs / FeedbackMs are per-iteration tuner computation times.
-	ProposeMs  []float64
-	FeedbackMs []float64
+	ProposeMs  []float64 `json:"propose_ms"`
+	FeedbackMs []float64 `json:"feedback_ms"`
 	// SafetySetSizes and RegionKinds are OnlineTune diagnostics (empty
 	// for baselines).
-	SafetySetSizes []int
-	RegionKinds    []string
-	ModelIndices   []int
+	SafetySetSizes []int    `json:"safety_set_sizes,omitempty"`
+	RegionKinds    []string `json:"region_kinds,omitempty"`
+	ModelIndices   []int    `json:"model_indices,omitempty"`
 	// Units are the unit-encoded configurations applied each iteration.
-	Units [][]float64
+	Units [][]float64 `json:"units,omitempty"`
 }
 
 // CumFinal returns the final cumulative objective.
@@ -117,10 +120,13 @@ func Run(t baselines.Tuner, rc RunConfig) *Series {
 
 	s := &Series{Name: t.Name()}
 	var lastMetrics dbsim.InternalMetrics
+	var ctx []float64
 	cum := 0.0
 	for i := 0; i < rc.Iters; i++ {
 		w := rc.Gen.At(i)
-		ctx := feat.Context(w, in.OptimizerStats(w))
+		// The context buffer is reused across iterations: nothing holds it
+		// past the Feedback call (core clones what it stores).
+		ctx = feat.ContextInto(ctx, w, in.OptimizerStats(w))
 		var tauRes dbsim.Result
 		if rc.TauFromMySQLDefault {
 			tauRes = in.DefaultResult(w)

@@ -144,6 +144,122 @@ func TestQuickMutualInfoBounds(t *testing.T) {
 	}
 }
 
+// TestEpsIsEuclideanRadius pins the eps semantics: eps is an absolute
+// Euclidean (L2) distance — mathx.Dist2's "2" is the norm order, not a
+// square. The 1.5-apart / eps=2 case discriminates: under
+// squared-distance semantics 1.5² = 2.25 > 2 would separate the points.
+func TestEpsIsEuclideanRadius(t *testing.T) {
+	pair := [][]float64{{0, 0}, {3, 4}} // Euclidean distance exactly 5
+	if res := DBSCAN(pair, 5.0, 2); res.NumClusters != 1 {
+		t.Fatalf("distance-5 pair with eps=5 should cluster (boundary inclusive), got %d clusters", res.NumClusters)
+	}
+	if res := DBSCAN(pair, 4.99, 2); res.NumClusters != 0 {
+		t.Fatal("distance-5 pair with eps=4.99 should be noise")
+	}
+	apart := [][]float64{{0, 0}, {1.5, 0}}
+	if res := DBSCAN(apart, 2.0, 2); res.NumClusters != 1 {
+		t.Fatal("eps compared as squared distance: 1.5-apart points with eps=2 must cluster under Euclidean semantics")
+	}
+	// The index and the cached matrix share the same semantics.
+	m := NewDistMatrix(apart)
+	if res := m.DBSCAN(2.0, 2); res.NumClusters != 1 {
+		t.Fatal("DistMatrix.DBSCAN changed eps semantics")
+	}
+	if d := m.Dist(0, 1); d != 1.5 {
+		t.Fatalf("cached distance = %v, want Euclidean 1.5", d)
+	}
+}
+
+// Property: grid-indexed DBSCAN is identical to the brute-force
+// reference across dimensions covering all three index strategies
+// (3^d enumeration, occupied-cell scan, brute fallback).
+func TestQuickGridMatchesBrute(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dims := []int{1, 2, 3, 7, 12, 40}[rng.Intn(6)]
+		n := 2 + rng.Intn(60)
+		pts := make([][]float64, n)
+		for i := range pts {
+			p := make([]float64, dims)
+			for d := range p {
+				// Mixture of a few blob centers so clusters actually form.
+				p[d] = float64(rng.Intn(3)) + 0.3*rng.NormFloat64()
+			}
+			pts[i] = p
+		}
+		eps := 0.2 + rng.Float64()
+		minPts := 2 + rng.Intn(4)
+		a := DBSCAN(pts, eps, minPts)
+		b := DBSCANBrute(pts, eps, minPts)
+		if a.NumClusters != b.NumClusters {
+			return false
+		}
+		for i := range a.Labels {
+			if a.Labels[i] != b.Labels[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the incrementally extended distance matrix produces the same
+// eps suggestion, clustering and noise assignment as computing from
+// scratch — the core re-cluster check's reuse contract.
+func TestQuickDistMatrixIncremental(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(40)
+		pts := make([][]float64, n)
+		for i := range pts {
+			pts[i] = []float64{float64(rng.Intn(2)) * 3, rng.NormFloat64()}
+		}
+		// Grow in two stages, as successive re-cluster checks do.
+		inc := NewDistMatrix(pts[:n/2])
+		inc.Extend(pts)
+		fresh := NewDistMatrix(pts)
+		if inc.SuggestEps(4) != fresh.SuggestEps(4) {
+			return false
+		}
+		eps := fresh.SuggestEps(4)
+		a := inc.DBSCAN(eps, 3)
+		b := DBSCANBrute(pts, eps, 3)
+		if a.NumClusters != b.NumClusters {
+			return false
+		}
+		inc.AssignNearest(&a)
+		b.AssignNearest(pts)
+		for i := range a.Labels {
+			if a.Labels[i] != b.Labels[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKDistanceMatchesMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts, _ := twoBlobs(rng, 20)
+	kd := KDistance(pts, 4)
+	m := NewDistMatrix(pts)
+	km := m.KDistance(4)
+	for i := range kd {
+		if kd[i] != km[i] {
+			t.Fatalf("KDistance[%d]: %v vs matrix %v", i, kd[i], km[i])
+		}
+	}
+	if SuggestEps(pts, 4) != m.SuggestEps(4) {
+		t.Fatal("SuggestEps must match matrix path")
+	}
+}
+
 // Property: DBSCAN labels are either Noise or in [0, NumClusters).
 func TestQuickDBSCANLabelRange(t *testing.T) {
 	f := func(seed int64) bool {

@@ -2,6 +2,13 @@
 // scalability strategy (§5.3): DBSCAN over context features, plus the
 // normalized mutual-information score that decides when the clustering
 // must be re-learned.
+//
+// Distance semantics: every eps in this package is an absolute Euclidean
+// (L2) radius, compared against mathx.Dist2 — whose trailing "2" names
+// the norm order, NOT a squared distance. A point at Euclidean distance
+// exactly eps is inside the neighborhood. TestEpsIsEuclideanRadius pins
+// this down so the grid index (grid.go) and the cached distance matrix
+// (dist.go) cannot silently change it.
 package cluster
 
 import (
@@ -22,40 +29,70 @@ type DBSCANResult struct {
 	NumClusters int
 }
 
+// neighborSource answers fixed-radius neighbor queries for dbscanFrom.
+// neighbors must append every j (self included) whose Euclidean distance
+// to point i is ≤ eps, in ascending index order — the order the
+// brute-force scan produces, so every source yields identical clusters.
+type neighborSource interface {
+	size() int
+	neighbors(i int, out []int) []int
+}
+
 // DBSCAN clusters points by density (Ester et al., 1996). eps is the
-// neighborhood radius; minPts the density threshold (a point is core if
-// its eps-neighborhood, itself included, holds at least minPts points).
+// Euclidean neighborhood radius (see the package comment); minPts the
+// density threshold (a point is core if its eps-neighborhood, itself
+// included, holds at least minPts points). Neighbor queries run over a
+// uniform grid index with a brute-force fallback in high dimension.
 func DBSCAN(points [][]float64, eps float64, minPts int) DBSCANResult {
-	n := len(points)
+	return dbscanFrom(NewIndex(points, eps), minPts)
+}
+
+// DBSCANBrute is the reference O(n²) implementation, retained for the
+// grid-equivalence property tests and the BenchmarkDBSCAN baseline.
+func DBSCANBrute(points [][]float64, eps float64, minPts int) DBSCANResult {
+	return dbscanFrom(&bruteSource{points: points, eps: eps}, minPts)
+}
+
+// bruteSource scans every point per query.
+type bruteSource struct {
+	points [][]float64
+	eps    float64
+}
+
+func (b *bruteSource) size() int { return len(b.points) }
+
+func (b *bruteSource) neighbors(i int, out []int) []int {
+	for j := range b.points {
+		if mathx.Dist2(b.points[i], b.points[j]) <= b.eps {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// dbscanFrom is the DBSCAN core over any neighbor source.
+func dbscanFrom(ns neighborSource, minPts int) DBSCANResult {
+	n := ns.size()
 	labels := make([]int, n)
 	for i := range labels {
 		labels[i] = -2 // unvisited
 	}
-	neighbors := func(i int) []int {
-		var out []int
-		for j := 0; j < n; j++ {
-			if mathx.Dist2(points[i], points[j]) <= eps {
-				out = append(out, j)
-			}
-		}
-		return out
-	}
+	var nb, queue []int
 	cluster := 0
 	for i := 0; i < n; i++ {
 		if labels[i] != -2 {
 			continue
 		}
-		nb := neighbors(i)
+		nb = ns.neighbors(i, nb[:0])
 		if len(nb) < minPts {
 			labels[i] = Noise
 			continue
 		}
 		labels[i] = cluster
 		// Expand the cluster with a work queue.
-		queue := append([]int{}, nb...)
-		for len(queue) > 0 {
-			j := queue[0]
-			queue = queue[1:]
+		queue = append(queue[:0], nb...)
+		for head := 0; head < len(queue); head++ {
+			j := queue[head]
 			if labels[j] == Noise {
 				labels[j] = cluster // border point
 			}
@@ -63,9 +100,9 @@ func DBSCAN(points [][]float64, eps float64, minPts int) DBSCANResult {
 				continue
 			}
 			labels[j] = cluster
-			nj := neighbors(j)
-			if len(nj) >= minPts {
-				queue = append(queue, nj...)
+			nb = ns.neighbors(j, nb[:0])
+			if len(nb) >= minPts {
+				queue = append(queue, nb...)
 			}
 		}
 		cluster++
@@ -77,6 +114,11 @@ func DBSCAN(points [][]float64, eps float64, minPts int) DBSCANResult {
 // neighbor, so every observation belongs to some model's training set.
 // If everything is noise, all points join cluster 0.
 func (r *DBSCANResult) AssignNearest(points [][]float64) {
+	r.assignNearest(func(i, j int) float64 { return mathx.Dist2(points[i], points[j]) })
+}
+
+// assignNearest is AssignNearest over any distance oracle.
+func (r *DBSCANResult) assignNearest(dist func(i, j int) float64) {
 	if r.NumClusters == 0 {
 		for i := range r.Labels {
 			r.Labels[i] = 0
@@ -93,7 +135,7 @@ func (r *DBSCANResult) AssignNearest(points [][]float64) {
 			if lj == Noise || j == i {
 				continue
 			}
-			if d := mathx.Dist2(points[i], points[j]); d < bestD {
+			if d := dist(i, j); d < bestD {
 				best, bestD = lj, d
 			}
 		}
@@ -105,37 +147,10 @@ func (r *DBSCANResult) AssignNearest(points [][]float64) {
 // neighbor — the standard heuristic for choosing DBSCAN's eps (use a
 // high quantile of the returned values).
 func KDistance(points [][]float64, k int) []float64 {
-	n := len(points)
-	out := make([]float64, n)
-	for i := 0; i < n; i++ {
-		ds := make([]float64, 0, n-1)
-		for j := 0; j < n; j++ {
-			if i != j {
-				ds = append(ds, mathx.Dist2(points[i], points[j]))
-			}
-		}
-		if len(ds) == 0 {
-			continue
-		}
-		kk := k
-		if kk > len(ds) {
-			kk = len(ds)
-		}
-		// Partial selection via sort-free quantile is overkill; use Quantile.
-		out[i] = mathx.Quantile(ds, float64(kk-1)/math.Max(1, float64(len(ds)-1)))
-	}
-	return out
+	return NewDistMatrix(points).KDistance(k)
 }
 
 // SuggestEps picks an eps for DBSCAN from the k-distance distribution.
 func SuggestEps(points [][]float64, k int) float64 {
-	if len(points) < 2 {
-		return 1
-	}
-	kd := KDistance(points, k)
-	eps := mathx.Quantile(kd, 0.90)
-	if eps <= 0 {
-		eps = 1e-6
-	}
-	return eps
+	return NewDistMatrix(points).SuggestEps(k)
 }

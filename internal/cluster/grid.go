@@ -1,0 +1,173 @@
+package cluster
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/mathx"
+)
+
+// Strategy thresholds for the grid index. Below enumMaxDim the 3^d
+// neighbor-cell enumeration is cheap; above it the index iterates the
+// occupied cells instead (contexts concentrate in few cells, so the scan
+// is short); beyond bruteMaxDim the cells cannot prune anything useful
+// and the index degrades to the plain O(n) scan per query.
+const (
+	enumMaxDim  = 8
+	bruteMaxDim = 32
+)
+
+// Index is a uniform grid over point space that accelerates fixed-radius
+// neighbor queries: points are bucketed into cells of side eps, so every
+// point within Euclidean distance eps of a query lies in one of the 3^d
+// cells adjacent to (or equal to) the query's cell.
+type Index struct {
+	points [][]float64
+	eps    float64
+	dim    int
+
+	brute  bool
+	cells  []gridCell
+	lookup map[string]int // packed cell coordinate → index into cells
+	ptCell []int          // point index → index into cells
+}
+
+// gridCell is one occupied cell: its integer coordinate and the points
+// bucketed into it.
+type gridCell struct {
+	coord []int32
+	pts   []int
+}
+
+// NewIndex builds a grid index over points with cell side eps. A
+// non-positive eps, an empty point set, or dimension above bruteMaxDim
+// yields a brute-force index (correct, no pruning).
+func NewIndex(points [][]float64, eps float64) *Index {
+	ix := &Index{points: points, eps: eps}
+	if len(points) > 0 {
+		ix.dim = len(points[0])
+	}
+	if eps <= 0 || len(points) == 0 || ix.dim == 0 || ix.dim > bruteMaxDim {
+		ix.brute = true
+		return ix
+	}
+	ix.lookup = make(map[string]int)
+	ix.ptCell = make([]int, len(points))
+	var key []byte
+	for i, p := range points {
+		coord := cellCoord(p, eps)
+		key = packCoord(key[:0], coord)
+		ci, ok := ix.lookup[string(key)]
+		if !ok {
+			ci = len(ix.cells)
+			ix.lookup[string(key)] = ci
+			ix.cells = append(ix.cells, gridCell{coord: coord})
+		}
+		ix.cells[ci].pts = append(ix.cells[ci].pts, i)
+		ix.ptCell[i] = ci
+	}
+	return ix
+}
+
+// cellCoord maps a point to its integer cell coordinate.
+func cellCoord(p []float64, eps float64) []int32 {
+	c := make([]int32, len(p))
+	for d, x := range p {
+		c[d] = int32(math.Floor(x / eps))
+	}
+	return c
+}
+
+// packCoord serializes a cell coordinate into out for map keying.
+func packCoord(out []byte, coord []int32) []byte {
+	for _, v := range coord {
+		out = append(out, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return out
+}
+
+func (ix *Index) size() int { return len(ix.points) }
+
+// neighbors appends every point within eps (Euclidean) of point i, self
+// included, in ascending index order.
+func (ix *Index) neighbors(i int, out []int) []int {
+	if ix.brute {
+		for j := range ix.points {
+			if mathx.Dist2(ix.points[i], ix.points[j]) <= ix.eps {
+				out = append(out, j)
+			}
+		}
+		return out
+	}
+	p := ix.points[i]
+	center := ix.cells[ix.ptCell[i]].coord
+	if ix.dim <= enumMaxDim {
+		out = ix.enumNeighbors(p, center, out)
+	} else {
+		out = ix.scanNeighbors(p, center, out)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// enumNeighbors enumerates the 3^d cells adjacent to center (odometer
+// over per-dimension offsets in {-1,0,+1}) and tests their points.
+func (ix *Index) enumNeighbors(p []float64, center []int32, out []int) []int {
+	d := ix.dim
+	off := make([]int8, d)
+	for i := range off {
+		off[i] = -1
+	}
+	coord := make([]int32, d)
+	var key []byte
+	for {
+		for i := range coord {
+			coord[i] = center[i] + int32(off[i])
+		}
+		key = packCoord(key[:0], coord)
+		if ci, ok := ix.lookup[string(key)]; ok {
+			out = ix.testCell(p, ci, out)
+		}
+		// Advance the offset odometer.
+		i := 0
+		for ; i < d; i++ {
+			if off[i] < 1 {
+				off[i]++
+				break
+			}
+			off[i] = -1
+		}
+		if i == d {
+			return out
+		}
+	}
+}
+
+// scanNeighbors iterates the occupied cells and keeps those within
+// Chebyshev distance 1 of center — the high-dimension strategy, where
+// 3^d enumeration is infeasible but occupied cells are few.
+func (ix *Index) scanNeighbors(p []float64, center []int32, out []int) []int {
+	for ci := range ix.cells {
+		adjacent := true
+		for d, v := range ix.cells[ci].coord {
+			if v-center[d] > 1 || center[d]-v > 1 {
+				adjacent = false
+				break
+			}
+		}
+		if adjacent {
+			out = ix.testCell(p, ci, out)
+		}
+	}
+	return out
+}
+
+// testCell appends the points of cell ci within eps of p.
+func (ix *Index) testCell(p []float64, ci int, out []int) []int {
+	for _, j := range ix.cells[ci].pts {
+		if mathx.Dist2(p, ix.points[j]) <= ix.eps {
+			out = append(out, j)
+		}
+	}
+	return out
+}

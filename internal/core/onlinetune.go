@@ -133,6 +133,12 @@ type OnlineTune struct {
 	rng        *rand.Rand
 	seed       int64
 
+	// reclusterIdx caches pairwise context distances across re-cluster
+	// checks; contexts are append-only, so each check only computes the
+	// rows for contexts observed since the previous one. Kept resident
+	// only up to reclusterMatrixCap contexts.
+	reclusterIdx *cluster.DistMatrix
+
 	initialUnit []float64
 
 	// pending white-box rule awaiting an outcome report.
@@ -147,14 +153,15 @@ type OnlineTune struct {
 // configuration (the paper uses the DBA default).
 func New(space *knobs.Space, ctxDim int, initialSafe []float64, seed int64, opts Options) *OnlineTune {
 	o := &OnlineTune{
-		Space:       space,
-		Opts:        opts,
-		White:       whitebox.NewEngine(),
-		Repo:        repo.New(),
-		ctxDim:      ctxDim,
-		rng:         rand.New(rand.NewSource(seed)),
-		seed:        seed,
-		initialUnit: mathx.VecClone(initialSafe),
+		Space:        space,
+		Opts:         opts,
+		White:        whitebox.NewEngine(),
+		Repo:         repo.New(),
+		ctxDim:       ctxDim,
+		rng:          rand.New(rand.NewSource(seed)),
+		seed:         seed,
+		initialUnit:  mathx.VecClone(initialSafe),
+		reclusterIdx: cluster.NewDistMatrix(nil),
 	}
 	o.models = []*model{o.newModel(initialSafe)}
 	return o
@@ -214,6 +221,12 @@ func (o *OnlineTune) selectModel(ctx []float64) int {
 	}
 	return idx
 }
+
+// reclusterMatrixCap bounds the resident size of the incremental
+// re-cluster distance cache: at the cap the lower triangle holds
+// ~4096²/2 float64s ≈ 64 MB. Longer runs fall back to a transient
+// matrix per check.
+const reclusterMatrixCap = 4096
 
 func key(u []float64) string {
 	b := make([]byte, 0, len(u)*2)
@@ -532,15 +545,31 @@ func (o *OnlineTune) appendCapped(m *model, unit, ctx []float64, perf float64) {
 // ReclusterEvery observations, simulate a fresh DBSCAN clustering of all
 // contexts; if its normalized mutual information against the maintained
 // labels falls below the threshold, adopt it — refit per-cluster models
-// and retrain the SVM boundary.
+// and retrain the SVM boundary. The check runs over the incrementally
+// extended distance matrix, so eps estimation, the DBSCAN neighbor scans
+// and noise assignment all reuse cached distances instead of rebuilding
+// the O(n²) pairwise work from scratch each period.
 func (o *OnlineTune) maybeRecluster() {
 	n := o.Repo.Len()
 	if n < o.Opts.MinRecluster || n%o.Opts.ReclusterEvery != 0 {
 		return
 	}
 	ctxs := o.Repo.Contexts()
-	res := cluster.DBSCAN(ctxs, cluster.SuggestEps(ctxs, 4), 4)
-	res.AssignNearest(ctxs)
+	m := o.reclusterIdx
+	if len(ctxs) <= reclusterMatrixCap {
+		m.Extend(ctxs)
+	} else {
+		// Beyond the cap a resident matrix would hold O(n²/2) floats for
+		// the tuner's lifetime; release the cache and recompute transiently
+		// (freed after the check), trading the incremental CPU win for
+		// bounded heap on very long runs.
+		if o.reclusterIdx.Len() > 0 {
+			o.reclusterIdx = cluster.NewDistMatrix(nil)
+		}
+		m = cluster.NewDistMatrix(ctxs)
+	}
+	res := m.DBSCAN(m.SuggestEps(4), 4)
+	m.AssignNearest(&res)
 	if res.NumClusters < 1 {
 		return
 	}

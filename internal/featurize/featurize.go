@@ -6,9 +6,19 @@
 // examined, filtered percentage, index usage). Query plans are
 // deliberately NOT encoded: they depend on the currently applied
 // configuration and would leak the tuner's own actions into the context.
+//
+// Because workloads repeat a small set of query templates (only the
+// literals change, and sqlparse.Tokenize strips literals), the featurizer
+// memoizes the frozen encoder's output per template signature in a
+// bounded LRU cache (vocabulary ids need no cache of their own: token
+// admission is sticky, so re-encoding is bitwise-stable). A snapshot of repeating
+// templates then costs one tokenization pass per query instead of a full
+// LSTM forward pass; cold templates are batch-encoded across the bounded
+// worker pool.
 package featurize
 
 import (
+	"container/list"
 	"math"
 
 	"repro/internal/dbsim"
@@ -21,6 +31,28 @@ import (
 // query-composition embedding.
 const EncoderHidden = 8
 
+// DefaultCacheBound is the default number of query templates whose
+// encodings are memoized. Real workloads cycle through tens of templates;
+// the bound only exists so adversarial SQL streams cannot grow the cache
+// without limit.
+const DefaultCacheBound = 512
+
+// CacheStats counts template-cache traffic (Context calls only; Pretrain
+// never touches the cache).
+type CacheStats struct {
+	Hits, Misses, Evictions int
+}
+
+// cacheEntry is one memoized template: the frozen encoder's output.
+// Vocabulary ids need no separate memoization — admission is sticky, so
+// re-encoding an evicted template recomputes bitwise-identical ids and
+// encodings. Evicted entries stay valid for callers already holding the
+// slice.
+type cacheEntry struct {
+	key string
+	enc []float64
+}
+
 // Featurizer turns workload snapshots and optimizer statistics into
 // context vectors. The two Use* switches exist for the paper's ablations
 // (OnlineTune-w/o-workload, OnlineTune-w/o-data, §7.3.1).
@@ -30,27 +62,99 @@ type Featurizer struct {
 
 	vocab *sqlparse.Vocab
 	enc   *lstm.Autoencoder
+
+	// Template-keyed encoding cache (LRU, bound ≤ 0 disables).
+	cacheBound int
+	cache      map[string]*list.Element
+	lru        *list.List // front = most recent
+	stats      CacheStats
+
+	// Scratch reused across Context calls (the per-iteration hot path
+	// allocates nothing beyond the returned vector).
+	avgBuf   []float64
+	perQuery [][]float64
+	coldSeqs [][]int
+	coldKeys []string
+	coldPos  map[string]int
+	coldRefs []coldRef
 }
+
+// coldRef maps a query index to its cold-template batch position.
+type coldRef struct{ query, pos int }
 
 // New returns a featurizer with an untrained query encoder. Call Pretrain
 // before use so encodings are stable across the tuning run (the paper
 // pre-trains the encoder-decoder; training it online would drift the
 // context space under the GP).
 func New(seed int64) *Featurizer {
-	return &Featurizer{
+	f := &Featurizer{
 		UseWorkload: true,
 		UseData:     true,
 		vocab:       sqlparse.NewVocab(256),
 		enc:         lstm.NewAutoencoder(256, 10, EncoderHidden, seed),
+		cacheBound:  DefaultCacheBound,
+		avgBuf:      make([]float64, EncoderHidden),
+		coldPos:     map[string]int{},
 	}
+	f.resetCache()
+	return f
 }
 
 // Dim returns the context dimensionality: 1 (arrival rate) +
 // EncoderHidden (query composition) + 3 (data features).
 func (f *Featurizer) Dim() int { return 1 + EncoderHidden + 3 }
 
+// SetCacheBound sets the LRU bound of the template encoding cache and
+// clears it. n ≤ 0 disables memoization entirely — every Context call
+// re-encodes every query, the pre-cache cost profile kept for the ext3
+// equivalence run and the featurization benchmarks.
+func (f *Featurizer) SetCacheBound(n int) {
+	f.cacheBound = n
+	f.resetCache()
+}
+
+// Stats returns the template-cache counters accumulated since the last
+// cache reset.
+func (f *Featurizer) Stats() CacheStats { return f.stats }
+
+func (f *Featurizer) resetCache() {
+	f.cache = make(map[string]*list.Element)
+	f.lru = list.New()
+	f.stats = CacheStats{}
+}
+
+// cacheGet looks up a template and marks it most-recently used.
+func (f *Featurizer) cacheGet(key string) *cacheEntry {
+	el, ok := f.cache[key]
+	if !ok {
+		return nil
+	}
+	f.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry)
+}
+
+// cachePut inserts a template, evicting from the LRU tail at the bound.
+func (f *Featurizer) cachePut(e *cacheEntry) {
+	if f.cacheBound <= 0 {
+		return
+	}
+	if el, ok := f.cache[e.key]; ok {
+		f.lru.MoveToFront(el)
+		el.Value = e
+		return
+	}
+	for f.lru.Len() >= f.cacheBound {
+		tail := f.lru.Back()
+		f.lru.Remove(tail)
+		delete(f.cache, tail.Value.(*cacheEntry).key)
+		f.stats.Evictions++
+	}
+	f.cache[e.key] = f.lru.PushFront(e)
+}
+
 // Pretrain fits the query autoencoder on SQL sampled from the given
-// generators, then freezes it.
+// generators, then freezes it. Any memoized encodings are invalidated:
+// they were produced by the pre-training weights.
 func (f *Featurizer) Pretrain(gens []workload.Generator, iters int) {
 	for it := 0; it < iters; it++ {
 		for _, g := range gens {
@@ -60,13 +164,23 @@ func (f *Featurizer) Pretrain(gens []workload.Generator, iters int) {
 			}
 		}
 	}
+	f.resetCache()
 }
 
 // Context builds the context vector for a snapshot and its optimizer
 // statistics. Ablated components are zeroed so the vector length is
 // stable.
 func (f *Featurizer) Context(w workload.Snapshot, stats dbsim.OptimizerStats) []float64 {
-	out := make([]float64, 0, f.Dim())
+	return f.ContextInto(nil, w, stats)
+}
+
+// ContextInto is Context appending into dst's storage (dst may be nil or
+// a previous result; its capacity is reused). All intermediate work —
+// per-query encodings, the weighted average, cold-template batches —
+// runs on internal scratch, so a warm-cache call allocates nothing
+// beyond dst itself.
+func (f *Featurizer) ContextInto(dst []float64, w workload.Snapshot, stats dbsim.OptimizerStats) []float64 {
+	out := dst[:0]
 
 	// Workload feature: arrival rate + mean query encoding.
 	rate := 1.0 // unlimited arrival saturates the scale
@@ -78,11 +192,17 @@ func (f *Featurizer) Context(w workload.Snapshot, stats dbsim.OptimizerStats) []
 	}
 	out = append(out, rate)
 
-	encAvg := make([]float64, EncoderHidden)
-	if f.UseWorkload {
+	encAvg := f.avgBuf
+	for i := range encAvg {
+		encAvg[i] = 0
+	}
+	if f.UseWorkload && len(w.Queries) > 0 {
+		// The ablation (UseWorkload false) short-circuits this branch: no
+		// tokenization, no encoder work, no cache traffic.
+		f.encodeQueries(w.Queries)
 		var wsum float64
-		for _, q := range w.Queries {
-			e := f.enc.Encode(f.vocab.Encode(q.SQL))
+		for qi, q := range w.Queries {
+			e := f.perQuery[qi]
 			for i := range encAvg {
 				encAvg[i] += q.Weight * e[i]
 			}
@@ -107,4 +227,59 @@ func (f *Featurizer) Context(w workload.Snapshot, stats dbsim.OptimizerStats) []
 		out = append(out, 0, 0, 0)
 	}
 	return out
+}
+
+// encodeQueries fills f.perQuery with one encoding per query. Cache hits
+// reuse the memoized slice; cold templates are deduplicated within the
+// snapshot, their vocabulary ids assigned serially in first-appearance
+// order (identical admission order to the uncached path), and encoded as
+// one parallel batch.
+func (f *Featurizer) encodeQueries(queries []workload.Query) {
+	n := len(queries)
+	if cap(f.perQuery) < n {
+		f.perQuery = make([][]float64, n)
+	}
+	f.perQuery = f.perQuery[:n]
+	f.coldSeqs = f.coldSeqs[:0]
+	f.coldKeys = f.coldKeys[:0]
+	f.coldRefs = f.coldRefs[:0]
+	for k := range f.coldPos {
+		delete(f.coldPos, k)
+	}
+
+	for qi, q := range queries {
+		toks := sqlparse.Tokenize(q.SQL)
+		if f.cacheBound <= 0 {
+			// Memoization disabled: sequential per-query encode, the
+			// original cost profile.
+			f.perQuery[qi] = f.enc.Encode(f.vocab.EncodeTokens(toks))
+			continue
+		}
+		key := sqlparse.TemplateKey(toks)
+		if e := f.cacheGet(key); e != nil {
+			f.stats.Hits++
+			f.perQuery[qi] = e.enc
+			continue
+		}
+		f.stats.Misses++
+		pos, seen := f.coldPos[key]
+		if !seen {
+			pos = len(f.coldSeqs)
+			f.coldPos[key] = pos
+			f.coldSeqs = append(f.coldSeqs, f.vocab.EncodeTokens(toks))
+			f.coldKeys = append(f.coldKeys, key)
+		}
+		f.coldRefs = append(f.coldRefs, coldRef{query: qi, pos: pos})
+	}
+
+	if len(f.coldSeqs) == 0 {
+		return
+	}
+	encs := f.enc.EncodeAll(f.coldSeqs)
+	for i, enc := range encs {
+		f.cachePut(&cacheEntry{key: f.coldKeys[i], enc: enc})
+	}
+	for _, r := range f.coldRefs {
+		f.perQuery[r.query] = encs[r.pos]
+	}
 }

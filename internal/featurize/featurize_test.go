@@ -2,6 +2,7 @@ package featurize
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 
 	"repro/internal/dbsim"
@@ -105,6 +106,116 @@ func TestAblationsZeroComponents(t *testing.T) {
 	for i := 1 + EncoderHidden; i < len(c); i++ {
 		if c[i] != 0 {
 			t.Fatalf("data ablation leaves ctx[%d] = %v", i, c[i])
+		}
+	}
+}
+
+// TestCachedContextBitwiseIdentical is the cache-correctness property
+// test: over randomized workload snapshots (random generators, random
+// iterations, revisits), the template-cached Context output must be
+// bitwise-identical to the uncached path.
+func TestCachedContextBitwiseIdentical(t *testing.T) {
+	in := dbsim.New(knobs.MySQL57(), 1)
+	rng := rand.New(rand.NewSource(11))
+	gens := []workload.Generator{
+		workload.NewTPCC(1, true),
+		workload.NewJOB(2, true),
+		workload.NewTwitter(3, true),
+		workload.NewRealWorld(4),
+	}
+	cached := pretrained(t)
+	uncached := pretrained(t)
+	uncached.SetCacheBound(0)
+	for trial := 0; trial < 120; trial++ {
+		g := gens[rng.Intn(len(gens))]
+		w := g.At(rng.Intn(12)) // small range forces template revisits
+		st := in.OptimizerStats(w)
+		a := cached.Context(w, st)
+		b := uncached.Context(w, st)
+		if len(a) != len(b) {
+			t.Fatalf("trial %d: dim %d vs %d", trial, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("trial %d (%s@%d): ctx[%d] cached %v != uncached %v",
+					trial, g.Name(), w.Iter, i, a[i], b[i])
+			}
+		}
+	}
+	if s := cached.Stats(); s.Hits == 0 {
+		t.Fatal("property test never hit the cache — not exercising memoization")
+	}
+}
+
+// TestLRUEvictionPreservesResults pins that a tiny cache bound forces
+// evictions without changing any output: evicted templates recompute to
+// bitwise-identical encodings because vocabulary admission is sticky.
+func TestLRUEvictionPreservesResults(t *testing.T) {
+	in := dbsim.New(knobs.MySQL57(), 1)
+	tiny := pretrained(t)
+	tiny.SetCacheBound(2) // far below any workload's template count
+	full := pretrained(t)
+	gens := []workload.Generator{workload.NewTPCC(1, true), workload.NewJOB(2, true)}
+	for round := 0; round < 3; round++ {
+		for _, g := range gens {
+			w := g.At(round)
+			st := in.OptimizerStats(w)
+			a := tiny.Context(w, st)
+			b := full.Context(w, st)
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("round %d %s: eviction changed ctx[%d]: %v vs %v", round, g.Name(), i, a[i], b[i])
+				}
+			}
+		}
+	}
+	if s := tiny.Stats(); s.Evictions == 0 {
+		t.Fatalf("bound-2 cache never evicted: %+v", s)
+	}
+}
+
+// TestAblationShortCircuitsEncoder verifies the UseWorkload=false path
+// skips the encoder entirely — no cache traffic, even with a never-
+// pretrained featurizer — while the vector stays length-stable.
+func TestAblationShortCircuitsEncoder(t *testing.T) {
+	f := New(3) // deliberately NOT pretrained
+	f.UseWorkload = false
+	in := dbsim.New(knobs.MySQL57(), 1)
+	w := workload.NewTPCC(1, false).At(0)
+	c := f.Context(w, in.OptimizerStats(w))
+	if len(c) != f.Dim() {
+		t.Fatalf("ablated vector length %d, want %d", len(c), f.Dim())
+	}
+	for i := 0; i <= EncoderHidden; i++ {
+		if c[i] != 0 {
+			t.Fatalf("ablation leaves ctx[%d] = %v", i, c[i])
+		}
+	}
+	if s := f.Stats(); s.Hits+s.Misses != 0 {
+		t.Fatalf("ablated Context touched the encoder cache: %+v", s)
+	}
+}
+
+// TestContextIntoReusesBuffer checks the scratch-vector contract: the
+// returned slice reuses dst's storage and matches Context exactly.
+func TestContextIntoReusesBuffer(t *testing.T) {
+	f := pretrained(t)
+	in := dbsim.New(knobs.MySQL57(), 1)
+	g := workload.NewTPCC(1, true)
+	buf := make([]float64, 0, f.Dim())
+	base := &buf[:1][0] // backing array of the caller's scratch
+	for i := 0; i < 5; i++ {
+		w := g.At(i)
+		st := in.OptimizerStats(w)
+		want := f.Context(w, st)
+		buf = f.ContextInto(buf, w, st)
+		if &buf[0] != base {
+			t.Fatalf("iter %d: ContextInto reallocated instead of reusing dst", i)
+		}
+		for j := range want {
+			if buf[j] != want[j] {
+				t.Fatalf("iter %d: ContextInto[%d] = %v, Context = %v", i, j, buf[j], want[j])
+			}
 		}
 	}
 }

@@ -3,6 +3,9 @@ package lstm
 import (
 	"math"
 	"math/rand"
+	"sync"
+
+	"repro/internal/mathx"
 )
 
 // Autoencoder is the sequence-to-sequence autoencoder of §5.1.1: an
@@ -24,6 +27,16 @@ type Autoencoder struct {
 
 	opt    *adam
 	MaxLen int // sequences are truncated to this length
+
+	// inf pools inference scratch (state + preactivation buffers) so
+	// Encode/EncodeAll allocate nothing per token and stay safe under
+	// concurrent use of the frozen encoder.
+	inf sync.Pool
+}
+
+// infScratch is one worker's reusable inference state.
+type infScratch struct {
+	h, c, pre []float64
 }
 
 // NewAutoencoder builds an autoencoder for the given vocabulary size.
@@ -55,6 +68,13 @@ func NewAutoencoder(vocab, embDim, hidden int, seed int64) *Autoencoder {
 	params = append(append(params, pe...), pd...)
 	grads = append(append(grads, ge...), gd...)
 	a.opt = newAdam(0.01, params, grads)
+	a.inf.New = func() interface{} {
+		return &infScratch{
+			h:   make([]float64, hidden),
+			c:   make([]float64, hidden),
+			pre: make([]float64, 4*hidden),
+		}
+	}
 	return a
 }
 
@@ -66,18 +86,41 @@ func (a *Autoencoder) embed(tok int) []float64 {
 	return a.Emb[tok*a.EmbDim : (tok+1)*a.EmbDim]
 }
 
-// Encode runs the encoder over a token sequence and returns a copy of the
-// final hidden state — the dense query encoding.
+// Encode runs the encoder over a token sequence and returns the final
+// hidden state — the dense query encoding.
 func (a *Autoencoder) Encode(tokens []int) []float64 {
+	return a.EncodeInto(tokens, make([]float64, a.Hidden))
+}
+
+// EncodeInto is Encode writing the encoding into out (length Hidden),
+// which is also returned. It runs the allocation-free inference step with
+// pooled scratch buffers, so it is safe to call concurrently as long as
+// the encoder weights are frozen (no concurrent Train).
+func (a *Autoencoder) EncodeInto(tokens []int, out []float64) []float64 {
 	if len(tokens) > a.MaxLen {
 		tokens = tokens[:a.MaxLen]
 	}
-	s := a.Enc.NewState()
-	for _, tok := range tokens {
-		s, _ = a.Enc.Step(a.embed(tok), s)
+	s := a.inf.Get().(*infScratch)
+	for i := range s.h {
+		s.h[i], s.c[i] = 0, 0
 	}
-	out := make([]float64, a.Hidden)
-	copy(out, s.H)
+	for _, tok := range tokens {
+		a.Enc.StepInfer(a.embed(tok), s.h, s.c, s.pre)
+	}
+	copy(out, s.h)
+	a.inf.Put(s)
+	return out
+}
+
+// EncodeAll encodes a batch of token sequences, fanning the sequences
+// across mathx.ParallelFor's bounded worker pool — the cold-template path
+// of the featurizer's encoding cache.
+func (a *Autoencoder) EncodeAll(seqs [][]int) [][]float64 {
+	out := make([][]float64, len(seqs))
+	flat := make([]float64, len(seqs)*a.Hidden)
+	mathx.ParallelFor(len(seqs), func(i int) {
+		out[i] = a.EncodeInto(seqs[i], flat[i*a.Hidden:(i+1)*a.Hidden])
+	})
 	return out
 }
 

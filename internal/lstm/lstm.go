@@ -97,6 +97,35 @@ func (c *Cell) Step(x []float64, s State) (State, *stepCache) {
 	return State{H: cache.hNew, C: cache.cNew}, cache
 }
 
+// StepInfer advances the cell one timestep for inference only, updating
+// h and cs in place. pre is caller-provided scratch of length 4*Hidden.
+// Unlike Step it allocates nothing and keeps no cache, so it cannot feed
+// StepBack — it is the frozen-encoder hot path.
+func (c *Cell) StepInfer(x, h, cs, pre []float64) {
+	H := c.Hidden
+	copy(pre, c.B)
+	for r := 0; r < 4*H; r++ {
+		rowX := c.Wx[r*c.InDim : (r+1)*c.InDim]
+		acc := 0.0
+		for k, xv := range x {
+			acc += rowX[k] * xv
+		}
+		rowH := c.Wh[r*H : (r+1)*H]
+		for k, hv := range h {
+			acc += rowH[k] * hv
+		}
+		pre[r] += acc
+	}
+	for j := 0; j < H; j++ {
+		i := sigmoid(pre[j])
+		f := sigmoid(pre[H+j])
+		g := math.Tanh(pre[2*H+j])
+		o := sigmoid(pre[3*H+j])
+		cs[j] = f*cs[j] + i*g
+		h[j] = o * math.Tanh(cs[j])
+	}
+}
+
 // StepBack backpropagates through one step. dH/dC are gradients flowing
 // into the step's outputs; it returns gradients for the previous state
 // and the input.

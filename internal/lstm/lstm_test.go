@@ -134,6 +134,70 @@ func TestTrainDegenerateSequences(t *testing.T) {
 	}
 }
 
+// encodeRef is the pre-optimization Encode: the training-path Step with
+// its per-token cache allocations. The inference path must match it
+// bitwise.
+func encodeRef(a *Autoencoder, tokens []int) []float64 {
+	if len(tokens) > a.MaxLen {
+		tokens = tokens[:a.MaxLen]
+	}
+	s := a.Enc.NewState()
+	for _, tok := range tokens {
+		s, _ = a.Enc.Step(a.embed(tok), s)
+	}
+	out := make([]float64, a.Hidden)
+	copy(out, s.H)
+	return out
+}
+
+func TestEncodeInferMatchesStepBitwise(t *testing.T) {
+	a := NewAutoencoder(32, 7, 9, 11)
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 50; trial++ {
+		seq := make([]int, 1+rng.Intn(40))
+		for i := range seq {
+			seq[i] = rng.Intn(34) - 1 // includes out-of-range tokens
+		}
+		want := encodeRef(a, seq)
+		got := a.Encode(seq)
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("trial %d: Encode[%d] = %v, reference %v", trial, i, got[i], want[i])
+			}
+		}
+		into := a.EncodeInto(seq, make([]float64, a.Hidden))
+		for i := range want {
+			if want[i] != into[i] {
+				t.Fatalf("trial %d: EncodeInto[%d] diverges", trial, i)
+			}
+		}
+	}
+}
+
+func TestEncodeAllMatchesSequential(t *testing.T) {
+	a := NewAutoencoder(16, 5, 8, 13)
+	rng := rand.New(rand.NewSource(7))
+	seqs := make([][]int, 37)
+	for i := range seqs {
+		seqs[i] = make([]int, 1+rng.Intn(20))
+		for j := range seqs[i] {
+			seqs[i][j] = rng.Intn(16)
+		}
+	}
+	batch := a.EncodeAll(seqs)
+	for i, seq := range seqs {
+		want := a.Encode(seq)
+		for j := range want {
+			if batch[i][j] != want[j] {
+				t.Fatalf("seq %d dim %d: batch %v vs sequential %v", i, j, batch[i][j], want[j])
+			}
+		}
+	}
+	if out := a.EncodeAll(nil); len(out) != 0 {
+		t.Fatal("empty batch should return empty")
+	}
+}
+
 func TestTruncationToMaxLen(t *testing.T) {
 	a := NewAutoencoder(8, 4, 6, 2)
 	a.MaxLen = 4

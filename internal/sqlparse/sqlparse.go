@@ -145,10 +145,31 @@ func (v *Vocab) ID(tok string) int {
 
 // Encode tokenizes a statement and maps it to vocabulary ids.
 func (v *Vocab) Encode(sql string) []int {
-	toks := Tokenize(sql)
+	return v.EncodeTokens(Tokenize(sql))
+}
+
+// EncodeTokens maps an already-tokenized statement to vocabulary ids.
+// Splitting tokenization from id lookup lets callers tokenize once and
+// reuse the token stream both as a template signature (TemplateKey) and
+// as encoder input.
+func (v *Vocab) EncodeTokens(toks []string) []int {
 	out := make([]int, len(toks))
 	for i, t := range toks {
 		out[i] = v.ID(t)
 	}
 	return out
+}
+
+// TemplateKey joins a normalized token stream into a canonical template
+// signature. Because Tokenize replaces literals with <num>/<str>, queries
+// differing only in constants share a key — the memoization key for the
+// featurizer's template-keyed encoding cache.
+func TemplateKey(toks []string) string {
+	return strings.Join(toks, " ")
+}
+
+// Template returns the template signature of a raw SQL statement:
+// Template(sql) == TemplateKey(Tokenize(sql)).
+func Template(sql string) string {
+	return TemplateKey(Tokenize(sql))
 }

@@ -5,6 +5,50 @@ import (
 	"testing"
 )
 
+func TestTemplateSharedAcrossLiterals(t *testing.T) {
+	a := Template("SELECT c FROM t WHERE id = 42 AND name = 'bob'")
+	b := Template("select c from t where id = 90210 and name = 'alice'")
+	if a != b {
+		t.Fatalf("literal-only variants should share a template:\n%q\n%q", a, b)
+	}
+	c := Template("SELECT c FROM t WHERE id = 42 OR name = 'bob'")
+	if a == c {
+		t.Fatal("structurally different statements must not share a template")
+	}
+}
+
+func TestTemplateKeyMatchesTokenize(t *testing.T) {
+	sql := "UPDATE t SET v = 3.5 WHERE k >= 10"
+	if Template(sql) != TemplateKey(Tokenize(sql)) {
+		t.Fatal("Template must equal TemplateKey∘Tokenize")
+	}
+}
+
+func TestEncodeTokensMatchesEncode(t *testing.T) {
+	v1 := NewVocab(64)
+	v2 := NewVocab(64)
+	stmts := []string{
+		"SELECT a, b FROM t WHERE x = 1",
+		"INSERT INTO t VALUES (1, 'x')",
+		"SELECT a, b FROM t WHERE x = 999",
+	}
+	for _, sql := range stmts {
+		a := v1.Encode(sql)
+		b := v2.EncodeTokens(Tokenize(sql))
+		if len(a) != len(b) {
+			t.Fatalf("length mismatch for %q", sql)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("id mismatch at %d for %q", i, sql)
+			}
+		}
+	}
+	if v1.Size() != v2.Size() {
+		t.Fatal("admission order must match between Encode and EncodeTokens")
+	}
+}
+
 func TestTokenizeNormalizesLiterals(t *testing.T) {
 	a := Tokenize("SELECT * FROM tweets WHERE id = 42")
 	b := Tokenize("SELECT * FROM tweets WHERE id = 977")
