@@ -65,6 +65,15 @@ func main() {
 	if *replicates < 1 {
 		*replicates = 1
 	}
+	if *jsonDir != "" {
+		// Validate the artifact directory up front — create it if
+		// missing, and fail before burning experiment time if it is
+		// unwritable.
+		if err := bench.EnsureArtifactDir(*jsonDir); err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			os.Exit(1)
+		}
+	}
 
 	var jobs []job
 	for _, id := range ids {

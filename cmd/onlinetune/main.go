@@ -1,6 +1,7 @@
 // Command onlinetune runs the OnlineTune tuner (or a baseline) against
 // the simulated cloud database on a chosen workload schedule, streaming
 // per-iteration results and writing the observation repository to disk.
+// Backends are selected through the public tune registry.
 //
 // Usage:
 //
@@ -13,18 +14,17 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
-	"repro/internal/baselines"
 	"repro/internal/bench"
-	"repro/internal/core"
-	"repro/internal/knobs"
 	"repro/internal/workload"
+	"repro/tune"
 )
 
 func main() {
 	wl := flag.String("workload", "tpcc", "workload: tpcc, twitter, job, ycsb, realworld, cycle")
-	spaceName := flag.String("space", "full", "knob space: full (40 knobs) or case5")
-	tunerName := flag.String("tuner", "onlinetune", "tuner: onlinetune, bo, ddpg, restune, qtune, mysqltuner, dba, mysql")
+	spaceName := flag.String("space", "mysql57", "knob space: "+strings.Join(tune.Spaces(), ", "))
+	tunerName := flag.String("tuner", "onlinetune", "tuner backend: "+strings.Join(tune.Backends(), ", "))
 	iters := flag.Int("iters", 200, "tuning iterations")
 	seed := flag.Int64("seed", 1, "random seed")
 	interval := flag.Float64("interval", 180, "interval length in seconds")
@@ -32,10 +32,6 @@ func main() {
 	every := flag.Int("print-every", 10, "print progress every N iterations")
 	flag.Parse()
 
-	space := knobs.MySQL57()
-	if *spaceName == "case5" {
-		space = knobs.CaseStudy5()
-	}
 	var gen workload.Generator
 	switch *wl {
 	case "tpcc":
@@ -55,30 +51,18 @@ func main() {
 		os.Exit(2)
 	}
 
-	feat := bench.NewFeaturizer(*seed)
-	var tn baselines.Tuner
-	switch *tunerName {
-	case "onlinetune":
-		tn = baselines.NewOnlineTune(space, feat.Dim(), space.DBADefault(), *seed, core.DefaultOptions())
-	case "bo":
-		tn = baselines.NewBO(space, *seed)
-	case "ddpg":
-		tn = baselines.NewDDPG(space, *seed)
-	case "restune":
-		tn = baselines.NewResTune(space, *seed)
-	case "qtune":
-		tn = baselines.NewQTune(space, feat.Dim(), *seed)
-	case "mysqltuner":
-		tn = baselines.NewMysqlTuner(space)
-	case "dba":
-		tn = baselines.NewFixed("DBADefault", space.DBADefault())
-	case "mysql":
-		tn = baselines.NewFixed("MysqlDefault", space.Default())
-	default:
-		fmt.Fprintf(os.Stderr, "unknown tuner %q\n", *tunerName)
+	tn, err := tune.Open(*tunerName, tune.Config{Space: *spaceName, Seed: *seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	space, err := tune.OpenSpace(*spaceName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
+	feat := bench.NewFeaturizer(*seed)
 	fmt.Printf("tuning %s on %s (%d knobs, %d iterations, %.0fs intervals)\n",
 		*wl, tn.Name(), space.Dim(), *iters, *interval)
 	s := bench.Run(tn, bench.RunConfig{
@@ -92,7 +76,7 @@ func main() {
 	fmt.Printf("unsafe recommendations: %d / %d   system failures: %d\n", s.Unsafe, *iters, s.Failures)
 
 	if *repoPath != "" {
-		if ot, ok := tn.(*baselines.OnlineTuneAdapter); ok {
+		if ot, ok := tn.(*tune.OnlineTuner); ok {
 			if err := ot.T.Repo.Save(*repoPath); err != nil {
 				fmt.Fprintln(os.Stderr, "saving repository:", err)
 				os.Exit(1)

@@ -1,0 +1,50 @@
+// Command tuned is the tuning-as-a-service server: an HTTP/JSON API
+// multiplexing many concurrent tuning sessions (one per database
+// instance) through the public tune package. With -state it checkpoints
+// every session to disk after each operation and reloads them on boot,
+// so a restarted server resumes every session with recommendations
+// identical to an uninterrupted run.
+//
+// Usage:
+//
+//	tuned -addr :8080 -state /var/lib/tuned
+//
+// API (see tune.NewServer):
+//
+//	POST   /v1/sessions                {"id": "db1", "config": {"space": "mysql57"}}
+//	POST   /v1/sessions/db1/suggest    → configuration advice
+//	POST   /v1/sessions/db1/report     ← raw interval observation
+//	GET    /v1/sessions/db1/snapshot   → durable session snapshot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"repro/tune"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	state := flag.String("state", "", "state directory: checkpoint sessions here and reload them on boot (created if missing)")
+	flag.Parse()
+
+	m, err := tune.NewManager(*state)
+	if err != nil {
+		// A missing directory is created; reaching here means the path
+		// is unwritable or holds a corrupt snapshot — fail loudly.
+		fmt.Fprintln(os.Stderr, "tuned:", err)
+		os.Exit(1)
+	}
+	if *state != "" {
+		log.Printf("tuned: state dir %s, %d session(s) restored", *state, len(m.List()))
+	}
+	log.Printf("tuned: listening on %s (backends: %v)", *addr, tune.Backends())
+	if err := http.ListenAndServe(*addr, tune.NewServer(m)); err != nil {
+		fmt.Fprintln(os.Stderr, "tuned:", err)
+		os.Exit(1)
+	}
+}

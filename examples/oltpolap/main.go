@@ -9,18 +9,17 @@ package main
 import (
 	"fmt"
 
-	"repro/internal/baselines"
 	"repro/internal/bench"
-	"repro/internal/core"
 	"repro/internal/knobs"
 	"repro/internal/workload"
+	"repro/tune"
 )
 
 func main() {
 	space := knobs.MySQL57()
 	gen := workload.NewAlternate(workload.NewTPCC(3, true), workload.NewJOB(4, true), 100)
 	feat := bench.NewFeaturizer(3)
-	tuner := baselines.NewOnlineTune(space, feat.Dim(), space.DBADefault(), 3, core.DefaultOptions())
+	tuner := tune.NewOnlineTuner(space, feat.Dim(), space.DBADefault(), 3, tune.DefaultTunerOptions())
 
 	s := bench.Run(tuner, bench.RunConfig{
 		Space: space, Gen: gen, Iters: 400, Seed: 3, Feat: feat, Objective: bench.NegP99,

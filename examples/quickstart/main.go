@@ -1,45 +1,89 @@
-// Quickstart: tune the 5-knob case-study space on a static YCSB mix for
-// 60 intervals and print what OnlineTune found.
+// Quickstart for the public API: create a tune.Session for the 5-knob
+// case-study space, drive it for 60 intervals against the simulated
+// instance with raw observations (SQL + metrics + performance), and
+// print what OnlineTune found.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 
-	"repro/internal/baselines"
-	"repro/internal/bench"
-	"repro/internal/core"
+	"repro/internal/dbsim"
 	"repro/internal/knobs"
 	"repro/internal/workload"
+	"repro/tune"
 )
 
 func main() {
-	// 1. The configuration space: the paper's 5-knob case-study subset.
-	space := knobs.CaseStudy5()
+	// 1. The session: OnlineTune on the paper's 5-knob case-study
+	//    subset, seeded for reproducibility. The initial safety set is
+	//    the DBA default (the Config default).
+	sess, err := tune.NewSession(tune.Config{Space: "case5", Seed: 1})
+	if err != nil {
+		panic(err)
+	}
 
-	// 2. The workload: YCSB at a fixed 75% read ratio.
+	// 2. The database and workload: the simulated instance under YCSB
+	//    at a fixed 75% read ratio. In a real deployment these are your
+	//    DBMS and whatever your clients send it.
+	space := knobs.CaseStudy5()
+	in := dbsim.New(space, 1)
 	gen := &workload.YCSB{Seed: 1, ReadRatioAt: func(int) float64 { return 0.75 }}
 
-	// 3. The tuner: OnlineTune seeded with the DBA default as its
-	//    initial safety set (and the DBA default's performance as τ).
-	feat := bench.NewFeaturizer(1)
-	tuner := baselines.NewOnlineTune(space, feat.Dim(), space.DBADefault(), 1, core.DefaultOptions())
-
-	// 4. Drive it against the simulated instance for 60 intervals.
-	s := bench.Run(tuner, bench.RunConfig{Space: space, Gen: gen, Iters: 60, Seed: 1, Feat: feat})
-
+	// 3. The loop: Suggest a configuration, apply and measure it, then
+	//    Report the raw observation back — SQL statements, optimizer
+	//    stats and metrics included; the session featurizes internally.
 	fmt.Println("iter   throughput   threshold")
-	for i := 0; i < 60; i += 5 {
-		fmt.Printf("%4d   %10.0f   %9.0f\n", i, s.Perf[i], s.Tau[i])
-	}
-	fmt.Printf("\ncumulative txns: %.4g (threshold baseline %.4g)\n", s.CumFinal(), s.Tau[0]*60)
-	fmt.Printf("unsafe: %d   failures: %d\n", s.Unsafe, s.Failures)
+	var cum, tau0 float64
+	var unsafe, failures int
+	for i := 0; i < 60; i++ {
+		adv, err := sess.Suggest(context.Background())
+		if err != nil {
+			panic(err)
+		}
 
-	best, perf := tuner.T.ModelBest(0)
-	fmt.Println("\nbest configuration found:")
-	for name, v := range space.Decode(best) {
-		fmt.Printf("  %-28s %v\n", name, v)
+		w := gen.At(i)
+		res := in.Eval(adv.Config, w, dbsim.EvalOptions{})
+		perf := res.Objective(w.OLAP)
+		dba := in.DBAResult(w)
+		tau := dba.Objective(w.OLAP)
+
+		if err := sess.Report(tune.Outcome{
+			Workload:    tune.WorkloadFromSnapshot(w),
+			Stats:       in.OptimizerStats(w),
+			Metrics:     res.Metrics,
+			Performance: perf,
+			Baseline:    tau,
+			Failed:      res.Failed,
+		}); err != nil {
+			panic(err)
+		}
+
+		cum += perf
+		if i == 0 {
+			tau0 = tau
+		}
+		if res.Failed {
+			failures++
+			unsafe++
+		} else if perf < 0.95*tau {
+			unsafe++
+		}
+		if i%5 == 0 {
+			fmt.Printf("%4d   %10.0f   %9.0f\n", i, perf, tau)
+		}
 	}
-	fmt.Printf("  (posterior-best measured throughput %.0f txn/s)\n", perf)
+
+	fmt.Printf("\ncumulative txns: %.4g (threshold baseline %.4g)\n", cum, tau0*60)
+	fmt.Printf("unsafe: %d   failures: %d\n", unsafe, failures)
+
+	if best, perf, ok := sess.Best(); ok {
+		fmt.Println("\nbest configuration found:")
+		for name, v := range best {
+			fmt.Printf("  %-28s %v\n", name, v)
+		}
+		fmt.Printf("  (best measured throughput %.0f txn/s)\n", perf)
+	}
 }

@@ -10,18 +10,17 @@ package main
 import (
 	"fmt"
 
-	"repro/internal/baselines"
 	"repro/internal/bench"
-	"repro/internal/core"
 	"repro/internal/knobs"
 	"repro/internal/workload"
+	"repro/tune"
 )
 
 func main() {
 	space := knobs.MySQL57()
 	gen := workload.NewTPCC(11, false) // static write-heavy workload
 	feat := bench.NewFeaturizer(11)
-	tuner := baselines.NewOnlineTune(space, feat.Dim(), space.DBADefault(), 11, core.DefaultOptions())
+	tuner := tune.NewOnlineTuner(space, feat.Dim(), space.DBADefault(), 11, tune.DefaultTunerOptions())
 
 	s := bench.Run(tuner, bench.RunConfig{Space: space, Gen: gen, Iters: 120, Seed: 11, Feat: feat})
 

@@ -4,7 +4,6 @@ import (
 	"math"
 	"testing"
 
-	"repro/internal/core"
 	"repro/internal/dbsim"
 	"repro/internal/knobs"
 	"repro/internal/workload"
@@ -174,20 +173,5 @@ func TestMysqlTunerRespectsSpace(t *testing.T) {
 		if _, ok := space.Get(name); !ok {
 			t.Fatalf("MysqlTuner set unknown knob %s", name)
 		}
-	}
-}
-
-func TestOnlineTuneAdapterRoundTrip(t *testing.T) {
-	space := knobs.CaseStudy5()
-	a := NewOnlineTune(space, 4, space.DBADefault(), 1, core.DefaultOptions())
-	if a.Name() != "OnlineTune" {
-		t.Fatal("name wrong")
-	}
-	perfs, _, fails := drive(t, a, space, workload.NewYCSB(1), 30)
-	if len(perfs) != 30 || fails != 0 {
-		t.Fatalf("adapter run broken: %d iters, %d fails", len(perfs), fails)
-	}
-	if a.T.Repo.Len() != 30 {
-		t.Fatalf("repository holds %d observations", a.T.Repo.Len())
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/featurize"
 	"repro/internal/knobs"
 	"repro/internal/workload"
+	"repro/tune"
 )
 
 // ablationVariant builds an OnlineTune adapter with modified options and
@@ -38,7 +39,7 @@ func runAblation(variants []ablationVariant, space *knobs.Space, gen workload.Ge
 	t := NewTable("variant", "cum_improv_vs_dba", "unsafe", "failures")
 	for _, v := range variants {
 		feat := v.feat(seed)
-		tn := baselines.NewOnlineTune(space, feat.Dim(), space.DBADefault(), seed, v.opts)
+		tn := tune.NewOnlineTuner(space, feat.Dim(), space.DBADefault(), seed, v.opts)
 		s := Run(tn, RunConfig{Space: space, Gen: gen, Iters: iters, Seed: seed, Feat: feat})
 		// Cumulative improvement over the DBA default (τ).
 		improv := 0.0
@@ -54,7 +55,7 @@ func runAblation(variants []ablationVariant, space *knobs.Space, gen workload.Ge
 // contextual modeling (workload feature, data feature, clustering).
 func Fig14AblationContext(iters int, seed int64) Report {
 	space := knobs.MySQL57()
-	base := core.DefaultOptions()
+	base := tune.DefaultTunerOptions()
 	noCluster := base
 	noCluster.UseClustering = false
 	variants := []ablationVariant{
@@ -75,7 +76,7 @@ func Fig14AblationContext(iters int, seed int64) Report {
 // exploration strategy (white box, black box, subspace, everything).
 func Fig15AblationSafety(iters int, seed int64) Report {
 	space := knobs.MySQL57()
-	base := core.DefaultOptions()
+	base := tune.DefaultTunerOptions()
 	noWhite := base
 	noWhite.UseWhiteBox = false
 	noBlack := base
@@ -115,7 +116,7 @@ func Fig16IntervalSizes(baseIters int, seed int64) Report {
 			iters = 1200 // cap the 5 s case for runtime sanity
 		}
 		feat := NewFeaturizer(seed)
-		tn := baselines.NewOnlineTune(space, feat.Dim(), space.DBADefault(), seed, core.DefaultOptions())
+		tn := tune.NewOnlineTuner(space, feat.Dim(), space.DBADefault(), seed, tune.DefaultTunerOptions())
 		s := Run(tn, RunConfig{
 			Space: space, Gen: workload.NewTwitter(seed, true), Iters: iters,
 			Seed: seed, Feat: feat, IntervalSec: iv.sec,
@@ -136,7 +137,7 @@ func Fig17MySQLDefaultStart(iters int, seed int64) Report {
 	space := knobs.CaseStudy5()
 	gen := workload.NewYCSB(seed)
 	feat := NewFeaturizer(seed)
-	tn := baselines.NewOnlineTune(space, feat.Dim(), space.Default(), seed, core.DefaultOptions())
+	tn := tune.NewOnlineTuner(space, feat.Dim(), space.Default(), seed, tune.DefaultTunerOptions())
 	s := Run(tn, RunConfig{
 		Space: space, Gen: gen, Iters: iters, Seed: seed, Feat: feat,
 		TauFromMySQLDefault: true,

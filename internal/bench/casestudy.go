@@ -6,18 +6,18 @@ import (
 	"strings"
 
 	"repro/internal/baselines"
-	"repro/internal/core"
 	"repro/internal/dbsim"
 	"repro/internal/knobs"
 	"repro/internal/mathx"
 	"repro/internal/workload"
+	"repro/tune"
 )
 
 // caseStudyTuners is the comparison set of §7.2 (no MysqlTuner/defaults
 // beyond the fixed reference).
-func caseStudyTuners(space *knobs.Space, ctxDim int, seed int64) []baselines.Tuner {
-	return []baselines.Tuner{
-		baselines.NewOnlineTune(space, ctxDim, space.DBADefault(), seed, core.DefaultOptions()),
+func caseStudyTuners(space *knobs.Space, ctxDim int, seed int64) []tune.Tuner {
+	return []tune.Tuner{
+		tune.NewOnlineTuner(space, ctxDim, space.DBADefault(), seed, tune.DefaultTunerOptions()),
 		baselines.NewBO(space, seed+1),
 		baselines.NewDDPG(space, seed+2),
 		baselines.NewResTune(space, seed+3),
@@ -189,8 +189,8 @@ func Fig12KnobTraces(iters int, seed int64) Report {
 	var b strings.Builder
 	b.WriteString("Approximate unsafe region: innodb_spin_wait_delay ≥ ~700 under write mixes;\n")
 	b.WriteString("max_heap_table_size near max combined with large pool risks overcommit.\n\n")
-	for _, tn := range []baselines.Tuner{
-		baselines.NewOnlineTune(space, feat.Dim(), space.DBADefault(), seed, core.DefaultOptions()),
+	for _, tn := range []tune.Tuner{
+		tune.NewOnlineTuner(space, feat.Dim(), space.DBADefault(), seed, tune.DefaultTunerOptions()),
 		baselines.NewResTune(space, seed+3),
 		baselines.NewBO(space, seed+1),
 	} {
@@ -221,7 +221,7 @@ func Fig13Visualization(iters int, seed int64) Report {
 	space := knobs.CaseStudy5()
 	gen := workload.NewYCSB(seed)
 	feat := NewFeaturizer(seed)
-	tn := baselines.NewOnlineTune(space, feat.Dim(), space.DBADefault(), seed, core.DefaultOptions())
+	tn := tune.NewOnlineTuner(space, feat.Dim(), space.DBADefault(), seed, tune.DefaultTunerOptions())
 	s := Run(tn, RunConfig{Space: space, Gen: gen, Iters: iters, Seed: seed, Feat: feat})
 
 	defaultU := space.Encode(space.DBADefault())

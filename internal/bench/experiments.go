@@ -7,12 +7,12 @@ import (
 
 	"repro/internal/baselines"
 	"repro/internal/cluster"
-	"repro/internal/core"
 	"repro/internal/dbsim"
 	"repro/internal/gp"
 	"repro/internal/knobs"
 	"repro/internal/svm"
 	"repro/internal/workload"
+	"repro/tune"
 )
 
 // Report is one regenerated table or figure.
@@ -141,7 +141,7 @@ func Fig1cOfflineExploration(iters int, seed int64) Report {
 	var b strings.Builder
 	summary := NewTable("tuner", "below_dba_pct", "failures", "best_improv_pct")
 	var series []*Series
-	for _, tn := range []baselines.Tuner{baselines.NewBO(space, seed+1), baselines.NewDDPG(space, seed+2)} {
+	for _, tn := range []tune.Tuner{baselines.NewBO(space, seed+1), baselines.NewDDPG(space, seed+2)} {
 		s := Run(tn, RunConfig{Space: space, Gen: gen, Iters: iters, Seed: seed, Feat: feat})
 		series = append(series, s)
 		below := 0
@@ -368,11 +368,11 @@ func Fig8Overhead(iters int, seed int64) Report {
 	space := knobs.MySQL57()
 	gen := workload.NewJOB(seed, true)
 	feat := NewFeaturizer(seed)
-	fullOpts := core.DefaultOptions()
+	fullOpts := tune.DefaultTunerOptions()
 	fullOpts.FullRefitGP = true
-	tuners := []baselines.Tuner{
-		baselines.NewOnlineTune(space, feat.Dim(), space.DBADefault(), seed, core.DefaultOptions()),
-		baselines.NewOnlineTuneNamed("OnlineTune-FullRefit", space, feat.Dim(), space.DBADefault(), seed, fullOpts),
+	tuners := []tune.Tuner{
+		tune.NewOnlineTuner(space, feat.Dim(), space.DBADefault(), seed, tune.DefaultTunerOptions()),
+		tune.NewOnlineTunerNamed("OnlineTune-FullRefit", space, feat.Dim(), space.DBADefault(), seed, fullOpts),
 		baselines.NewBO(space, seed+1),
 		baselines.NewDDPG(space, seed+2),
 		baselines.NewResTune(space, seed+3),

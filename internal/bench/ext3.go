@@ -6,13 +6,12 @@ import (
 	"math/rand"
 	"time"
 
-	"repro/internal/baselines"
 	"repro/internal/cluster"
-	"repro/internal/core"
 	"repro/internal/dbsim"
 	"repro/internal/featurize"
 	"repro/internal/knobs"
 	"repro/internal/workload"
+	"repro/tune"
 )
 
 // Ext3FeaturizeClusterSpeedup measures the two per-iteration hot paths
@@ -70,10 +69,10 @@ func Ext3FeaturizeClusterSpeedup(iters int, seed int64) Report {
 
 	// --- Recommendation divergence over a full tuning run.
 	cachedRun := Run(
-		baselines.NewOnlineTuneNamed("OnlineTune-CachedFeat", space, cached.Dim(), space.DBADefault(), seed, core.DefaultOptions()),
+		tune.NewOnlineTunerNamed("OnlineTune-CachedFeat", space, cached.Dim(), space.DBADefault(), seed, tune.DefaultTunerOptions()),
 		RunConfig{Space: space, Gen: gen, Iters: iters, Seed: seed, Feat: cached})
 	uncachedRun := Run(
-		baselines.NewOnlineTuneNamed("OnlineTune-UncachedFeat", space, uncached.Dim(), space.DBADefault(), seed, core.DefaultOptions()),
+		tune.NewOnlineTunerNamed("OnlineTune-UncachedFeat", space, uncached.Dim(), space.DBADefault(), seed, tune.DefaultTunerOptions()),
 		RunConfig{Space: space, Gen: gen, Iters: iters, Seed: seed, Feat: uncached})
 	diverged, maxDelta := 0, 0.0
 	for i := range cachedRun.Units {

@@ -2,13 +2,10 @@ package bench
 
 import (
 	"fmt"
-	"time"
 
-	"repro/internal/core"
-	"repro/internal/dbsim"
 	"repro/internal/knobs"
-	"repro/internal/whitebox"
 	"repro/internal/workload"
+	"repro/tune"
 )
 
 // Ext1Stopping evaluates the stopping-and-triggering extension the paper
@@ -16,80 +13,36 @@ import (
 // candidate's Expected Improvement over the applied configuration clears
 // a threshold, and resumes when context changes make the EI spike. The
 // experiment compares the always-configure tuner against the stopping
-// variant on a workload with long stable plateaus (YCSB).
+// variant on a workload with long stable plateaus (YCSB). Both variants
+// are driven through the public tune backends.
 func Ext1Stopping(iters int, seed int64) Report {
 	space := knobs.CaseStudy5()
-	gen := workload.NewYCSB(seed)
 	feat := NewFeaturizer(seed)
 
-	type outcome struct {
-		name           string
-		cum            float64
-		unsafe, fails  int
-		reconfigs      int
-		pausedFraction float64
-	}
-	runOne := func(name string, stopping bool) outcome {
-		in := dbsim.New(space, seed)
-		base := core.New(space, feat.Dim(), space.Encode(space.DBADefault()), seed, core.DefaultOptions())
-		var st *core.StoppingTuner
-		if stopping {
-			st = core.NewStoppingTuner(base, 0.05, 4)
+	runOne := func(tn tune.Tuner) (*Series, int) {
+		s := Run(tn, RunConfig{Space: space, Gen: workload.NewYCSB(seed), Iters: iters, Seed: seed, Feat: feat})
+		reconfigs := 0
+		for i, u := range s.Units {
+			if i == 0 || !sameUnit(s.Units[i-1], u) {
+				reconfigs++
+			}
 		}
-		var lastM dbsim.InternalMetrics
-		out := outcome{name: name}
-		var prevUnit []float64
-		for i := 0; i < iters; i++ {
-			w := gen.At(i)
-			ctx := feat.Context(w, in.OptimizerStats(w))
-			dbaRes := in.DBAResult(w)
-			tau := dbaRes.Objective(w.OLAP)
-			env := whitebox.Env{HW: in.HW, Load: w, Metrics: lastM}
-			var rec core.Recommendation
-			if stopping {
-				rec = st.Recommend(ctx, env, tau)
-			} else {
-				rec = base.Recommend(ctx, env, tau)
-			}
-			res := in.Eval(rec.Config, w, dbsim.EvalOptions{})
-			perf := res.Objective(w.OLAP)
-			if stopping {
-				st.Observe(i, ctx, rec.Unit, perf, tau, res.Failed)
-			} else {
-				base.Observe(i, ctx, rec.Unit, perf, tau, res.Failed)
-			}
-			lastM = res.Metrics
-			out.cum += perf
-			if res.Failed {
-				out.fails++
-				out.unsafe++
-			} else if perf < tau-UnsafeMargin*abs(tau) {
-				out.unsafe++
-			}
-			if prevUnit == nil || !sameUnit(prevUnit, rec.Unit) {
-				out.reconfigs++
-			}
-			prevUnit = rec.Unit
-		}
-		if stopping {
-			out.pausedFraction = float64(st.PauseCount) / float64(iters)
-		}
-		return out
+		return s, reconfigs
 	}
 
-	start := time.Now()
-	always := runOne("OnlineTune", false)
-	withStop := runOne("OnlineTune+Stopping", true)
-	_ = start
+	always, alwaysRe := runOne(tune.NewOnlineTunerNamed("OnlineTune", space, feat.Dim(), space.DBADefault(), seed, tune.DefaultTunerOptions()))
+	stop := tune.NewStoppingTuner(space, feat.Dim(), space.DBADefault(), seed, tune.DefaultTunerOptions(), 0.05, 4)
+	withStop, stopRe := runOne(stop)
+	pausedFraction := float64(stop.S.PauseCount) / float64(iters)
 
 	t := NewTable("variant", "cumulative_txn", "unsafe", "failures", "reconfigurations", "paused_pct")
-	t.Add(always.name, always.cum, always.unsafe, always.fails, always.reconfigs, 0.0)
-	t.Add(withStop.name, withStop.cum, withStop.unsafe, withStop.fails, withStop.reconfigs, 100*withStop.pausedFraction)
+	t.Add(always.Name, always.CumFinal(), always.Unsafe, always.Failures, alwaysRe, 0.0)
+	t.Add("OnlineTune+Stopping", withStop.CumFinal(), withStop.Unsafe, withStop.Failures, stopRe, 100*pausedFraction)
 	body := t.String() + fmt.Sprintf(
 		"\nThe stopping variant holds the applied configuration during stable plateaus\n"+
 			"(%.0f%% of intervals) and cuts reconfigurations %dx while keeping cumulative\n"+
 			"performance within a few percent — the paper's proposed availability win.\n",
-		100*withStop.pausedFraction, maxInt(1, always.reconfigs/maxInt(1, withStop.reconfigs)))
+		100*pausedFraction, maxInt(1, alwaysRe/maxInt(1, stopRe)))
 	return Report{ID: "ext1", Title: "Extension (§8): stopping-and-triggering mechanism", Body: body}
 }
 

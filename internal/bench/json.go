@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"time"
+
+	"repro/internal/fsutil"
 )
 
 // Artifact is the machine-readable form of one experiment run, persisted
@@ -58,6 +60,16 @@ func NewArtifact(rep Report, iters int, seed int64, wall time.Duration) Artifact
 		a.Overhead = append(a.Overhead, overheadOf(s))
 	}
 	return a
+}
+
+// EnsureArtifactDir creates the artifact directory if missing and
+// verifies it is writable, so drivers can fail fast before running
+// experiments.
+func EnsureArtifactDir(dir string) error {
+	if err := fsutil.EnsureWritableDir(dir); err != nil {
+		return fmt.Errorf("artifact dir: %w", err)
+	}
+	return nil
 }
 
 // WriteJSON persists an artifact into dir as BENCH_<id>.json (suffix

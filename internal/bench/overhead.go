@@ -4,10 +4,9 @@ import (
 	"fmt"
 	"math"
 
-	"repro/internal/baselines"
-	"repro/internal/core"
 	"repro/internal/knobs"
 	"repro/internal/workload"
+	"repro/tune"
 )
 
 // Ext2IncrementalSpeedup measures the tuner-overhead win from the
@@ -28,15 +27,15 @@ func Ext2IncrementalSpeedup(iters int, seed int64) Report {
 	// capped at the paper's P=80) and no periodic hyperparameter refit,
 	// which costs the same in both variants and would drown the
 	// append-path delta.
-	opts := core.DefaultOptions()
+	opts := tune.DefaultTunerOptions()
 	opts.ClusterCap = iters
 	opts.UseClustering = false
 	opts.HyperoptEvery = 0
 	fullOpts := opts
 	fullOpts.FullRefitGP = true
-	inc := Run(baselines.NewOnlineTuneNamed("OnlineTune-Incremental", space, feat.Dim(), space.DBADefault(), seed, opts),
+	inc := Run(tune.NewOnlineTunerNamed("OnlineTune-Incremental", space, feat.Dim(), space.DBADefault(), seed, opts),
 		RunConfig{Space: space, Gen: gen, Iters: iters, Seed: seed, Feat: feat})
-	full := Run(baselines.NewOnlineTuneNamed("OnlineTune-FullRefit", space, feat.Dim(), space.DBADefault(), seed, fullOpts),
+	full := Run(tune.NewOnlineTunerNamed("OnlineTune-FullRefit", space, feat.Dim(), space.DBADefault(), seed, fullOpts),
 		RunConfig{Space: space, Gen: gen, Iters: iters, Seed: seed, Feat: feat})
 
 	overhead := func(s *Series) (propose, feedback, max float64) {

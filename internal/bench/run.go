@@ -14,6 +14,7 @@ import (
 	"repro/internal/featurize"
 	"repro/internal/knobs"
 	"repro/internal/workload"
+	"repro/tune"
 )
 
 // Objective selects the per-interval scalar to maximize.
@@ -94,21 +95,13 @@ func (s *Series) CumFinal() float64 {
 }
 
 // NewFeaturizer builds and pre-trains the context featurizer on the
-// standard workload corpus.
+// standard workload corpus (featurize.NewPretrained).
 func NewFeaturizer(seed int64) *featurize.Featurizer {
-	f := featurize.New(seed)
-	f.Pretrain([]workload.Generator{
-		workload.NewTPCC(seed, false),
-		workload.NewTwitter(seed+1, false),
-		workload.NewJOB(seed+2, false),
-		workload.NewYCSB(seed + 3),
-		workload.NewRealWorld(seed + 4),
-	}, 2)
-	return f
+	return featurize.NewPretrained(seed)
 }
 
 // Run drives one tuner through the workload schedule.
-func Run(t baselines.Tuner, rc RunConfig) *Series {
+func Run(t tune.Tuner, rc RunConfig) *Series {
 	in := dbsim.New(rc.Space, rc.Seed)
 	feat := rc.Feat
 	if feat == nil {
@@ -164,8 +157,8 @@ func Run(t baselines.Tuner, rc RunConfig) *Series {
 		} else if perf < tau-UnsafeMargin*abs(tau) {
 			s.Unsafe++
 		}
-		if ot, ok := t.(*baselines.OnlineTuneAdapter); ok {
-			if rec := ot.T.LastRecommendation(); rec != nil {
+		if ot, ok := t.(interface{ Last() *core.Recommendation }); ok {
+			if rec := ot.Last(); rec != nil {
 				s.SafetySetSizes = append(s.SafetySetSizes, rec.SafetySetSize)
 				s.RegionKinds = append(s.RegionKinds, rec.RegionKind)
 				s.ModelIndices = append(s.ModelIndices, rec.ModelIndex)
@@ -185,9 +178,9 @@ func abs(x float64) float64 {
 // StandardTuners builds the paper's baseline set for a knob space:
 // OnlineTune, BO, DDPG, ResTune, QTune, MysqlTuner, and the DBA/vendor
 // fixed configurations.
-func StandardTuners(space *knobs.Space, ctxDim int, seed int64) []baselines.Tuner {
-	return []baselines.Tuner{
-		baselines.NewOnlineTune(space, ctxDim, space.DBADefault(), seed, core.DefaultOptions()),
+func StandardTuners(space *knobs.Space, ctxDim int, seed int64) []tune.Tuner {
+	return []tune.Tuner{
+		tune.NewOnlineTuner(space, ctxDim, space.DBADefault(), seed, tune.DefaultTunerOptions()),
 		baselines.NewBO(space, seed+1),
 		baselines.NewDDPG(space, seed+2),
 		baselines.NewResTune(space, seed+3),

@@ -6,9 +6,9 @@ import (
 	"strings"
 
 	"repro/internal/baselines"
-	"repro/internal/core"
 	"repro/internal/knobs"
 	"repro/internal/workload"
+	"repro/tune"
 )
 
 // Table1StaticWorkloads reproduces Table 1 and Figure 18: all tuners on
@@ -28,8 +28,8 @@ func Table1StaticWorkloads(iters int, seed int64) Report {
 		{"Twitter", workload.NewTwitter(seed+1, false)},
 		{"JOB", workload.NewJOB(seed+2, false)},
 	} {
-		tuners := []baselines.Tuner{
-			baselines.NewOnlineTune(space, feat.Dim(), space.DBADefault(), seed, core.DefaultOptions()),
+		tuners := []tune.Tuner{
+			tune.NewOnlineTuner(space, feat.Dim(), space.DBADefault(), seed, tune.DefaultTunerOptions()),
 			baselines.NewBO(space, seed+1),
 			baselines.NewDDPG(space, seed+2),
 			baselines.NewResTune(space, seed+3),
@@ -79,7 +79,7 @@ func Table1StaticWorkloads(iters int, seed int64) Report {
 func TableA1TimeBreakdown(iters int, seed int64) Report {
 	space := knobs.MySQL57()
 	feat := NewFeaturizer(seed)
-	tn := baselines.NewOnlineTune(space, feat.Dim(), space.DBADefault(), seed, core.DefaultOptions())
+	tn := tune.NewOnlineTuner(space, feat.Dim(), space.DBADefault(), seed, tune.DefaultTunerOptions())
 	s := Run(tn, RunConfig{Space: space, Gen: workload.NewJOB(seed, true), Iters: iters, Seed: seed, Feat: feat})
 	tm := tn.T.Timings()
 	n := float64(tm.Iters)

@@ -11,6 +11,8 @@ package core
 import (
 	"math"
 	"math/rand"
+	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/cluster"
@@ -117,14 +119,25 @@ type Recommendation struct {
 	IgnoredRule *whitebox.Rule
 	// RegionKind is the subspace type used ("hypercube"/"line").
 	RegionKind string
+	// WhiteBoxVetoes counts candidates the rule engine rejected this
+	// round (white-box rule hits).
+	WhiteBoxVetoes int
 }
 
-// OnlineTune is the tuner.
+// OnlineTune is the tuner. It is safe for concurrent use: Recommend,
+// Observe and every accessor serialize on an internal mutex (internal
+// candidate scoring still fans out across the worker pool).
 type OnlineTune struct {
 	Space *knobs.Space
 	Opts  Options
 	White *whitebox.Engine
 	Repo  *repo.Repo
+
+	// mu serializes tuner state. Recommend/Observe hold it for their
+	// whole duration; accessors take it briefly, so readers polling
+	// LastRecommendation or Timings from other goroutines never observe
+	// a half-written state.
+	mu sync.Mutex
 
 	ctxDim     int
 	models     []*model
@@ -241,6 +254,8 @@ func key(u []float64) string {
 // featurized context, the white-box environment, and the safety
 // threshold τ for this context (the default configuration's performance).
 func (o *OnlineTune) Recommend(ctx []float64, env whitebox.Env, tau float64) Recommendation {
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	o.times.Iters++
 	t0 := time.Now()
 	mi := o.selectModel(ctx)
@@ -315,8 +330,9 @@ func (o *OnlineTune) Recommend(ctx []float64, env whitebox.Env, tau float64) Rec
 	}
 	// ...and white box.
 	var ignored *whitebox.Rule
+	vetoes := 0
 	if o.Opts.UseSafety && o.Opts.UseWhiteBox {
-		ignored = o.applyWhiteBox(assess, env)
+		ignored, vetoes = o.applyWhiteBox(assess, env)
 	}
 
 	o.times.SafetyAssess += time.Since(t0)
@@ -330,7 +346,7 @@ func (o *OnlineTune) Recommend(ctx []float64, env whitebox.Env, tau float64) Rec
 	} else {
 		pick = assess.ArgMaxUCB()
 	}
-	rec := Recommendation{ModelIndex: mi, SafetySetSize: assess.NumSafe, Boundary: boundary, RegionKind: regionKind}
+	rec := Recommendation{ModelIndex: mi, SafetySetSize: assess.NumSafe, Boundary: boundary, RegionKind: regionKind, WhiteBoxVetoes: vetoes}
 	if pick < 0 {
 		// Empty safe set: conservative fallback to the best known
 		// configuration (the paper's "recommend conservative
@@ -406,7 +422,8 @@ func (o *OnlineTune) globalCandidates(n int) [][]float64 {
 
 // applyWhiteBox vetoes safe candidates the rule engine rejects and
 // manages conflict accounting. At most one currently "ignored" rule may
-// be bypassed; the bypassed rule is returned for outcome reporting.
+// be bypassed; the bypassed rule is returned for outcome reporting,
+// together with the number of candidates vetoed.
 //
 // Rule checks are fanned across a bounded worker pool — Check and Decode
 // only read engine and space state — and the verdicts are then applied
@@ -416,7 +433,7 @@ func (o *OnlineTune) globalCandidates(n int) [][]float64 {
 // engine state, so the vetoes, conflict counters and the returned rule
 // are identical to a sequential check-as-you-go loop for any worker
 // count (deterministic for a fixed seed).
-func (o *OnlineTune) applyWhiteBox(assess *safety.Assessment, env whitebox.Env) *whitebox.Rule {
+func (o *OnlineTune) applyWhiteBox(assess *safety.Assessment, env whitebox.Env) (*whitebox.Rule, int) {
 	// Find the black box's preferred candidate to detect decision
 	// conflicts (§6.2.2: conflict = white box rejects what the black box
 	// recommends).
@@ -431,6 +448,7 @@ func (o *OnlineTune) applyWhiteBox(assess *safety.Assessment, env whitebox.Env) 
 	}
 	checkFrom(0)
 	var ignored *whitebox.Rule
+	vetoes := 0
 	for i := range assess.Candidates {
 		if !assess.Safe[i] {
 			continue
@@ -459,8 +477,9 @@ func (o *OnlineTune) applyWhiteBox(assess *safety.Assessment, env whitebox.Env) 
 			}
 		}
 		assess.Veto(i)
+		vetoes++
 	}
-	return ignored
+	return ignored, vetoes
 }
 
 // Observe records the measured performance of the last recommendation
@@ -468,6 +487,8 @@ func (o *OnlineTune) applyWhiteBox(assess *safety.Assessment, env whitebox.Env) 
 // white-box relaxation state, the data repository, and periodically the
 // clustering.
 func (o *OnlineTune) Observe(iter int, ctx, unit []float64, perf, tau float64, failed bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	t0 := time.Now()
 	defer func() { o.times.ModelUpdate += time.Since(t0) }()
 	mi := o.selectModel(ctx)
@@ -649,14 +670,127 @@ func (o *OnlineTune) newModelAt(idx int, center []float64) *model {
 }
 
 // NumModels returns the current number of cluster models.
-func (o *OnlineTune) NumModels() int { return len(o.models) }
+func (o *OnlineTune) NumModels() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.models)
+}
 
 // ModelBest returns model i's best unit configuration and performance.
 func (o *OnlineTune) ModelBest(i int) ([]float64, float64) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	m := o.models[i]
 	return mathx.VecClone(o.bestCenter(m)), m.bestPerf
 }
 
-// LastRecommendation returns the most recent recommendation (nil before
-// the first Recommend call).
-func (o *OnlineTune) LastRecommendation() *Recommendation { return o.lastRec }
+// Best returns the best configuration and performance across all cluster
+// models (the initial safe configuration before any safe observation).
+func (o *OnlineTune) Best() ([]float64, float64) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	bu, bp := o.initialUnit, math.Inf(-1)
+	for _, m := range o.models {
+		if m.bestPerf > bp {
+			bu, bp = o.bestCenter(m), m.bestPerf
+		}
+	}
+	return mathx.VecClone(bu), bp
+}
+
+// LastRecommendation returns a copy of the most recent recommendation
+// (nil before the first Recommend call). The copy shares its Unit slice
+// and Config map with the value Recommend returned; neither is mutated
+// after creation.
+func (o *OnlineTune) LastRecommendation() *Recommendation {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.lastRec == nil {
+		return nil
+	}
+	rec := *o.lastRec
+	return &rec
+}
+
+// setLastRec records a recommendation produced outside Recommend (the
+// stopping tuner's paused iterations).
+func (o *OnlineTune) setLastRec(rec *Recommendation) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.lastRec = rec
+}
+
+// Labels returns a copy of the per-observation cluster labels.
+func (o *OnlineTune) Labels() []int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return append([]int(nil), o.labels...)
+}
+
+// ModelSnapshot is the externally visible state of one cluster model,
+// exported for session snapshots: the GP's training observations, the
+// incumbent, and the evaluated-configuration keys (the model's safe-set
+// memory, hex-encoded).
+type ModelSnapshot struct {
+	Units     [][]float64 `json:"units"`
+	Contexts  [][]float64 `json:"contexts"`
+	Perfs     []float64   `json:"perfs"`
+	BestUnit  []float64   `json:"best_unit"`
+	BestPerf  float64     `json:"best_perf"`
+	Evaluated []string    `json:"evaluated,omitempty"`
+	ObsCount  int         `json:"obs_count"`
+}
+
+// ModelSnapshotAt exports model i's state. Evaluated keys are sorted so
+// the snapshot is deterministic.
+func (o *OnlineTune) ModelSnapshotAt(i int) ModelSnapshot {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	m := o.models[i]
+	units, ctxs, perfs := m.gp.Observations()
+	ms := ModelSnapshot{
+		Units: units, Contexts: ctxs, Perfs: perfs,
+		BestUnit: mathx.VecClone(o.bestCenter(m)), ObsCount: m.obsCount,
+	}
+	if !math.IsInf(m.bestPerf, -1) {
+		ms.BestPerf = m.bestPerf
+	}
+	for k := range m.evaluated {
+		ms.Evaluated = append(ms.Evaluated, hexKey(k))
+	}
+	sort.Strings(ms.Evaluated)
+	return ms
+}
+
+const hexDigits = "0123456789abcdef"
+
+// hexKey renders an evaluated-set key (raw quantized bytes) printable.
+func hexKey(k string) string {
+	out := make([]byte, 0, len(k)*2)
+	for i := 0; i < len(k); i++ {
+		out = append(out, hexDigits[k[i]>>4], hexDigits[k[i]&0xf])
+	}
+	return string(out)
+}
+
+// ExpectedImprovementAt returns the Expected Improvement of candidate u
+// over the applied configuration's posterior mean under ctx, and whether
+// the selected model has any observations to predict with. Unlike
+// ExpectedImprovementOver it samples no candidates and draws no
+// randomness.
+func (o *OnlineTune) ExpectedImprovementAt(ctx, u, applied []float64) (float64, bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	m := o.models[o.selectModel(ctx)]
+	if m.gp.Len() == 0 {
+		return 0, false
+	}
+	muApplied, _ := m.gp.Predict(applied, ctx)
+	mu, v := m.gp.Predict(u, ctx)
+	sigma := math.Sqrt(v)
+	if sigma < 1e-12 {
+		return math.Max(0, mu-muApplied), true
+	}
+	z := (mu - muApplied) / sigma
+	return (mu-muApplied)*mathx.NormalCDF(z) + sigma*mathx.NormalPDF(z), true
+}

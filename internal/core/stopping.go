@@ -62,7 +62,7 @@ func (s *StoppingTuner) Recommend(ctx []float64, env whitebox.Env, tau float64) 
 			s.PauseCount++
 			u := mathx.VecClone(s.applied)
 			rec := Recommendation{Unit: u, Config: s.T.Space.Decode(u), Fallback: true, RegionKind: "paused"}
-			s.T.lastRec = &rec
+			s.T.setLastRec(&rec)
 			return rec
 		}
 	}
@@ -87,6 +87,8 @@ func (s *StoppingTuner) Observe(iter int, ctx, unit []float64, perf, tau float64
 // any subspace candidate against the posterior mean of the applied
 // configuration under the given context.
 func (o *OnlineTune) ExpectedImprovementOver(ctx []float64, applied []float64) float64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	mi := o.selectModel(ctx)
 	m := o.models[mi]
 	if m.gp.Len() == 0 {

@@ -13,5 +13,9 @@ type StageTimes struct {
 	Iters           int
 }
 
-// Timings returns the accumulated stage times.
-func (o *OnlineTune) Timings() StageTimes { return o.times }
+// Timings returns a copy of the accumulated stage times.
+func (o *OnlineTune) Timings() StageTimes {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.times
+}

@@ -8,27 +8,29 @@ import (
 
 // InternalMetrics are the DBMS runtime counters the paper's RL baselines
 // (CDBTune, QTune) consume as state, normalized to stable ranges.
+// The JSON tags (matching MetricNames) define the public tune API's
+// wire form; renaming one is a breaking change.
 type InternalMetrics struct {
-	BufferPoolHitRate float64 // 0..1
-	DirtyPagesPct     float64 // 0..100
-	PagesFlushedPS    float64
-	LogWaitsPS        float64
-	RowsReadPS        float64
-	RowsWrittenPS     float64
-	ThreadsRunning    float64
-	CPUUtil           float64 // 0..1
-	IOUtil            float64 // 0..1
-	MemUtil           float64 // 0..1+
-	LockWaitsPS       float64
-	SpinRoundsPOp     float64
-	TmpDiskTablesPS   float64
-	SortMergePassesPS float64
-	FsyncsPS          float64
-	QPS               float64
-	HistoryListLen    float64
-	CheckpointAgePct  float64
-	OpenTables        float64
-	ConnectionsUsed   float64
+	BufferPoolHitRate float64 `json:"buffer_pool_hit_rate,omitempty"` // 0..1
+	DirtyPagesPct     float64 `json:"dirty_pages_pct,omitempty"`      // 0..100
+	PagesFlushedPS    float64 `json:"pages_flushed_ps,omitempty"`
+	LogWaitsPS        float64 `json:"log_waits_ps,omitempty"`
+	RowsReadPS        float64 `json:"rows_read_ps,omitempty"`
+	RowsWrittenPS     float64 `json:"rows_written_ps,omitempty"`
+	ThreadsRunning    float64 `json:"threads_running,omitempty"`
+	CPUUtil           float64 `json:"cpu_util,omitempty"` // 0..1
+	IOUtil            float64 `json:"io_util,omitempty"`  // 0..1
+	MemUtil           float64 `json:"mem_util,omitempty"` // 0..1+
+	LockWaitsPS       float64 `json:"lock_waits_ps,omitempty"`
+	SpinRoundsPOp     float64 `json:"spin_rounds_per_op,omitempty"`
+	TmpDiskTablesPS   float64 `json:"tmp_disk_tables_ps,omitempty"`
+	SortMergePassesPS float64 `json:"sort_merge_passes_ps,omitempty"`
+	FsyncsPS          float64 `json:"fsyncs_ps,omitempty"`
+	QPS               float64 `json:"qps,omitempty"`
+	HistoryListLen    float64 `json:"history_list_len,omitempty"`
+	CheckpointAgePct  float64 `json:"checkpoint_age_pct,omitempty"`
+	OpenTables        float64 `json:"open_tables,omitempty"`
+	ConnectionsUsed   float64 `json:"connections_used,omitempty"`
 }
 
 // Vector flattens the metrics in a fixed order for model input.
@@ -101,9 +103,9 @@ func failureMetrics(memFrac float64) InternalMetrics {
 // (§5.1.2): mean rows examined, mean filtered percentage, and the
 // fraction of queries using an index. Estimates scale with data size.
 type OptimizerStats struct {
-	RowsExamined  float64
-	FilterPct     float64
-	IndexUsedFrac float64
+	RowsExamined  float64 `json:"rows_examined,omitempty"`
+	FilterPct     float64 `json:"filter_pct,omitempty"`
+	IndexUsedFrac float64 `json:"index_used_frac,omitempty"`
 }
 
 // refDataGB anchors the optimizer's row estimates.

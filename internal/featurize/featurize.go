@@ -31,6 +31,10 @@ import (
 // query-composition embedding.
 const EncoderHidden = 8
 
+// ContextDim is the context vector dimensionality: 1 (arrival rate) +
+// EncoderHidden (query composition) + 3 (data features).
+const ContextDim = 1 + EncoderHidden + 3
+
 // DefaultCacheBound is the default number of query templates whose
 // encodings are memoized. Real workloads cycle through tens of templates;
 // the bound only exists so adversarial SQL streams cannot grow the cache
@@ -100,9 +104,29 @@ func New(seed int64) *Featurizer {
 	return f
 }
 
-// Dim returns the context dimensionality: 1 (arrival rate) +
-// EncoderHidden (query composition) + 3 (data features).
-func (f *Featurizer) Dim() int { return 1 + EncoderHidden + 3 }
+// Dim returns the context dimensionality (ContextDim).
+func (f *Featurizer) Dim() int { return ContextDim }
+
+// Vocabulary returns the encoder vocabulary's admitted tokens in id
+// order. Token admission is sticky, so the list only grows; it is the
+// featurizer state a session snapshot records.
+func (f *Featurizer) Vocabulary() []string { return f.vocab.Tokens() }
+
+// NewPretrained builds a featurizer and pre-trains its query encoder on
+// the standard workload corpus (TPC-C, Twitter, JOB, YCSB, real-world) —
+// the deterministic construction every driver shares, so two featurizers
+// built from the same seed produce bitwise-identical contexts.
+func NewPretrained(seed int64) *Featurizer {
+	f := New(seed)
+	f.Pretrain([]workload.Generator{
+		workload.NewTPCC(seed, false),
+		workload.NewTwitter(seed+1, false),
+		workload.NewJOB(seed+2, false),
+		workload.NewYCSB(seed + 3),
+		workload.NewRealWorld(seed + 4),
+	}, 2)
+	return f
+}
 
 // SetCacheBound sets the LRU bound of the template encoding cache and
 // clears it. n ≤ 0 disables memoization entirely — every Context call

@@ -1,0 +1,23 @@
+// Package fsutil holds small filesystem helpers shared by the drivers
+// that persist state (bench artifacts, tuned session checkpoints).
+package fsutil
+
+import (
+	"fmt"
+	"os"
+)
+
+// EnsureWritableDir creates dir if missing and verifies it is writable
+// by creating and removing a probe file, so callers can fail fast
+// before doing expensive work whose results would be unpersistable.
+func EnsureWritableDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("creating directory: %w", err)
+	}
+	probe, err := os.CreateTemp(dir, ".probe-*")
+	if err != nil {
+		return fmt.Errorf("directory %s is not writable: %w", dir, err)
+	}
+	probe.Close()
+	return os.Remove(probe.Name())
+}

@@ -143,6 +143,16 @@ func (v *Vocab) ID(tok string) int {
 	return id
 }
 
+// Tokens returns the admitted tokens ordered by id (specials excluded),
+// so a vocabulary can be serialized and inspected deterministically.
+func (v *Vocab) Tokens() []string {
+	out := make([]string, len(v.ids))
+	for tok, id := range v.ids {
+		out[id-reservedSpecials] = tok
+	}
+	return out
+}
+
 // Encode tokenizes a statement and maps it to vocabulary ids.
 func (v *Vocab) Encode(sql string) []int {
 	return v.EncodeTokens(Tokenize(sql))

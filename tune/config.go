@@ -1,0 +1,135 @@
+package tune
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dbsim"
+	"repro/internal/knobs"
+)
+
+// TunerOptions are the OnlineTune algorithm options (confidence-bound
+// width, subspace/clustering/safety switches, …).
+type TunerOptions = core.Options
+
+// DefaultTunerOptions mirrors the paper's settings.
+func DefaultTunerOptions() TunerOptions { return core.DefaultOptions() }
+
+// StoppingConfig tunes the stopping-and-triggering backend: pause
+// reconfiguration after Patience consecutive intervals whose best
+// Expected Improvement stays below EITrigger·|τ|.
+type StoppingConfig struct {
+	EITrigger float64 `json:"ei_trigger,omitempty"`
+	Patience  int     `json:"patience,omitempty"`
+}
+
+// Config declaratively describes a tuning session: the knob space and
+// backend by name, the seed, and the safety/stopping options. The zero
+// value is valid — OnlineTune on the full 40-knob MySQL space with the
+// paper's defaults.
+type Config struct {
+	// Space selects the knob space by name: "mysql57" (default, 40
+	// knobs; "full" is accepted as an alias) or "case5" (the 5-knob
+	// case-study subset).
+	Space string `json:"space,omitempty"`
+	// Backend selects the tuner by registry name (Backends lists them);
+	// default "onlinetune".
+	Backend string `json:"backend,omitempty"`
+	// Seed makes every random choice — candidate sampling, featurizer
+	// pre-training, exploration — deterministic.
+	Seed int64 `json:"seed,omitempty"`
+	// Initial is the initial safety-set configuration; defaults to the
+	// space's DBA default. Missing knobs keep their DBA default.
+	Initial KnobConfig `json:"initial,omitempty"`
+	// DisableSafety turns off all safety machinery (vanilla contextual
+	// BO — the paper's OnlineTune-w/o-safe ablation).
+	DisableSafety bool `json:"disable_safety,omitempty"`
+	// Stopping configures the "stopping" backend; ignored otherwise.
+	// Zero fields take the defaults (EITrigger 0.05, Patience 4).
+	Stopping *StoppingConfig `json:"stopping,omitempty"`
+	// Options overrides every algorithm option at once (ablations,
+	// benchmark variants). DisableSafety still applies on top.
+	Options *TunerOptions `json:"options,omitempty"`
+	// Hardware overrides the instance description the white-box rules
+	// reason about; defaults to the paper's 8 vCPU / 16 GB instance.
+	Hardware *Hardware `json:"hardware,omitempty"`
+}
+
+// Spaces lists the knob-space names Config.Space accepts.
+func Spaces() []string { return []string{"mysql57", "case5"} }
+
+// OpenSpace resolves a knob-space name ("" defaults to mysql57).
+func OpenSpace(name string) (*knobs.Space, error) {
+	return Config{Space: name}.space()
+}
+
+// withDefaults fills the defaulted fields.
+func (c Config) withDefaults() Config {
+	if c.Space == "" {
+		c.Space = "mysql57"
+	}
+	if c.Backend == "" {
+		c.Backend = "onlinetune"
+	}
+	return c
+}
+
+// space resolves the named knob space.
+func (c Config) space() (*knobs.Space, error) {
+	switch c.Space {
+	case "", "mysql57", "full":
+		return knobs.MySQL57(), nil
+	case "case5":
+		return knobs.CaseStudy5(), nil
+	default:
+		return nil, fmt.Errorf("tune: unknown knob space %q (have mysql57, case5)", c.Space)
+	}
+}
+
+// initial resolves the initial safe configuration for a space: the DBA
+// default overlaid with any explicitly configured knob values.
+func (c Config) initial(space *knobs.Space) (KnobConfig, error) {
+	cfg := space.DBADefault()
+	for name, v := range c.Initial {
+		k, ok := space.Get(name)
+		if !ok {
+			return nil, fmt.Errorf("tune: initial config sets unknown knob %q", name)
+		}
+		cfg[name] = k.ClampRaw(v)
+	}
+	return cfg, nil
+}
+
+// options resolves the algorithm options.
+func (c Config) options() core.Options {
+	opts := core.DefaultOptions()
+	if c.Options != nil {
+		opts = *c.Options
+	}
+	if c.DisableSafety {
+		opts.UseSafety = false
+	}
+	return opts
+}
+
+// stopping resolves the stopping-backend parameters.
+func (c Config) stopping() StoppingConfig {
+	sc := StoppingConfig{EITrigger: 0.05, Patience: 4}
+	if c.Stopping != nil {
+		if c.Stopping.EITrigger > 0 {
+			sc.EITrigger = c.Stopping.EITrigger
+		}
+		if c.Stopping.Patience > 0 {
+			sc.Patience = c.Stopping.Patience
+		}
+	}
+	return sc
+}
+
+// hardware resolves the instance description.
+func (c Config) hardware() Hardware {
+	if c.Hardware != nil {
+		return *c.Hardware
+	}
+	return dbsim.DefaultHardware()
+}

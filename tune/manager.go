@@ -1,0 +1,277 @@
+package tune
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/fsutil"
+)
+
+// Sentinel errors the Manager wraps its failures with, so transports
+// (tune.NewServer) can map them to statuses with errors.Is instead of
+// matching message text.
+var (
+	// ErrNotFound marks operations on a session id that does not exist.
+	ErrNotFound = errors.New("session not found")
+	// ErrExists marks creation of a session id that is already taken.
+	ErrExists = errors.New("session already exists")
+	// ErrInvalid marks requests rejected by validation (bad session id,
+	// unknown space/backend/knob in the config).
+	ErrInvalid = errors.New("invalid request")
+)
+
+// managerShards is the number of session-map shards. Session operations
+// themselves serialize per session; the shards only bound contention on
+// the id→session lookup, so a modest constant suffices.
+const managerShards = 16
+
+// Manager multiplexes many concurrent tuning sessions behind sharded
+// locks, optionally checkpointing every session to a state directory
+// (one <id>.json snapshot per session, written atomically) and
+// reloading them on construction.
+//
+// Durability tradeoff: a checkpoint rewrites the session's full
+// snapshot (whose event log grows with every interval), and restoring
+// replays that log through the tuner — cost proportional to session
+// length on both sides. At tuning cadence (one interval every few
+// minutes, histories of hundreds of events) both are milliseconds;
+// incremental log appends are the upgrade path if sessions ever grow
+// orders of magnitude longer.
+type Manager struct {
+	stateDir string
+	shards   [managerShards]managerShard
+}
+
+type managerShard struct {
+	mu       sync.RWMutex
+	sessions map[string]*Session
+}
+
+// SessionInfo summarizes one managed session.
+type SessionInfo struct {
+	ID      string `json:"id"`
+	Backend string `json:"backend"`
+	Space   string `json:"space"`
+	Iter    int    `json:"iter"`
+}
+
+// NewManager returns a manager. A non-empty stateDir enables
+// durability: the directory is created if missing, verified writable,
+// and any existing session snapshots in it are restored.
+func NewManager(stateDir string) (*Manager, error) {
+	m := &Manager{stateDir: stateDir}
+	for i := range m.shards {
+		m.shards[i].sessions = map[string]*Session{}
+	}
+	if stateDir == "" {
+		return m, nil
+	}
+	if err := fsutil.EnsureWritableDir(stateDir); err != nil {
+		return nil, fmt.Errorf("tune: state dir: %w", err)
+	}
+	entries, err := os.ReadDir(stateDir)
+	if err != nil {
+		return nil, fmt.Errorf("tune: reading state dir: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		id := strings.TrimSuffix(e.Name(), ".json")
+		if err := validID(id); err != nil {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(stateDir, e.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("tune: reading session %q: %w", id, err)
+		}
+		s, err := Restore(data)
+		if err != nil {
+			return nil, fmt.Errorf("tune: restoring session %q: %w", id, err)
+		}
+		sh := m.shard(id)
+		sh.sessions[id] = s
+	}
+	return m, nil
+}
+
+// validID restricts session ids to filesystem- and URL-safe names.
+func validID(id string) error {
+	if id == "" || len(id) > 128 {
+		return fmt.Errorf("tune: %w: session id must be 1–128 characters", ErrInvalid)
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			return fmt.Errorf("tune: %w: session id %q contains %q (allowed: letters, digits, - _ .)", ErrInvalid, id, c)
+		}
+	}
+	if strings.HasPrefix(id, ".") {
+		return fmt.Errorf("tune: %w: session id %q must not start with a dot", ErrInvalid, id)
+	}
+	return nil
+}
+
+func (m *Manager) shard(id string) *managerShard {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return &m.shards[h.Sum32()%managerShards]
+}
+
+// Create builds a new session under id. It fails if the id is taken.
+func (m *Manager) Create(id string, cfg Config) (*Session, error) {
+	if err := validID(id); err != nil {
+		return nil, err
+	}
+	// Build outside the shard lock: construction pre-trains the
+	// featurizer, and concurrent creates on other shards (or even this
+	// one) must not serialize behind it.
+	s, err := NewSession(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("tune: %w: %w", ErrInvalid, err)
+	}
+	sh := m.shard(id)
+	sh.mu.Lock()
+	if _, ok := sh.sessions[id]; ok {
+		sh.mu.Unlock()
+		return nil, fmt.Errorf("tune: %w: %q", ErrExists, id)
+	}
+	sh.sessions[id] = s
+	sh.mu.Unlock()
+	if err := m.checkpoint(id, s); err != nil {
+		// Roll the registration back: a session that could not be made
+		// durable must not exist in memory only, or a client retry hits
+		// "already exists" for a session that would vanish on restart.
+		sh.mu.Lock()
+		if sh.sessions[id] == s {
+			delete(sh.sessions, id)
+		}
+		sh.mu.Unlock()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Get returns the session under id.
+func (m *Manager) Get(id string) (*Session, bool) {
+	sh := m.shard(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	s, ok := sh.sessions[id]
+	return s, ok
+}
+
+// Delete removes the session under id (and its checkpoint file). The
+// shard lock is held across the file removal so an in-flight
+// checkpoint (which re-checks membership under the read lock) cannot
+// resurrect the file afterwards.
+func (m *Manager) Delete(id string) error {
+	sh := m.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.sessions[id]; !ok {
+		return fmt.Errorf("tune: %w: %q", ErrNotFound, id)
+	}
+	delete(sh.sessions, id)
+	if m.stateDir != "" {
+		if err := os.Remove(filepath.Join(m.stateDir, id+".json")); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
+	return nil
+}
+
+// List summarizes all sessions, sorted by id.
+func (m *Manager) List() []SessionInfo {
+	var out []SessionInfo
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.RLock()
+		for id, s := range sh.sessions {
+			cfg := s.Config()
+			out = append(out, SessionInfo{ID: id, Backend: cfg.Backend, Space: cfg.Space, Iter: s.Iter()})
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Suggest runs Session.Suggest on the named session and checkpoints it.
+func (m *Manager) Suggest(ctx context.Context, id string) (Advice, error) {
+	s, ok := m.Get(id)
+	if !ok {
+		return Advice{}, fmt.Errorf("tune: %w: %q", ErrNotFound, id)
+	}
+	adv, err := s.Suggest(ctx)
+	if err != nil {
+		return Advice{}, err
+	}
+	return adv, m.checkpoint(id, s)
+}
+
+// Report runs Session.Report on the named session and checkpoints it.
+// It returns the session's iteration count after the report.
+func (m *Manager) Report(id string, o Outcome) (int, error) {
+	s, ok := m.Get(id)
+	if !ok {
+		return 0, fmt.Errorf("tune: %w: %q", ErrNotFound, id)
+	}
+	if err := s.Report(o); err != nil {
+		return 0, err
+	}
+	return s.Iter(), m.checkpoint(id, s)
+}
+
+// Snapshot serializes the named session.
+func (m *Manager) Snapshot(id string) ([]byte, error) {
+	s, ok := m.Get(id)
+	if !ok {
+		return nil, fmt.Errorf("tune: %w: %q", ErrNotFound, id)
+	}
+	return s.Snapshot()
+}
+
+// checkpoint writes the session snapshot to the state directory
+// (tmp-file + rename, so a crash never leaves a torn checkpoint). It
+// holds the shard read lock and re-checks membership, so a checkpoint
+// racing Delete can never recreate a deleted session's file.
+func (m *Manager) checkpoint(id string, s *Session) error {
+	if m.stateDir == "" {
+		return nil
+	}
+	sh := m.shard(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if sh.sessions[id] != s {
+		return nil // deleted (or replaced) concurrently; nothing to persist
+	}
+	data, err := s.Snapshot()
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(m.stateDir, "."+id+"-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), filepath.Join(m.stateDir, id+".json"))
+}

@@ -1,0 +1,102 @@
+package tune
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/baselines"
+	"repro/internal/featurize"
+	"repro/internal/knobs"
+)
+
+// Factory builds a Tuner from a resolved Config.
+type Factory func(cfg Config) (Tuner, error)
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Factory{}
+)
+
+// Register adds a backend to the registry under the given name,
+// replacing any previous registration. Safe for concurrent use.
+func Register(name string, f Factory) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	registry[name] = f
+}
+
+// Backends returns the registered backend names, sorted.
+func Backends() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Open builds the named backend from a Config. An empty name uses
+// cfg.Backend (and its default, "onlinetune").
+func Open(name string, cfg Config) (Tuner, error) {
+	cfg = cfg.withDefaults()
+	if name == "" {
+		name = cfg.Backend
+	}
+	registryMu.RLock()
+	f, ok := registry[name]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("tune: unknown backend %q (have %v)", name, Backends())
+	}
+	return f(cfg)
+}
+
+// The built-in backends: OnlineTune, its stopping variant, and the
+// paper's baselines.
+func init() {
+	Register("onlinetune", func(cfg Config) (Tuner, error) {
+		space, err := cfg.space()
+		if err != nil {
+			return nil, err
+		}
+		initial, err := cfg.initial(space)
+		if err != nil {
+			return nil, err
+		}
+		return NewOnlineTuner(space, featurize.ContextDim, initial, cfg.Seed, cfg.options()), nil
+	})
+	Register("stopping", func(cfg Config) (Tuner, error) {
+		space, err := cfg.space()
+		if err != nil {
+			return nil, err
+		}
+		initial, err := cfg.initial(space)
+		if err != nil {
+			return nil, err
+		}
+		sc := cfg.stopping()
+		return NewStoppingTuner(space, featurize.ContextDim, initial, cfg.Seed, cfg.options(), sc.EITrigger, sc.Patience), nil
+	})
+	simple := map[string]func(cfg Config, space *knobs.Space) Tuner{
+		"bo":         func(cfg Config, s *knobs.Space) Tuner { return baselines.NewBO(s, cfg.Seed) },
+		"ddpg":       func(cfg Config, s *knobs.Space) Tuner { return baselines.NewDDPG(s, cfg.Seed) },
+		"restune":    func(cfg Config, s *knobs.Space) Tuner { return baselines.NewResTune(s, cfg.Seed) },
+		"qtune":      func(cfg Config, s *knobs.Space) Tuner { return baselines.NewQTune(s, featurize.ContextDim, cfg.Seed) },
+		"mysqltuner": func(cfg Config, s *knobs.Space) Tuner { return baselines.NewMysqlTuner(s) },
+		"dba":        func(cfg Config, s *knobs.Space) Tuner { return baselines.NewFixed("DBADefault", s.DBADefault()) },
+		"mysql":      func(cfg Config, s *knobs.Space) Tuner { return baselines.NewFixed("MysqlDefault", s.Default()) },
+	}
+	for name, build := range simple {
+		build := build
+		Register(name, func(cfg Config) (Tuner, error) {
+			space, err := cfg.space()
+			if err != nil {
+				return nil, err
+			}
+			return build(cfg, space), nil
+		})
+	}
+}

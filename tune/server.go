@@ -1,0 +1,146 @@
+package tune
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// NewServer wraps a Manager in an HTTP/JSON API (the cmd/tuned server):
+//
+//	POST   /v1/sessions                {"id": "...", "config": {...}}
+//	GET    /v1/sessions                list sessions
+//	GET    /v1/sessions/{id}           session info
+//	DELETE /v1/sessions/{id}           drop a session
+//	POST   /v1/sessions/{id}/suggest   → Advice
+//	POST   /v1/sessions/{id}/report    ← Outcome, → {"iter": n}
+//	GET    /v1/sessions/{id}/snapshot  → versioned snapshot JSON
+//	GET    /v1/backends                registered backend names
+//
+// Errors are returned as {"error": "..."} with a 4xx/5xx status.
+func NewServer(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("GET /v1/backends", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"backends": Backends(), "spaces": Spaces()})
+	})
+
+	mux.HandleFunc("GET /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"sessions": m.List()})
+	})
+
+	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			ID     string `json:"id"`
+			Config Config `json:"config"`
+		}
+		if err := decodeBody(r, &req); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		s, err := m.Create(req.ID, req.Config)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, sessionInfo(req.ID, s))
+	})
+
+	mux.HandleFunc("GET /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		s, ok := m.Get(id)
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("no session %q", id))
+			return
+		}
+		writeJSON(w, http.StatusOK, sessionInfo(id, s))
+	})
+
+	mux.HandleFunc("DELETE /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if err := m.Delete(r.PathValue("id")); err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"deleted": true})
+	})
+
+	mux.HandleFunc("POST /v1/sessions/{id}/suggest", func(w http.ResponseWriter, r *http.Request) {
+		adv, err := m.Suggest(r.Context(), r.PathValue("id"))
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, adv)
+	})
+
+	mux.HandleFunc("POST /v1/sessions/{id}/report", func(w http.ResponseWriter, r *http.Request) {
+		var o Outcome
+		if err := decodeBody(r, &o); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		iter, err := m.Report(r.PathValue("id"), o)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"iter": iter})
+	})
+
+	mux.HandleFunc("GET /v1/sessions/{id}/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		data, err := m.Snapshot(r.PathValue("id"))
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(data)
+	})
+
+	return mux
+}
+
+// decodeBody parses a JSON request body, rejecting unknown fields so
+// typos in knob or option names fail loudly.
+func decodeBody(r *http.Request, dst any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("parsing request body: %w", err)
+	}
+	return nil
+}
+
+// statusFor maps manager errors onto HTTP statuses via the sentinel
+// errors, so error-message wording never changes API semantics.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, ErrExists):
+		return http.StatusConflict
+	case errors.Is(err, ErrInvalid):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func sessionInfo(id string, s *Session) SessionInfo {
+	cfg := s.Config()
+	return SessionInfo{ID: id, Backend: cfg.Backend, Space: cfg.Space, Iter: s.Iter()}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,257 @@
+package tune
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/dbsim"
+	"repro/internal/knobs"
+	"repro/internal/workload"
+)
+
+// doJSON issues one request against the test server and decodes the
+// JSON response into out (unless nil).
+func doJSON(t *testing.T, srv *httptest.Server, method, path string, body any, wantStatus int, out any) {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(method, srv.URL+path, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		var msg bytes.Buffer
+		msg.ReadFrom(resp.Body)
+		t.Fatalf("%s %s: status %d (want %d): %s", method, path, resp.StatusCode, wantStatus, msg.String())
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s %s: decoding response: %v", method, path, err)
+		}
+	}
+}
+
+// TestTunedServerSmokeWithRestart is the end-to-end server smoke test:
+// create session → suggest → report → snapshot → restart (new Manager
+// over the same state dir) → suggest, asserting the post-restart advice
+// is identical to what an uninterrupted session produces.
+func TestTunedServerSmokeWithRestart(t *testing.T) {
+	stateDir := t.TempDir()
+	m1, err := NewManager(stateDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(m1))
+
+	cfg := Config{Space: "case5", Seed: 21}
+	var info SessionInfo
+	doJSON(t, srv, "POST", "/v1/sessions", map[string]any{"id": "db1", "config": cfg}, http.StatusCreated, &info)
+	if info.ID != "db1" || info.Backend != "onlinetune" {
+		t.Fatalf("created %+v", info)
+	}
+	// Duplicate id → 409; invalid id → 400; unknown backend → 400.
+	doJSON(t, srv, "POST", "/v1/sessions", map[string]any{"id": "db1", "config": cfg}, http.StatusConflict, nil)
+	doJSON(t, srv, "POST", "/v1/sessions", map[string]any{"id": "../evil", "config": cfg}, http.StatusBadRequest, nil)
+	doJSON(t, srv, "POST", "/v1/sessions", map[string]any{"id": "db2", "config": Config{Backend: "nope"}}, http.StatusBadRequest, nil)
+
+	// The uninterrupted reference session, driven with the same calls.
+	ref, err := NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// suggest → report for a few intervals through the HTTP API.
+	in := dbsim.New(knobs.CaseStudy5(), 21)
+	gen := workload.NewYCSB(21)
+	for i := 0; i < 5; i++ {
+		var adv Advice
+		doJSON(t, srv, "POST", "/v1/sessions/db1/suggest", nil, http.StatusOK, &adv)
+		refAdv, err := ref.Suggest(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(adv, refAdv) {
+			t.Fatalf("iter %d: server advice %+v != reference %+v", i, adv, refAdv)
+		}
+
+		w := gen.At(i)
+		res := in.Eval(adv.Config, w, dbsim.EvalOptions{})
+		dba := in.DBAResult(w)
+		o := Outcome{
+			Workload:    WorkloadFromSnapshot(w),
+			Stats:       in.OptimizerStats(w),
+			Metrics:     res.Metrics,
+			Performance: res.Objective(w.OLAP),
+			Baseline:    dba.Objective(w.OLAP),
+			Failed:      res.Failed,
+		}
+		var rep struct {
+			Iter int `json:"iter"`
+		}
+		doJSON(t, srv, "POST", "/v1/sessions/db1/report", o, http.StatusOK, &rep)
+		if rep.Iter != i+1 {
+			t.Fatalf("report advanced to iter %d, want %d", rep.Iter, i+1)
+		}
+		if err := ref.Report(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Snapshot over HTTP parses as the versioned schema.
+	resp, err := srv.Client().Get(srv.URL + "/v1/sessions/db1/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Version int `json:"version"`
+		Iter    int `json:"iter"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if snap.Version != SnapshotVersion || snap.Iter != 5 {
+		t.Fatalf("snapshot endpoint returned %+v", snap)
+	}
+
+	// "Restart": a fresh Manager over the same state dir must reload
+	// the session from its checkpoint...
+	srv.Close()
+	m2, err := NewManager(stateDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2 := httptest.NewServer(NewServer(m2))
+	defer srv2.Close()
+
+	var list struct {
+		Sessions []SessionInfo `json:"sessions"`
+	}
+	doJSON(t, srv2, "GET", "/v1/sessions", nil, http.StatusOK, &list)
+	if len(list.Sessions) != 1 || list.Sessions[0].ID != "db1" || list.Sessions[0].Iter != 5 {
+		t.Fatalf("after restart: %+v", list.Sessions)
+	}
+
+	// ...and its next advice must match the uninterrupted session's.
+	var adv Advice
+	doJSON(t, srv2, "POST", "/v1/sessions/db1/suggest", nil, http.StatusOK, &adv)
+	refAdv, err := ref.Suggest(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(adv, refAdv) {
+		t.Fatalf("post-restart advice %+v != uninterrupted %+v", adv, refAdv)
+	}
+
+	doJSON(t, srv2, "DELETE", "/v1/sessions/db1", nil, http.StatusOK, nil)
+	doJSON(t, srv2, "POST", "/v1/sessions/db1/suggest", nil, http.StatusNotFound, nil)
+}
+
+// TestManagerDeleteVsCheckpointRace hammers Delete against concurrent
+// Suggest checkpointing on the same id: once Delete returns and the
+// suggesters drain, no checkpoint file may remain (a racing checkpoint
+// must not resurrect a deleted session's state).
+func TestManagerDeleteVsCheckpointRace(t *testing.T) {
+	for round := 0; round < 5; round++ {
+		stateDir := t.TempDir()
+		m, err := NewManager(stateDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Create("db", Config{Space: "case5", Seed: int64(round)}); err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 10; i++ {
+					if _, err := m.Suggest(context.Background(), "db"); err != nil {
+						return // deleted underneath us: expected
+					}
+				}
+			}()
+		}
+		if err := m.Delete("db"); err != nil {
+			t.Fatal(err)
+		}
+		wg.Wait()
+		if _, err := os.Stat(filepath.Join(stateDir, "db.json")); !os.IsNotExist(err) {
+			t.Fatalf("round %d: checkpoint file resurrected after delete (stat err: %v)", round, err)
+		}
+	}
+}
+
+// TestManagerConcurrentSessions exercises the sharded session map:
+// many sessions created and driven concurrently through one manager.
+func TestManagerConcurrentSessions(t *testing.T) {
+	m, err := NewManager("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const sessions = 8
+	var wg sync.WaitGroup
+	for g := 0; g < sessions; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			id := fmt.Sprintf("db-%d", g)
+			if _, err := m.Create(id, Config{Space: "case5", Seed: int64(g)}); err != nil {
+				t.Error(err)
+				return
+			}
+			in := dbsim.New(knobs.CaseStudy5(), int64(g))
+			gen := workload.NewYCSB(int64(g))
+			for i := 0; i < 5; i++ {
+				adv, err := m.Suggest(context.Background(), id)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				w := gen.At(i)
+				res := in.Eval(adv.Config, w, dbsim.EvalOptions{})
+				dba := in.DBAResult(w)
+				if _, err := m.Report(id, Outcome{
+					Workload:    WorkloadFromSnapshot(w),
+					Stats:       in.OptimizerStats(w),
+					Metrics:     res.Metrics,
+					Performance: res.Objective(w.OLAP),
+					Baseline:    dba.Objective(w.OLAP),
+					Failed:      res.Failed,
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(m.List()); got != sessions {
+		t.Fatalf("manager lists %d sessions, want %d", got, sessions)
+	}
+	for _, info := range m.List() {
+		if info.Iter != 5 {
+			t.Fatalf("session %s at iter %d", info.ID, info.Iter)
+		}
+	}
+}

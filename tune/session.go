@@ -1,0 +1,355 @@
+package tune
+
+import (
+	"context"
+	"math"
+	"sync"
+
+	"repro/internal/featurize"
+	"repro/internal/knobs"
+	"repro/internal/workload"
+)
+
+// Statement is one observed SQL statement with its relative frequency
+// within the interval (a zero weight counts as 1).
+type Statement struct {
+	SQL    string  `json:"sql"`
+	Weight float64 `json:"weight,omitempty"`
+}
+
+// Workload describes the raw workload observed during one tuning
+// interval: the sampled statements plus the operational characteristics
+// the simulator's white-box rules reason about. Only Statements and
+// ArrivalRate/Unlimited affect featurization; the remaining fields are
+// optional hints.
+type Workload struct {
+	Statements []Statement `json:"statements"`
+	// ArrivalRate is the offered load in queries/second; Unlimited means
+	// a closed loop saturating the instance.
+	ArrivalRate float64 `json:"arrival_rate,omitempty"`
+	Unlimited   bool    `json:"unlimited,omitempty"`
+	// OLAP marks analytic intervals (objective = −execution time).
+	OLAP bool `json:"olap,omitempty"`
+
+	// Optional operational characteristics in [0,1] unless noted.
+	ReadFrac       float64 `json:"read_frac,omitempty"`
+	ScanFrac       float64 `json:"scan_frac,omitempty"`
+	SortFrac       float64 `json:"sort_frac,omitempty"`
+	TmpFrac        float64 `json:"tmp_frac,omitempty"`
+	JoinFrac       float64 `json:"join_frac,omitempty"`
+	Skew           float64 `json:"skew,omitempty"`
+	WorkingSetFrac float64 `json:"working_set_frac,omitempty"`
+	PointFrac      float64 `json:"point_frac,omitempty"`
+	TxnOps         float64 `json:"txn_ops,omitempty"`
+	DataGB         float64 `json:"data_gb,omitempty"`
+}
+
+// WorkloadFromSnapshot converts a generator snapshot into the public
+// Workload form (the bridge drivers use when they already run the
+// internal workload generators).
+func WorkloadFromSnapshot(w workload.Snapshot) Workload {
+	out := Workload{
+		ArrivalRate: w.ArrivalRate, Unlimited: w.Unlimited, OLAP: w.OLAP,
+		ReadFrac: w.ReadFrac, ScanFrac: w.ScanFrac, SortFrac: w.SortFrac,
+		TmpFrac: w.TmpFrac, JoinFrac: w.JoinFrac, Skew: w.Skew,
+		WorkingSetFrac: w.WorkingSetFrac, PointFrac: w.PointFrac,
+		TxnOps: w.TxnOps, DataGB: w.DataGB,
+	}
+	for _, q := range w.Queries {
+		out.Statements = append(out.Statements, Statement{SQL: q.SQL, Weight: q.Weight})
+	}
+	return out
+}
+
+// snapshot converts to the internal form consumed by the featurizer and
+// the white-box rules.
+func (w Workload) snapshot(iter int) workload.Snapshot {
+	s := workload.Snapshot{
+		Iter: iter, Bench: "session",
+		ArrivalRate: w.ArrivalRate, Unlimited: w.Unlimited, OLAP: w.OLAP,
+		ReadFrac: w.ReadFrac, ScanFrac: w.ScanFrac, SortFrac: w.SortFrac,
+		TmpFrac: w.TmpFrac, JoinFrac: w.JoinFrac, Skew: w.Skew,
+		WorkingSetFrac: w.WorkingSetFrac, PointFrac: w.PointFrac,
+		TxnOps: w.TxnOps, DataGB: w.DataGB,
+	}
+	for _, st := range w.Statements {
+		wgt := st.Weight
+		if wgt == 0 {
+			wgt = 1
+		}
+		s.Queries = append(s.Queries, workload.Query{SQL: st.SQL, Weight: wgt})
+	}
+	return s
+}
+
+// Outcome reports the measured result of running the last suggested
+// configuration (or the initial configuration before any suggestion)
+// for one interval.
+type Outcome struct {
+	// Workload is the raw workload observed during the interval.
+	Workload Workload `json:"workload"`
+	// Stats are the optimizer's per-interval aggregate estimates.
+	Stats OptimizerStats `json:"optimizer_stats"`
+	// Metrics are the internal DBMS counters observed in the interval.
+	Metrics Metrics `json:"metrics"`
+	// Performance is the objective achieved: throughput for OLTP
+	// intervals, negative execution time for OLAP intervals.
+	Performance float64 `json:"performance"`
+	// Baseline is the default (untuned) configuration's performance for
+	// this interval — the safety threshold τ.
+	Baseline float64 `json:"baseline"`
+	// P99LatencyMs optionally reports tail latency.
+	P99LatencyMs float64 `json:"p99_latency_ms,omitempty"`
+	// Failed marks an instance failure (hang, crash, OOM).
+	Failed bool `json:"failed,omitempty"`
+}
+
+// clone deep-copies the outcome's reference fields, so a logged outcome
+// is immune to callers reusing statement buffers across intervals.
+func (o Outcome) clone() Outcome {
+	oc := o
+	oc.Workload.Statements = append([]Statement(nil), o.Workload.Statements...)
+	return oc
+}
+
+// result reconstructs the raw interval result backends consume.
+func (o Outcome) result() Result {
+	r := Result{Failed: o.Failed, Metrics: o.Metrics, P99LatencyMs: o.P99LatencyMs}
+	if o.Workload.OLAP {
+		r.ExecTimeSec = -o.Performance
+	} else {
+		r.Throughput = o.Performance
+	}
+	return r
+}
+
+// Advice is one recommended configuration together with the decision
+// path that produced it.
+type Advice struct {
+	// Iter is the tuning interval the advice targets.
+	Iter int `json:"iter"`
+	// Backend is the registry name of the tuner that produced it.
+	Backend string `json:"backend"`
+	// Config is the recommended configuration (raw knob values).
+	Config KnobConfig `json:"config"`
+	// Unit is the same configuration in unit-hypercube encoding.
+	Unit []float64 `json:"unit"`
+
+	// Safety provenance (OnlineTune backends; zero for baselines).
+
+	// Boundary reports that ε-greedy exploration picked the safe
+	// boundary point rather than the UCB maximizer.
+	Boundary bool `json:"boundary,omitempty"`
+	// Fallback reports that the safe set was empty (or the model cold)
+	// and the tuner stayed at the best known configuration.
+	Fallback bool `json:"fallback,omitempty"`
+	// SafetySetSize is the number of candidates assessed safe.
+	SafetySetSize int `json:"safety_set_size,omitempty"`
+	// ModelIndex is the cluster model that produced the advice.
+	ModelIndex int `json:"model_index,omitempty"`
+	// RegionKind is the subspace type used ("hypercube", "line",
+	// "global", "probe", "init", "paused").
+	RegionKind string `json:"region_kind,omitempty"`
+	// WhiteBoxVetoes counts candidates the rule engine rejected.
+	WhiteBoxVetoes int `json:"white_box_vetoes,omitempty"`
+	// IgnoredRule names the white-box rule bypassed by conflict
+	// relaxation, if any.
+	IgnoredRule string `json:"ignored_rule,omitempty"`
+	// Paused reports that the stopping backend is holding the applied
+	// configuration.
+	Paused bool `json:"paused,omitempty"`
+	// EI is the model's Expected Improvement of this configuration over
+	// the previously applied one (meaningful when HasEI).
+	EI    float64 `json:"ei,omitempty"`
+	HasEI bool    `json:"has_ei,omitempty"`
+}
+
+// Session is a durable tuning session for one database. It wraps a
+// backend Tuner with internal context featurization, so callers hand it
+// raw observations and receive configuration advice. Safe for
+// concurrent use; every operation is appended to an event log that
+// Snapshot serializes, which is how a restored session reproduces the
+// exact tuner state (see Restore).
+type Session struct {
+	mu    sync.Mutex
+	cfg   Config
+	space *knobs.Space
+	feat  *featurize.Featurizer
+	tuner Tuner
+	hw    Hardware
+
+	iter     int
+	lastSnap workload.Snapshot
+	lastCtx  []float64
+	lastMet  Metrics
+	lastTau  float64
+	lastOLAP bool
+	lastUnit []float64
+	lastCfg  KnobConfig
+
+	events []event
+}
+
+// NewSession creates a session from a declarative Config.
+func NewSession(cfg Config) (*Session, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Initial != nil {
+		cfg.Initial = cfg.Initial.Clone() // detach from the caller's map
+	}
+	space, err := cfg.space()
+	if err != nil {
+		return nil, err
+	}
+	initial, err := cfg.initial(space)
+	if err != nil {
+		return nil, err
+	}
+	tuner, err := Open(cfg.Backend, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{
+		cfg:      cfg,
+		space:    space,
+		feat:     featurize.NewPretrained(cfg.Seed),
+		tuner:    tuner,
+		hw:       cfg.hardware(),
+		lastCfg:  initial,
+		lastUnit: space.Encode(initial),
+	}
+	s.lastCtx = make([]float64, s.feat.Dim())
+	return s, nil
+}
+
+// Config returns the session's (defaulted) configuration.
+func (s *Session) Config() Config {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cfg
+}
+
+// Iter returns the number of outcomes reported so far.
+func (s *Session) Iter() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.iter
+}
+
+// Suggest recommends a configuration for the next interval, based on
+// the most recently reported workload (before any report: the initial
+// safe configuration).
+func (s *Session) Suggest(ctx context.Context) (Advice, error) {
+	if err := ctx.Err(); err != nil {
+		return Advice{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.events = append(s.events, event{Kind: eventSuggest})
+	return s.suggestLocked(), nil
+}
+
+// suggestLocked runs one Propose and assembles the Advice. Also used by
+// Restore's replay, so it must be a pure function of tuner+session
+// state.
+func (s *Session) suggestLocked() Advice {
+	env := s.envLocked()
+	prevUnit := s.lastUnit
+	cfg := s.tuner.Propose(env)
+	adv := Advice{
+		Iter:    s.iter,
+		Backend: s.cfg.Backend,
+		Config:  cfg.Clone(),
+		Unit:    s.space.Encode(cfg),
+	}
+	if lr, ok := s.tuner.(lastRecommender); ok {
+		if rec := lr.Last(); rec != nil {
+			adv.Unit = append([]float64(nil), rec.Unit...)
+			adv.Boundary = rec.Boundary
+			adv.Fallback = rec.Fallback
+			adv.SafetySetSize = rec.SafetySetSize
+			adv.ModelIndex = rec.ModelIndex
+			adv.RegionKind = rec.RegionKind
+			adv.WhiteBoxVetoes = rec.WhiteBoxVetoes
+			if rec.IgnoredRule != nil {
+				adv.IgnoredRule = rec.IgnoredRule.Name
+			}
+		}
+	}
+	if st, ok := s.tuner.(*StoppingTuner); ok {
+		adv.Paused = st.Paused()
+	}
+	if ct, ok := s.tuner.(coreTuner); ok {
+		if ei, ok := ct.Core().ExpectedImprovementAt(env.Ctx, adv.Unit, prevUnit); ok && !math.IsInf(ei, 0) && !math.IsNaN(ei) {
+			adv.EI, adv.HasEI = ei, true
+		}
+	}
+	// Store private copies: the returned Advice is the caller's to
+	// mutate, and must not alias the session's record of what was
+	// suggested.
+	s.lastUnit = append([]float64(nil), adv.Unit...)
+	s.lastCfg = adv.Config.Clone()
+	return adv
+}
+
+// Report feeds the measured outcome of the last suggested configuration
+// back into the session: the raw workload is featurized into the
+// interval's context, the backend observes the measurement, and the
+// context becomes the basis of the next Suggest.
+func (s *Session) Report(o Outcome) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	oc := o.clone()
+	s.events = append(s.events, event{Kind: eventReport, Outcome: &oc})
+	s.reportLocked(oc)
+	return nil
+}
+
+// reportLocked applies one outcome. Also used by Restore's replay.
+func (s *Session) reportLocked(o Outcome) {
+	snap := o.Workload.snapshot(s.iter)
+	ctx := s.feat.ContextInto(nil, snap, o.Stats)
+	env := Env{
+		Iter: s.iter, Snapshot: snap, Ctx: ctx, Metrics: o.Metrics,
+		Tau: o.Baseline, OLAP: snap.OLAP, HW: s.hw,
+	}
+	s.tuner.Feedback(env, s.lastCfg, o.result())
+	s.lastSnap = snap
+	s.lastCtx = ctx
+	s.lastMet = o.Metrics
+	s.lastTau = o.Baseline
+	s.lastOLAP = snap.OLAP
+	s.iter++
+}
+
+// envLocked assembles the per-interval environment from the latest
+// reported observation.
+func (s *Session) envLocked() Env {
+	return Env{
+		Iter: s.iter, Snapshot: s.lastSnap, Ctx: s.lastCtx,
+		Metrics: s.lastMet, Tau: s.lastTau, OLAP: s.lastOLAP, HW: s.hw,
+	}
+}
+
+// Best returns the best configuration the session has measured and its
+// performance; ok is false for backends that do not track an incumbent
+// or before any safe observation.
+func (s *Session) Best() (KnobConfig, float64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ct, ok := s.tuner.(coreTuner)
+	if !ok {
+		return nil, 0, false
+	}
+	u, perf := ct.Core().Best()
+	if math.IsInf(perf, -1) {
+		return nil, 0, false
+	}
+	return s.space.Decode(u), perf, true
+}
+
+// Backend returns the session's tuner name (display form).
+func (s *Session) Backend() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tuner.Name()
+}

@@ -1,0 +1,161 @@
+package tune
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// SnapshotVersion is the version of the session snapshot JSON schema.
+// The schema is append-only within a version: fields may be added,
+// never renamed or repurposed.
+const SnapshotVersion = 1
+
+// snapshotKind tags the document so unrelated JSON is rejected early.
+const snapshotKind = "tune.Session"
+
+// Event kinds in the session log.
+const (
+	eventSuggest = "suggest"
+	eventReport  = "report"
+)
+
+// event is one logged session operation. The tuner's evolution is a
+// deterministic function of its Config and the ordered event log, so
+// the log IS the durable state: Restore replays it through a freshly
+// built session and arrives at a bitwise-identical tuner (GP Cholesky
+// factors, RNG stream, cluster assignments, rule-relaxation counters
+// and all) — a fidelity no field-by-field serialization of float state
+// could guarantee as cheaply.
+type event struct {
+	Kind    string   `json:"kind"`
+	Outcome *Outcome `json:"outcome,omitempty"`
+}
+
+// sessionState is the derived, human-inspectable state summary embedded
+// in a snapshot: the per-cluster GP observations, the cluster
+// assignment of every historical observation, each model's safe-set
+// memory, and the featurizer's vocabulary. Restore uses it as an
+// integrity check on the replayed session.
+type sessionState struct {
+	// Observations is the total number of repository observations.
+	Observations int `json:"observations"`
+	// ClusterLabels is the cluster assignment per observation.
+	ClusterLabels []int `json:"cluster_labels,omitempty"`
+	// Models holds each cluster model's GP observations, incumbent and
+	// evaluated safe-set keys.
+	Models []core.ModelSnapshot `json:"models,omitempty"`
+	// Vocabulary is the featurizer's admitted token list in id order.
+	Vocabulary []string `json:"vocabulary,omitempty"`
+}
+
+// snapshotFile is the versioned JSON document Snapshot produces.
+type snapshotFile struct {
+	Version int           `json:"version"`
+	Kind    string        `json:"kind"`
+	Config  Config        `json:"config"`
+	Iter    int           `json:"iter"`
+	Events  []event       `json:"events"`
+	State   *sessionState `json:"state,omitempty"`
+}
+
+// Snapshot serializes the session as versioned JSON: its configuration,
+// the full event log, and a derived state summary (GP observations,
+// cluster assignments, safe sets, featurizer vocabulary). The bytes are
+// self-contained — Restore rebuilds an equivalent session from them
+// alone.
+func (s *Session) Snapshot() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f := snapshotFile{
+		Version: SnapshotVersion,
+		Kind:    snapshotKind,
+		Config:  s.cfg,
+		Iter:    s.iter,
+		Events:  s.events,
+		State:   s.stateLocked(),
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// stateLocked exports the derived state summary.
+func (s *Session) stateLocked() *sessionState {
+	st := &sessionState{Vocabulary: s.feat.Vocabulary()}
+	if ct, ok := s.tuner.(coreTuner); ok {
+		t := ct.Core()
+		st.Observations = t.Repo.Len()
+		st.ClusterLabels = t.Labels()
+		for i := 0; i < t.NumModels(); i++ {
+			st.Models = append(st.Models, t.ModelSnapshotAt(i))
+		}
+	}
+	return st
+}
+
+// Restore rebuilds a session from Snapshot bytes by replaying its event
+// log through a freshly constructed session with the same Config. Every
+// source of randomness is seeded, so the restored session's subsequent
+// recommendations are bitwise-identical to those an uninterrupted
+// session would have produced. The embedded state summary is verified
+// against the replayed tuner.
+func Restore(data []byte) (*Session, error) {
+	var f snapshotFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("tune: parsing snapshot: %w", err)
+	}
+	if f.Kind != "" && f.Kind != snapshotKind {
+		return nil, fmt.Errorf("tune: snapshot kind %q is not %q", f.Kind, snapshotKind)
+	}
+	if f.Version != SnapshotVersion {
+		return nil, fmt.Errorf("tune: snapshot version %d not supported (want %d)", f.Version, SnapshotVersion)
+	}
+	s, err := NewSession(f.Config)
+	if err != nil {
+		return nil, err
+	}
+	for i, ev := range f.Events {
+		switch ev.Kind {
+		case eventSuggest:
+			s.suggestLocked()
+		case eventReport:
+			if ev.Outcome == nil {
+				return nil, fmt.Errorf("tune: snapshot event %d: report without outcome", i)
+			}
+			s.reportLocked(*ev.Outcome)
+		default:
+			return nil, fmt.Errorf("tune: snapshot event %d: unknown kind %q", i, ev.Kind)
+		}
+	}
+	s.events = f.Events
+	if s.iter != f.Iter {
+		return nil, fmt.Errorf("tune: replay reached iter %d, snapshot recorded %d", s.iter, f.Iter)
+	}
+	if err := s.verifyState(f.State); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// verifyState cross-checks the snapshot's derived state summary against
+// the replayed session.
+func (s *Session) verifyState(want *sessionState) error {
+	if want == nil {
+		return nil
+	}
+	got := s.stateLocked()
+	if want.Observations != got.Observations {
+		return fmt.Errorf("tune: replayed repository holds %d observations, snapshot recorded %d", got.Observations, want.Observations)
+	}
+	if len(want.Models) != 0 && len(want.Models) != len(got.Models) {
+		return fmt.Errorf("tune: replay produced %d cluster models, snapshot recorded %d", len(got.Models), len(want.Models))
+	}
+	if len(want.Vocabulary) != 0 && len(want.Vocabulary) != len(got.Vocabulary) {
+		return fmt.Errorf("tune: replayed vocabulary holds %d tokens, snapshot recorded %d", len(got.Vocabulary), len(want.Vocabulary))
+	}
+	return nil
+}

@@ -1,0 +1,188 @@
+package tune
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/dbsim"
+	"repro/internal/knobs"
+	"repro/internal/workload"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenOutcome builds a small fixed outcome for the schema golden test.
+func goldenOutcome(i int) Outcome {
+	return Outcome{
+		Workload: Workload{
+			Statements: []Statement{
+				{SQL: "SELECT c_balance FROM customer WHERE c_id = 42", Weight: 3},
+				{SQL: "UPDATE warehouse SET w_ytd = w_ytd + 7 WHERE w_id = 1", Weight: 1},
+			},
+			Unlimited: true,
+			ReadFrac:  0.75,
+			Skew:      0.5,
+			DataGB:    18,
+		},
+		Stats:       OptimizerStats{RowsExamined: 120, FilterPct: 30, IndexUsedFrac: 1},
+		Metrics:     Metrics{BufferPoolHitRate: 0.96, QPS: 20000 + float64(i)*100},
+		Performance: 20000 + float64(i)*100,
+		Baseline:    20000,
+	}
+}
+
+// TestSnapshotGolden pins the versioned snapshot JSON schema: a small
+// deterministic session must serialize to exactly the committed golden
+// bytes. Schema changes are allowed only together with a version bump
+// and a deliberate `go test ./tune -run Golden -update`.
+func TestSnapshotGolden(t *testing.T) {
+	s, err := NewSession(Config{Space: "case5", Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := s.Suggest(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Report(goldenOutcome(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join("testdata", "snapshot_golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./tune -run Golden -update` to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("snapshot schema drifted from golden file %s;\nif intentional, bump SnapshotVersion and re-run with -update\ngot:\n%s", path, got)
+	}
+
+	// The snapshot must parse and carry the documented top-level schema.
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(got, &doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"version", "kind", "config", "iter", "events", "state"} {
+		if _, ok := doc[key]; !ok {
+			t.Fatalf("snapshot missing %q section", key)
+		}
+	}
+	var st sessionState
+	if err := json.Unmarshal(doc["state"], &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Observations != 3 || len(st.Models) == 0 || len(st.Vocabulary) == 0 {
+		t.Fatalf("state summary incomplete: %d obs, %d models, %d tokens",
+			st.Observations, len(st.Models), len(st.Vocabulary))
+	}
+}
+
+// TestSnapshotRestoreProperty is the round-trip property test: over 100
+// iterations on two workloads, a session that is snapshotted, restored
+// and continued every 10 iterations must produce advice bitwise
+// identical to an uninterrupted session.
+func TestSnapshotRestoreProperty(t *testing.T) {
+	workloads := []struct {
+		name string
+		gen  func() workload.Generator
+	}{
+		{"ycsb", func() workload.Generator { return workload.NewYCSB(5) }},
+		{"tpcc", func() workload.Generator { return workload.NewTPCC(5, true) }},
+	}
+	const iters = 100
+	for _, wl := range workloads {
+		wl := wl
+		t.Run(wl.name, func(t *testing.T) {
+			cfg := Config{Space: "case5", Seed: 7}
+			uninterrupted, err := NewSession(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			interrupted, err := NewSession(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			inA := dbsim.New(knobs.CaseStudy5(), 9)
+			inB := dbsim.New(knobs.CaseStudy5(), 9)
+			genA, genB := wl.gen(), wl.gen()
+
+			step := func(s *Session, in *dbsim.Instance, gen workload.Generator, i int) Advice {
+				adv, err := s.Suggest(context.Background())
+				if err != nil {
+					t.Fatal(err)
+				}
+				w := gen.At(i)
+				res := in.Eval(adv.Config, w, dbsim.EvalOptions{})
+				dba := in.DBAResult(w)
+				if err := s.Report(Outcome{
+					Workload:    WorkloadFromSnapshot(w),
+					Stats:       in.OptimizerStats(w),
+					Metrics:     res.Metrics,
+					Performance: res.Objective(w.OLAP),
+					Baseline:    dba.Objective(w.OLAP),
+					Failed:      res.Failed,
+				}); err != nil {
+					t.Fatal(err)
+				}
+				return adv
+			}
+
+			for i := 0; i < iters; i++ {
+				if i > 0 && i%10 == 0 {
+					data, err := interrupted.Snapshot()
+					if err != nil {
+						t.Fatalf("iter %d: Snapshot: %v", i, err)
+					}
+					interrupted, err = Restore(data)
+					if err != nil {
+						t.Fatalf("iter %d: Restore: %v", i, err)
+					}
+				}
+				a := step(uninterrupted, inA, genA, i)
+				b := step(interrupted, inB, genB, i)
+				if !reflect.DeepEqual(a, b) {
+					t.Fatalf("iter %d: advice diverged after restore\nuninterrupted: %+v\nrestored:      %+v", i, a, b)
+				}
+			}
+			if uninterrupted.Iter() != iters || interrupted.Iter() != iters {
+				t.Fatal("iteration counts diverged")
+			}
+		})
+	}
+}
+
+// TestRestoreRejectsGarbage covers the error paths of Restore.
+func TestRestoreRejectsGarbage(t *testing.T) {
+	if _, err := Restore([]byte("{")); err == nil {
+		t.Fatal("accepted truncated JSON")
+	}
+	if _, err := Restore([]byte(`{"version": 999, "kind": "tune.Session"}`)); err == nil {
+		t.Fatal("accepted unknown version")
+	}
+	if _, err := Restore([]byte(`{"version": 1, "kind": "something.Else"}`)); err == nil {
+		t.Fatal("accepted wrong document kind")
+	}
+	if _, err := Restore([]byte(`{"version": 1, "kind": "tune.Session", "events": [{"kind": "report"}]}`)); err == nil {
+		t.Fatal("accepted report event without outcome")
+	}
+}
