@@ -1,0 +1,80 @@
+// Command benchguard is the CI bench-regression gate: it compares fresh
+// BENCH_*.json artifacts (benchrunner -json output) against the
+// committed baselines and exits non-zero when a deterministic metric —
+// final cumulative objective, unsafe count, failure count — regresses
+// beyond the per-metric tolerances. Timing fields are machine-dependent
+// and are never compared.
+//
+// Usage:
+//
+//	benchguard -baseline bench/baseline -fresh bench-artifacts
+//	benchguard -fresh bench-artifacts -update     # intentional change:
+//	                                              # rewrite the baselines
+//	benchguard -perf-tol 0.05 -unsafe-slack 0     # tighter gate
+//
+// Baseline-update workflow: regenerate artifacts with the exact CI
+// parameters (benchrunner -all -iters 20 -seed 1 -json bench-artifacts),
+// run benchguard -update, review the baseline diff, and commit it
+// together with the change that moved the numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	baseline := flag.String("baseline", "bench/baseline", "directory of committed baseline BENCH_*.json artifacts")
+	fresh := flag.String("fresh", "bench-artifacts", "directory of freshly generated BENCH_*.json artifacts")
+	perfTol := flag.Float64("perf-tol", bench.DefaultTolerances().PerfRel, "relative tolerance on final cumulative objective")
+	unsafeSlack := flag.Int("unsafe-slack", bench.DefaultTolerances().UnsafeSlack, "extra unsafe recommendations allowed per series")
+	failureSlack := flag.Int("failure-slack", bench.DefaultTolerances().FailureSlack, "extra instance failures allowed per series")
+	update := flag.Bool("update", false, "copy fresh artifacts over the baselines instead of comparing")
+	verbose := flag.Bool("v", false, "print every comparison, not just regressions")
+	flag.Parse()
+
+	if *update {
+		copied, err := bench.UpdateBaselines(*baseline, *fresh)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchguard:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("updated %d baseline(s) in %s:\n", len(copied), *baseline)
+		for _, name := range copied {
+			fmt.Println("  ", name)
+		}
+		fmt.Println("review the diff and commit it with the change that moved the numbers.")
+		return
+	}
+
+	tol := bench.Tolerances{PerfRel: *perfTol, UnsafeSlack: *unsafeSlack, FailureSlack: *failureSlack}
+	res, err := bench.GuardDirs(*baseline, *fresh, tol)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(1)
+	}
+
+	if *verbose {
+		for _, f := range res.Findings {
+			fmt.Println(f)
+		}
+	}
+	for _, name := range res.NewArtifacts {
+		fmt.Printf("note: %s has no baseline — run benchguard -update to start tracking it\n", name)
+	}
+	regs := res.Regressions()
+	checked := len(res.Findings) - len(regs)
+	if len(regs) > 0 {
+		fmt.Printf("benchguard: %d regression(s) against %s (tolerances: perf %.0f%%, unsafe +%d, failures +%d):\n",
+			len(regs), *baseline, 100*tol.PerfRel, tol.UnsafeSlack, tol.FailureSlack)
+		for _, f := range regs {
+			fmt.Println("  ", f)
+		}
+		fmt.Println("if the change is intentional, regenerate baselines with benchguard -update and commit the diff.")
+		os.Exit(1)
+	}
+	fmt.Printf("benchguard: OK — %d metric(s) within tolerance, 0 regressions\n", checked)
+}

@@ -124,6 +124,39 @@ func TestExt3SmallRunEquivalence(t *testing.T) {
 	}
 }
 
+func TestExt4CrossEngineMatrixShape(t *testing.T) {
+	rep, err := Experiment("ext4", 15, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every engine × workload cell must contribute its rows and series.
+	for _, cell := range []string{
+		"OnlineTune-mysql57-tpcc", "OnlineTune-mysql57-ycsb-dynamic",
+		"OnlineTune-pg16-tpcc", "OnlineTune-pg16-ycsb-dynamic",
+		"DBADefault-pg16-tpcc",
+	} {
+		if !strings.Contains(rep.Body, cell) {
+			t.Fatalf("ext4 missing cell %s:\n%s", cell, rep.Body)
+		}
+	}
+	if len(rep.Series) != 8 {
+		t.Fatalf("ext4 should carry 2 engines × 2 workloads × 2 tuners = 8 series, got %d", len(rep.Series))
+	}
+	if strings.Contains(rep.Body, "REGRESSION") {
+		t.Fatalf("ext4 reports a regression at smoke scale:\n%s", rep.Body)
+	}
+}
+
+func TestFinalWindow(t *testing.T) {
+	s := &Series{Perf: []float64{0, 0, 0, 0, 0, 10, 10, 10, 10, 10}}
+	if got := finalWindow(s); got != 10 {
+		t.Fatalf("finalWindow over trailing half = %v, want 10 (min window 5)", got)
+	}
+	if got := finalWindow(&Series{}); got != 0 {
+		t.Fatalf("empty series finalWindow = %v", got)
+	}
+}
+
 func TestWriteJSONRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	rep := Report{

@@ -1,0 +1,221 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Guard compares fresh BENCH_*.json artifacts against committed
+// baselines so CI can fail on benchmark regressions. Only deterministic
+// metrics are compared — per-series final cumulative objective, unsafe
+// counts and failure counts. Timing fields (wall clock, propose/feedback
+// milliseconds) vary across machines and are never compared.
+
+// Tolerances is the per-metric slack the guard allows before declaring a
+// regression. Runs are deterministic for a fixed (code, seed, iters), so
+// any drift is a code change; the tolerances distinguish "noise-sized
+// algorithmic drift" from a genuine regression.
+type Tolerances struct {
+	// PerfRel is the relative tolerance on each series' final
+	// cumulative objective (objectives are maximized, so only downward
+	// drift beyond this fraction of |baseline| regresses).
+	PerfRel float64
+	// UnsafeSlack is how many extra unsafe recommendations a series may
+	// record.
+	UnsafeSlack int
+	// FailureSlack is how many extra instance failures a series may
+	// record.
+	FailureSlack int
+}
+
+// DefaultTolerances mirrors the CI settings: 10% on performance, two
+// extra unsafe recommendations, no extra failures.
+func DefaultTolerances() Tolerances {
+	return Tolerances{PerfRel: 0.10, UnsafeSlack: 2, FailureSlack: 0}
+}
+
+// GuardFinding is one comparison between a baseline and a fresh
+// artifact.
+type GuardFinding struct {
+	Artifact string // experiment id (baseline file stem)
+	Series   string // series name; empty for artifact-level findings
+	Metric   string
+	Baseline float64
+	Fresh    float64
+	// Regressed marks the finding as failing the tolerance.
+	Regressed bool
+	Detail    string
+}
+
+// String renders the finding for CI logs.
+func (f GuardFinding) String() string {
+	loc := f.Artifact
+	if f.Series != "" {
+		loc += "/" + f.Series
+	}
+	status := "ok"
+	if f.Regressed {
+		status = "REGRESSION"
+	}
+	if f.Detail != "" {
+		return fmt.Sprintf("%-10s %s %s: %s", status, loc, f.Metric, f.Detail)
+	}
+	return fmt.Sprintf("%-10s %s %s: baseline %.6g, fresh %.6g", status, loc, f.Metric, f.Baseline, f.Fresh)
+}
+
+// LoadArtifact reads one BENCH_*.json file.
+func LoadArtifact(path string) (Artifact, error) {
+	var a Artifact
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return a, err
+	}
+	if err := json.Unmarshal(data, &a); err != nil {
+		return a, fmt.Errorf("%s: %w", path, err)
+	}
+	return a, nil
+}
+
+// CompareArtifacts compares a fresh artifact against its baseline and
+// returns one finding per checked metric (regressed or not).
+func CompareArtifacts(base, fresh Artifact, tol Tolerances) []GuardFinding {
+	var out []GuardFinding
+	at := func(series, metric string, b, f float64, regressed bool, detail string) {
+		out = append(out, GuardFinding{
+			Artifact: base.ID, Series: series, Metric: metric,
+			Baseline: b, Fresh: f, Regressed: regressed, Detail: detail,
+		})
+	}
+
+	// Comparisons are only meaningful when both runs used the same
+	// experiment parameters.
+	if base.Iters != fresh.Iters || base.Seed != fresh.Seed {
+		at("", "run-config", 0, 0, true,
+			fmt.Sprintf("baseline ran iters=%d seed=%d, fresh ran iters=%d seed=%d — regenerate one side",
+				base.Iters, base.Seed, fresh.Iters, fresh.Seed))
+		return out
+	}
+
+	freshByName := make(map[string]*Series, len(fresh.Series))
+	for _, s := range fresh.Series {
+		freshByName[s.Name] = s
+	}
+	for _, bs := range base.Series {
+		fs, ok := freshByName[bs.Name]
+		if !ok {
+			at(bs.Name, "presence", 0, 0, true, "series present in baseline but missing from fresh artifact")
+			continue
+		}
+		bCum, fCum := bs.CumFinal(), fs.CumFinal()
+		// Objectives are maximized (negative for OLAP exec time /
+		// latency), so regression means drifting down beyond tolerance.
+		at(bs.Name, "cum_final", bCum, fCum, fCum < bCum-tol.PerfRel*abs(bCum), "")
+		at(bs.Name, "unsafe", float64(bs.Unsafe), float64(fs.Unsafe), fs.Unsafe > bs.Unsafe+tol.UnsafeSlack, "")
+		at(bs.Name, "failures", float64(bs.Failures), float64(fs.Failures), fs.Failures > bs.Failures+tol.FailureSlack, "")
+	}
+	return out
+}
+
+// GuardResult aggregates a whole directory comparison.
+type GuardResult struct {
+	Findings []GuardFinding
+	// NewArtifacts lists fresh artifact files with no committed
+	// baseline (informational: commit them to start their trajectory).
+	NewArtifacts []string
+}
+
+// Regressions returns only the failing findings.
+func (r *GuardResult) Regressions() []GuardFinding {
+	var out []GuardFinding
+	for _, f := range r.Findings {
+		if f.Regressed {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// GuardDirs compares every baseline BENCH_*.json in baselineDir against
+// its counterpart in freshDir. A baseline whose fresh counterpart is
+// missing is a regression (the experiment disappeared); a fresh artifact
+// without a baseline is reported in NewArtifacts but does not fail.
+func GuardDirs(baselineDir, freshDir string, tol Tolerances) (GuardResult, error) {
+	var res GuardResult
+	basePaths, err := filepath.Glob(filepath.Join(baselineDir, "BENCH_*.json"))
+	if err != nil {
+		return res, err
+	}
+	if len(basePaths) == 0 {
+		return res, fmt.Errorf("no BENCH_*.json baselines in %s", baselineDir)
+	}
+	sort.Strings(basePaths)
+	for _, bp := range basePaths {
+		name := filepath.Base(bp)
+		base, err := LoadArtifact(bp)
+		if err != nil {
+			return res, fmt.Errorf("baseline %s: %w", name, err)
+		}
+		fp := filepath.Join(freshDir, name)
+		if _, err := os.Stat(fp); err != nil {
+			res.Findings = append(res.Findings, GuardFinding{
+				Artifact: base.ID, Metric: "presence", Regressed: true,
+				Detail: fmt.Sprintf("baseline %s has no fresh artifact in %s", name, freshDir),
+			})
+			continue
+		}
+		freshArt, err := LoadArtifact(fp)
+		if err != nil {
+			return res, fmt.Errorf("fresh %s: %w", name, err)
+		}
+		res.Findings = append(res.Findings, CompareArtifacts(base, freshArt, tol)...)
+	}
+
+	freshPaths, err := filepath.Glob(filepath.Join(freshDir, "BENCH_*.json"))
+	if err != nil {
+		return res, err
+	}
+	sort.Strings(freshPaths)
+	known := make(map[string]bool, len(basePaths))
+	for _, bp := range basePaths {
+		known[filepath.Base(bp)] = true
+	}
+	for _, fp := range freshPaths {
+		if !known[filepath.Base(fp)] {
+			res.NewArtifacts = append(res.NewArtifacts, filepath.Base(fp))
+		}
+	}
+	return res, nil
+}
+
+// UpdateBaselines copies every fresh BENCH_*.json into baselineDir (the
+// documented baseline-update workflow after an intentional change) and
+// returns the copied file names.
+func UpdateBaselines(baselineDir, freshDir string) ([]string, error) {
+	freshPaths, err := filepath.Glob(filepath.Join(freshDir, "BENCH_*.json"))
+	if err != nil {
+		return nil, err
+	}
+	if len(freshPaths) == 0 {
+		return nil, fmt.Errorf("no BENCH_*.json artifacts in %s", freshDir)
+	}
+	if err := os.MkdirAll(baselineDir, 0o755); err != nil {
+		return nil, err
+	}
+	sort.Strings(freshPaths)
+	var copied []string
+	for _, fp := range freshPaths {
+		data, err := os.ReadFile(fp)
+		if err != nil {
+			return copied, err
+		}
+		name := filepath.Base(fp)
+		if err := os.WriteFile(filepath.Join(baselineDir, name), data, 0o644); err != nil {
+			return copied, err
+		}
+		copied = append(copied, name)
+	}
+	return copied, nil
+}

@@ -168,7 +168,7 @@ func New(space *knobs.Space, ctxDim int, initialSafe []float64, seed int64, opts
 	o := &OnlineTune{
 		Space:        space,
 		Opts:         opts,
-		White:        whitebox.NewEngine(),
+		White:        whitebox.NewEngineFor(space.Engine),
 		Repo:         repo.New(),
 		ctxDim:       ctxDim,
 		rng:          rand.New(rand.NewSource(seed)),

@@ -1,16 +1,27 @@
-// Package dbsim simulates the cloud MySQL 5.7 / InnoDB instance the paper
-// tunes. The tuner-facing surface matches the paper's black-box setting:
-// apply a configuration, run a workload interval, observe a performance
-// metric plus internal DBMS metrics and optimizer statistics. Internally
-// the simulator composes analytical sub-models — buffer-pool hit rate
-// under skewed access with an OS page-cache second tier, redo-log and
-// binlog fsync costs, background flushing capacity, thread-concurrency
-// contention, per-connection memory budgeting with an OS overcommit
-// cliff, and sort/join/temp-table buffer spills — calibrated so that the
-// qualitative response surfaces of the paper hold: the DBA default beats
-// the vendor default substantially, tuned configurations gain another
-// ~10–25%, and unconstrained exploration frequently lands below the
-// default or hangs the instance.
+// Package dbsim simulates the cloud DBMS instance the paper tunes. The
+// tuner-facing surface matches the paper's black-box setting: apply a
+// configuration, run a workload interval, observe a performance metric
+// plus internal DBMS metrics and optimizer statistics. Each supported
+// engine gets its own analytical behavior model behind the one Instance
+// type, selected by the knob space's engine tag:
+//
+//   - MySQL 5.7 / InnoDB — buffer-pool hit rate under skewed access with
+//     an OS page-cache second tier, redo-log and binlog fsync costs,
+//     background flushing capacity, thread-concurrency contention,
+//     per-connection memory budgeting with an OS overcommit cliff, and
+//     sort/join/temp-table buffer spills.
+//
+//   - PostgreSQL 16 — shared_buffers with the OS page cache as the
+//     dominant second tier (double buffering under oversized pools),
+//     WAL/checkpoint pressure with full-page-write amplification,
+//     per-backend work_mem budgeting (the work_mem × connections OOM
+//     trap), planner cost-model mismatch via random_page_cost, autovacuum
+//     capacity vs. dead-tuple churn, and parallel query for analytics.
+//
+// Both models are calibrated so the qualitative response surfaces of the
+// paper hold: the DBA default beats the vendor default substantially,
+// tuned configurations gain another ~10–25%, and unconstrained
+// exploration frequently lands below the default or hangs the instance.
 package dbsim
 
 import (
@@ -55,13 +66,36 @@ func (r *Result) Objective(olap bool) float64 {
 	return r.Throughput
 }
 
-// Instance is a simulated DBMS instance.
+// behavior is one engine's analytical performance model. Implementations
+// are stateless; all state lives on the Instance so behaviors can share
+// the memory/noise/metrics plumbing.
+type behavior interface {
+	model(in *Instance, cfg knobs.Config, w workload.Snapshot, intervalSec float64) modelState
+}
+
+// behaviorFor selects the engine's behavior model.
+func behaviorFor(e knobs.Engine) behavior {
+	if e.OrMySQL() == knobs.EnginePostgres {
+		return postgresBehavior{}
+	}
+	return mysqlBehavior{}
+}
+
+// Instance is a simulated DBMS instance. The engine tag of its knob
+// space selects which analytical behavior model evaluates
+// configurations.
 type Instance struct {
 	HW    Hardware
 	Space *knobs.Space
 	// Base supplies values for knobs outside Space (e.g. when tuning the
-	// 5-knob case-study subspace, the remaining 35 knobs stay at Base).
+	// 5-knob case-study subspace, the remaining knobs stay at Base).
 	Base knobs.Config
+
+	engine   knobs.Engine
+	behavior behavior
+	// full is the engine's complete knob space, the final fallback for
+	// knob values outside both the tuned space and Base.
+	full *knobs.Space
 
 	seed int64
 	// ClientThreads is the closed-loop offered concurrency (OLTP-Bench
@@ -73,17 +107,25 @@ type Instance struct {
 }
 
 // New returns an instance tuning the given knob space, with knobs outside
-// the space pinned to the DBA defaults of the full 40-knob space.
+// the space pinned to the DBA defaults of the engine's full space.
 func New(space *knobs.Space, seed int64) *Instance {
+	eng := space.Engine.OrMySQL()
+	full := knobs.FullSpace(eng)
 	return &Instance{
 		HW:            DefaultHardware(),
 		Space:         space,
-		Base:          knobs.MySQL57().DBADefault(),
+		Base:          full.DBADefault(),
+		engine:        eng,
+		behavior:      behaviorFor(eng),
+		full:          full,
 		seed:          seed,
 		ClientThreads: 64,
 		NoiseBase:     0.02,
 	}
 }
+
+// Engine returns the engine whose behavior model this instance runs.
+func (in *Instance) Engine() knobs.Engine { return in.engine.OrMySQL() }
 
 // val returns the effective raw value of a knob: the evaluated config if
 // the knob is tuned, otherwise the base config.
@@ -94,11 +136,15 @@ func (in *Instance) val(cfg knobs.Config, name string) float64 {
 	if v, ok := in.Base[name]; ok {
 		return v
 	}
-	full, ok := knobs.MySQL57().Get(name)
+	full := in.full
+	if full == nil {
+		full = knobs.FullSpace(in.engine)
+	}
+	k, ok := full.Get(name)
 	if !ok {
 		panic("dbsim: unknown knob " + name)
 	}
-	return full.Default
+	return k.Default
 }
 
 // EvalOptions controls one evaluation.
@@ -185,8 +231,19 @@ type modelState struct {
 	metrics     InternalMetrics
 }
 
-// model computes the analytical performance model.
+// model evaluates the engine's behavior model.
 func (in *Instance) model(cfg knobs.Config, w workload.Snapshot, intervalSec float64) modelState {
+	b := in.behavior
+	if b == nil {
+		b = behaviorFor(in.engine)
+	}
+	return b.model(in, cfg, w, intervalSec)
+}
+
+// mysqlBehavior is the MySQL 5.7 / InnoDB analytical model.
+type mysqlBehavior struct{}
+
+func (mysqlBehavior) model(in *Instance, cfg knobs.Config, w workload.Snapshot, intervalSec float64) modelState {
 	v := func(name string) float64 { return in.val(cfg, name) }
 	hw := in.HW
 	wf := w.WriteFrac()

@@ -1,0 +1,311 @@
+package dbsim
+
+import (
+	"math"
+
+	"repro/internal/knobs"
+	"repro/internal/workload"
+)
+
+// postgresBehavior is the PostgreSQL 16 analytical model. It differs
+// from InnoDB where the engines genuinely differ:
+//
+//   - Reads go through shared_buffers with the OS page cache as a strong
+//     second tier (PostgreSQL is designed around double buffering), so a
+//     small shared_buffers is far less catastrophic than a small InnoDB
+//     buffer pool — but an oversized one starves the OS cache and the
+//     per-backend memory budget.
+//   - work_mem is allocated per sort/hash node per backend; the classic
+//     OOM is work_mem × active connections, not one big pool.
+//   - Durability cost is WAL flushes governed by synchronous_commit, and
+//     checkpoint pressure is governed by max_wal_size with full-page-write
+//     amplification right after each checkpoint.
+//   - Dead tuples from updates/deletes must be vacuumed; an autovacuum
+//     that cannot keep up with the churn bloats tables and stalls
+//     write-heavy workloads (the TPC-C failure mode), while an overly
+//     aggressive one competes for IOPS.
+//   - The planner's cost model (random_page_cost, effective_cache_size)
+//     changes plans: an HDD-tuned random_page_cost on SSD pushes
+//     index-friendly workloads onto sequential scans.
+type postgresBehavior struct{}
+
+func (postgresBehavior) model(in *Instance, cfg knobs.Config, w workload.Snapshot, intervalSec float64) modelState {
+	v := func(name string) float64 { return in.val(cfg, name) }
+	hw := in.HW
+	wf := w.WriteFrac()
+	txnOps := math.Max(1, w.TxnOps)
+
+	// ---- Offered concurrency ---------------------------------------------
+	offered := in.ClientThreads
+	if w.OLAP {
+		offered = 4
+	}
+	conns := math.Min(offered, v("max_connections"))
+
+	// ---- Memory budget -----------------------------------------------------
+	sb := v("shared_buffers")
+	work := v("work_mem")
+	hashMem := work * v("hash_mem_multiplier")
+	// Per-backend memory: a few MB of process baseline, work_mem per
+	// sort, hash_mem per hash join, temp_buffers for temp-table use.
+	perConn := 3*float64(knobs.MiB) +
+		work*(0.25+0.75*w.SortFrac) +
+		hashMem*(0.10+0.90*w.JoinFrac) +
+		v("temp_buffers")*(0.1+0.9*w.TmpFrac)
+	// Autovacuum workers hold maintenance_work_mem while scanning;
+	// write-heavy churn keeps more of them busy.
+	vacWorkers := 0.0
+	if v("autovacuum") >= 1 {
+		vacWorkers = math.Min(v("autovacuum_max_workers"), 1+4*wf)
+	}
+	fixed := v("wal_buffers") + vacWorkers*v("maintenance_work_mem") +
+		0.35*float64(knobs.GiB) // postmaster, WAL writer, stats, OS baseline
+	memUsed := 1.04*sb + fixed + conns*perConn
+	memFrac := memUsed / hw.RAMBytes
+
+	st := modelState{memFrac: memFrac}
+	if memFrac > 1.08 {
+		// The OOM killer takes out a backend and the postmaster enters
+		// crash recovery: the paper's "hang" outcome.
+		st.failed = true
+		st.metrics = failureMetrics(memFrac)
+		return st
+	}
+	memPenalty := 1.0
+	switch {
+	case memFrac > 1.02:
+		memPenalty = 0.22 // swap storm
+	case memFrac > 0.97:
+		memPenalty = 1 - 10*(memFrac-0.97)
+	}
+
+	// ---- Shared buffers + OS page cache ------------------------------------
+	dataBytes := w.DataGB * float64(knobs.GiB)
+	hotBytes := dataBytes * math.Max(0.02, w.WorkingSetFrac)
+	ratio := sb / hotBytes
+	alpha := 0.15 + 0.75*(1-w.Skew)
+	sbHit := math.Min(0.999, math.Pow(math.Min(1, ratio), alpha))
+	if ratio >= 1 {
+		cold := math.Min(1, dataBytes/math.Max(sb, 1))
+		sbHit = math.Min(0.9995, 0.985+0.014*(1-cold*0.5))
+	}
+	// Double buffering: PostgreSQL reads pass through the OS page cache,
+	// which absorbs most shared_buffers misses as soft misses. This is
+	// why the 128 MB vendor default is viable — and why growing
+	// shared_buffers shows diminishing, then negative, returns as it
+	// crowds out the OS cache (memUsed grows, freeRAM shrinks).
+	freeRAM := math.Max(0, 0.92*hw.RAMBytes-memUsed)
+	osCoverage := math.Min(1, freeRAM/math.Max(hotBytes, 1))
+	diskFrac := 1 - 0.93*osCoverage
+
+	// ---- Planner: cost-model mismatch ---------------------------------------
+	// random_page_cost calibrates the planner's index-vs-seq-scan choice.
+	// The reference instance is SSD (true ratio ≈ 1.2): an HDD-style 4.0
+	// pushes index-friendly point workloads onto sequential scans.
+	rpc := v("random_page_cost")
+	planMiss := math.Max(0, rpc-1.2) / 8.8 // 0 at SSD truth, →1 at the 10 cap
+	scanInflate := 1 + 2.2*planMiss*w.PointFrac*(1-w.Skew*0.5)
+	// An effective_cache_size far below the actual cached fraction makes
+	// the planner overprice index probes the cache would absorb.
+	ecs := v("effective_cache_size")
+	cacheBytes := math.Min(hw.RAMBytes, sb+freeRAM)
+	if ecs < cacheBytes {
+		scanInflate *= 1 + 0.25*w.PointFrac*(1-ecs/cacheBytes)
+	}
+
+	// ---- CPU demand per operation -------------------------------------------
+	perOpCPU := 0.12 + 1.2*w.ScanFrac + 2.5*w.JoinFrac*w.ScanFrac + 0.4*w.SortFrac + 0.3*w.TmpFrac
+	// A mispriced plan reads more pages even when they are cached: the
+	// extra tuples cost CPU, not just I/O.
+	perOpCPU *= 1 + 0.5*(scanInflate-1)
+	jit := v("jit") >= 1
+	if jit {
+		// JIT compilation helps long analytic plans and taxes short OLTP
+		// statements with compile overhead.
+		if w.OLAP {
+			perOpCPU *= 0.90
+		} else {
+			perOpCPU *= 1 + 0.03*w.PointFrac
+		}
+	}
+
+	// ---- Sort / hash / temp spills ------------------------------------------
+	opBytes := (0.3 + 24*w.ScanFrac + 90*w.JoinFrac*w.ScanFrac) * float64(knobs.MiB)
+	sortSpill := spillFactor(work, opBytes*0.4)
+	hashSpill := spillFactor(hashMem, opBytes)
+	tmpSpill := spillFactor(v("temp_buffers"), opBytes*0.7)
+	perOpCPU *= 1 + 0.6*w.SortFrac*(sortSpill-1) + 0.35*w.TmpFrac*(tmpSpill-1)
+
+	// ---- Page traffic ---------------------------------------------------------
+	pagesPerOp := (0.5 + 6*w.ScanFrac + 14*w.JoinFrac*w.ScanFrac) * scanInflate
+	pagesPerOp *= 1 + 0.5*w.JoinFrac*(hashSpill-1) + 0.25*w.SortFrac*(sortSpill-1) + 0.2*w.TmpFrac*(tmpSpill-1)
+
+	missPagesPerTxn := pagesPerOp * txnOps * (1 - sbHit)
+	diskReadsPerTxn := missPagesPerTxn * diskFrac
+	cpuMsPerTxn := perOpCPU*txnOps + 0.02*missPagesPerTxn
+
+	// ---- WAL write I/O per transaction ----------------------------------------
+	writeIOPerTxn := 0.22 * wf * txnOps
+	// Small max_wal_size forces frequent checkpoints; each checkpoint
+	// re-dirties full pages (full_page_writes) and bursts flush I/O.
+	maxWal := v("max_wal_size")
+	checkpointFactor := math.Pow((2*float64(knobs.GiB))/math.Max(maxWal, 128*float64(knobs.MiB)), 0.45)
+	checkpointFactor = math.Max(0.7, math.Min(3.0, checkpointFactor))
+	// checkpoint_timeout bounds checkpoint spacing from the other side:
+	// very short timeouts behave like a small WAL budget.
+	if ct := v("checkpoint_timeout"); ct < 300 {
+		checkpointFactor *= 1 + 0.4*(300-ct)/270
+	}
+	if v("full_page_writes") >= 1 {
+		writeIOPerTxn *= 1 + 0.30*math.Min(2, checkpointFactor-0.7)
+	}
+	if v("wal_compression") >= 1 {
+		writeIOPerTxn *= 0.78
+		cpuMsPerTxn *= 1 + 0.015*wf
+	}
+	writeIOPerTxn *= checkpointFactor
+
+	// WAL buffer too small for the write rate → WAL waits.
+	logWaitPenalty := 1.0
+	neededWalBuf := (2 + 48*wf) * float64(knobs.MiB)
+	if wb := v("wal_buffers"); wb < neededWalBuf {
+		logWaitPenalty = 1 - 0.10*(1-wb/neededWalBuf)
+	}
+
+	// ---- Commit durability latency ---------------------------------------------
+	durWeight := 1.45*wf*wf + 0.05*wf
+	var flushMs float64
+	switch int(v("synchronous_commit")) {
+	case 0: // off: WAL writer flushes in the background
+		flushMs = 0.04
+	case 1: // local: no sync replication wait, still a local flush
+		flushMs = 0.9 * hw.FsyncMs
+	default: // on
+		flushMs = hw.FsyncMs
+	}
+	// commit_delay trades a short wait for group commit under
+	// concurrency.
+	if cd := v("commit_delay"); cd > 0 && conns > 8 && flushMs > 0.1 {
+		group := 1 + math.Min(1, cd/3000)*math.Min(4, conns/16)
+		flushMs = flushMs/group + cd/1000*0.5
+	}
+	commitMs := durWeight * flushMs
+
+	// ---- Process-per-connection contention ---------------------------------------
+	threads := math.Min(offered, conns)
+	over := math.Max(0, threads-2*float64(hw.VCPUs)) / float64(hw.VCPUs)
+	hotConflict := w.Skew * wf
+	contention := 1 + 0.05*over*(1+2.0*hotConflict)
+	// Row-level locking plus MVCC: hot-key conflicts cost less than
+	// InnoDB's spin-heavy path, but context switches grow with backends.
+	contention *= 1 + 0.02*math.Max(0, threads-float64(hw.VCPUs))/64
+
+	// ---- Parallel query ------------------------------------------------------------
+	parWorkers := math.Min(v("max_parallel_workers_per_gather"),
+		math.Min(v("max_parallel_workers"), v("max_worker_processes")))
+	parSpeed := 1.0
+	if w.OLAP || w.ScanFrac > 0.5 {
+		// Gather parallelism accelerates scan/join-heavy plans with
+		// diminishing returns, bounded by cores shared with backends.
+		usable := math.Min(parWorkers, math.Max(0, float64(hw.VCPUs)-threads/8))
+		parSpeed = 1 + 0.55*math.Log2(1+usable)*math.Max(w.ScanFrac, w.JoinFrac)
+	}
+
+	// ---- I/O service times ----------------------------------------------------------
+	// effective_io_concurrency drives read-ahead/prefetch depth.
+	eic := v("effective_io_concurrency")
+	ioParallel := 0.55 + 0.45*math.Min(1, eic/64)
+	ioMsPerTxn := diskReadsPerTxn * hw.PageGetMs / math.Max(1, ioParallel*4)
+
+	// ---- Closed-loop throughput -------------------------------------------------------
+	effCores := float64(hw.VCPUs) / contention
+	stretch := math.Max(1, threads/effCores)
+	rMs := cpuMsPerTxn/parSpeed*stretch + ioMsPerTxn + commitMs
+	tput := threads * 1000 / rMs
+	tput = math.Min(tput, float64(hw.VCPUs)*1000/(cpuMsPerTxn/parSpeed)/contention)
+	tput = math.Min(tput, hw.DiskIOPS*ioParallel/math.Max(diskReadsPerTxn+writeIOPerTxn, 1e-9))
+
+	// ---- Background writer + checkpoint flushing ----------------------------------------
+	bgFlushPS := v("bgwriter_lru_maxpages") * (1000 / math.Max(10, v("bgwriter_delay"))) *
+		(0.5 + 0.125*math.Min(4, v("bgwriter_lru_multiplier")))
+	// The checkpointer provides bulk capacity; completion_target spreads
+	// its burst over the interval.
+	cct := math.Min(0.99, math.Max(0.1, v("checkpoint_completion_target")))
+	ckptFlushPS := 0.35 * hw.DiskIOPS * (0.55 + 0.45*cct)
+	flushPS := bgFlushPS + ckptFlushPS
+	dirtyRate := tput * writeIOPerTxn
+	dirtyPenalty := 1.0
+	if dirtyRate > flushPS {
+		dirtyPenalty = math.Max(0.5, 0.6+0.4*flushPS/dirtyRate)
+	}
+	// Checkpoint bursts: low completion target compresses the flush into
+	// a spike that stalls foreground commits on write-heavy load.
+	dirtyPenalty *= 1 - math.Min(0.2, 0.25*(0.9-cct)*wf*math.Min(2, checkpointFactor))
+
+	// ---- Autovacuum vs. dead-tuple churn --------------------------------------------------
+	// Updates and deletes leave dead tuples at ~the write rate. Vacuum
+	// capacity comes from workers × cost budget, throttled by naptime;
+	// a higher trigger scale factor lets bloat build before vacuum runs.
+	deadPS := tput * wf * txnOps * 0.35
+	vacuumPenalty := 1.0
+	vacCapacity := 0.0
+	if v("autovacuum") >= 1 {
+		vacCapacity = v("autovacuum_vacuum_cost_limit") * v("autovacuum_max_workers") * 0.9
+		vacCapacity *= math.Pow(15/math.Max(1, v("autovacuum_naptime")), 0.25)
+	}
+	if deadPS > 0 {
+		if vacCapacity < deadPS {
+			// Bloat: table and index growth slows every scan, and
+			// wraparound-forced vacuums eventually stall writes.
+			short := 1 - vacCapacity/math.Max(deadPS, 1e-9)
+			vacuumPenalty = 1 - (0.12+0.23*wf)*short
+		} else {
+			// Vacuum keeps up but competes for disk: aggressive budgets
+			// beyond the churn eat IOPS from foreground reads.
+			excess := math.Min(1, (vacCapacity-deadPS)/math.Max(hw.DiskIOPS, 1))
+			vacuumPenalty = 1 - 0.05*excess
+		}
+		sf := v("autovacuum_vacuum_scale_factor")
+		vacuumPenalty *= 1 - 0.10*wf*math.Min(1, (sf-0.001)/0.5)
+	}
+
+	tput *= memPenalty * logWaitPenalty * dirtyPenalty * vacuumPenalty
+
+	// Open-loop workloads can't exceed the offered rate.
+	util := 0.0
+	if !w.Unlimited && w.ArrivalRate > 0 && !w.OLAP {
+		util = math.Min(0.995, w.ArrivalRate/math.Max(tput, 1e-9))
+		tput = math.Min(tput, w.ArrivalRate)
+	}
+
+	// ---- Latency ---------------------------------------------------------------
+	p99 := rMs * 3.2 / (memPenalty * dirtyPenalty * vacuumPenalty)
+	if !w.Unlimited && util > 0 {
+		p99 = rMs * 3.2 / math.Max(0.05, 1-util) / (memPenalty * dirtyPenalty * vacuumPenalty)
+	}
+
+	// ---- OLAP execution time ------------------------------------------------------
+	execSec := 0.0
+	if w.OLAP {
+		perQuery := (0.5 + 9*w.JoinFrac) * (1 + 0.12*(hashSpill-1) + 0.08*(sortSpill-1) + 0.05*(tmpSpill-1))
+		perQuery *= 1 + 1.2*(1-sbHit)*diskFrac
+		perQuery *= contention / memPenalty / parSpeed
+		if jit {
+			perQuery *= 0.93
+		}
+		perQuery = math.Min(perQuery, intervalSec)
+		execSec = perQuery * float64(len(w.Queries))
+		p99 = perQuery * 1000 * 1.4
+	}
+
+	st.throughput = tput
+	st.p99Ms = p99
+	st.execTimeSec = execSec
+	st.metrics = in.computeMetrics(w, metricsInput{
+		hit: sbHit, memFrac: memFrac, dirtyRate: dirtyRate, flushPS: flushPS,
+		threads: threads, contention: contention, tput: tput,
+		fsyncPerOp: durWeight, spillSort: sortSpill, spillTmp: tmpSpill,
+		logWaitPenalty: logWaitPenalty, maxDirty: 90,
+	})
+	return st
+}

@@ -1,0 +1,190 @@
+package dbsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/knobs"
+	"repro/internal/workload"
+)
+
+func newPG() *Instance { return New(knobs.Postgres16(), 7) }
+
+func TestPGEngineDispatch(t *testing.T) {
+	if e := newPG().Engine(); e != knobs.EnginePostgres {
+		t.Fatalf("engine = %q", e)
+	}
+	if e := New(knobs.MySQL57(), 1).Engine(); e != knobs.EngineMySQL {
+		t.Fatalf("mysql engine = %q", e)
+	}
+	if e := New(knobs.PGCase5(), 1).Engine(); e != knobs.EnginePostgres {
+		t.Fatalf("pg subspace engine = %q", e)
+	}
+}
+
+// TestPGDBABeatsVendorDefault: the postgresql.conf defaults (128 MB
+// shared_buffers, 1 GB max_wal_size, HDD random_page_cost, lazy
+// autovacuum) leave large headroom on a 16 GB SSD box.
+func TestPGDBABeatsVendorDefault(t *testing.T) {
+	in := newPG()
+	w := workload.NewTPCC(1, false).At(0)
+	def := in.DefaultResult(w).Throughput
+	dba := in.DBAResult(w).Throughput
+	if dba < def*1.2 {
+		t.Fatalf("DBA default should beat vendor default by >20%%: %v vs %v", dba, def)
+	}
+}
+
+// TestPGWorkMemConnectionsOOM: the canonical PostgreSQL failure —
+// work_mem is per sort/hash node per backend, so a big value multiplied
+// across connections overcommits RAM and the OOM killer hangs the
+// instance.
+func TestPGWorkMemConnectionsOOM(t *testing.T) {
+	in := newPG()
+	w := workload.NewTPCC(1, false).At(0)
+	cfg := in.Space.DBADefault()
+	cfg["work_mem"] = 1 * knobs.GiB
+	cfg["hash_mem_multiplier"] = 8
+	r := in.Eval(cfg, w, EvalOptions{NoNoise: true})
+	if !r.Failed {
+		t.Fatalf("1 GiB work_mem across 64 backends should hang: memFrac=%v", r.MemFrac)
+	}
+}
+
+// TestPGSharedBuffersResponseCurve: PostgreSQL double-buffers through
+// the OS page cache, so a small shared_buffers is viable, a moderate one
+// is best, and an oversized one starves the OS cache and swaps.
+func TestPGSharedBuffersResponseCurve(t *testing.T) {
+	in := newPG()
+	w := workload.NewTPCC(1, false).At(0)
+	at := func(sb float64) Result {
+		cfg := in.Space.DBADefault()
+		cfg["shared_buffers"] = sb
+		return in.Eval(cfg, w, EvalOptions{NoNoise: true})
+	}
+	small := at(128 * knobs.MiB)
+	mid := at(4 * knobs.GiB)
+	huge := at(11 * knobs.GiB)
+	if small.Failed || small.Throughput < 0.5*mid.Throughput {
+		t.Fatalf("128 MB shared_buffers should be viable behind the OS cache: %v vs %v", small.Throughput, mid.Throughput)
+	}
+	if mid.Throughput <= small.Throughput {
+		t.Fatalf("25%% RAM shared_buffers should beat 128 MB: %v vs %v", mid.Throughput, small.Throughput)
+	}
+	if huge.Throughput >= mid.Throughput {
+		t.Fatalf("11 GiB shared_buffers should double-buffer into memory pressure: %v vs %v", huge.Throughput, mid.Throughput)
+	}
+}
+
+// TestPGMaxWalSizeMatters: a tiny WAL budget forces checkpoint storms
+// with full-page-write amplification on write-heavy load.
+func TestPGMaxWalSizeMatters(t *testing.T) {
+	in := newPG()
+	w := workload.NewTPCC(1, false).At(0)
+	small := in.Space.DBADefault()
+	small["max_wal_size"] = 128 * knobs.MiB
+	sr := in.Eval(small, w, EvalOptions{NoNoise: true}).Throughput
+	dba := in.DBAResult(w).Throughput
+	if sr >= dba {
+		t.Fatalf("128 MB max_wal_size should hurt TPC-C: %v vs %v", sr, dba)
+	}
+}
+
+// TestPGSyncCommitOffRaisesThroughput mirrors the InnoDB durability
+// trade-off: asynchronous commit removes the WAL flush from the commit
+// path.
+func TestPGSyncCommitOffRaisesThroughput(t *testing.T) {
+	in := newPG()
+	w := workload.NewTPCC(1, false).At(0)
+	cfg := in.Space.DBADefault()
+	cfg["synchronous_commit"] = 0
+	off := in.Eval(cfg, w, EvalOptions{NoNoise: true})
+	dba := in.DBAResult(w)
+	if off.Throughput <= dba.Throughput {
+		t.Fatalf("synchronous_commit=off should raise throughput: %v vs %v", off.Throughput, dba.Throughput)
+	}
+}
+
+// TestPGAutovacuumStallsUnderTPCC: disabling autovacuum (or starving it
+// with the vendor cost limit) bloats write-heavy TPC-C.
+func TestPGAutovacuumStallsUnderTPCC(t *testing.T) {
+	in := newPG()
+	w := workload.NewTPCC(1, false).At(0)
+	dba := in.DBAResult(w).Throughput
+	off := in.Space.DBADefault()
+	off["autovacuum"] = 0
+	offR := in.Eval(off, w, EvalOptions{NoNoise: true}).Throughput
+	if offR >= 0.9*dba {
+		t.Fatalf("autovacuum off should cost >10%% on TPC-C: %v vs %v", offR, dba)
+	}
+	lazy := in.Space.DBADefault()
+	lazy["autovacuum_vacuum_cost_limit"] = 200
+	lazy["autovacuum_max_workers"] = 1
+	lazyR := in.Eval(lazy, w, EvalOptions{NoNoise: true}).Throughput
+	if lazyR >= dba {
+		t.Fatalf("starved autovacuum should fall behind the churn: %v vs %v", lazyR, dba)
+	}
+}
+
+// TestPGRandomPageCostOnSSD: an HDD-tuned random_page_cost on SSD pushes
+// index-friendly point workloads onto sequential scans.
+func TestPGRandomPageCostOnSSD(t *testing.T) {
+	in := newPG()
+	w := workload.NewYCSB(1).At(0)
+	at := func(rpc float64) float64 {
+		cfg := in.Space.DBADefault()
+		cfg["random_page_cost"] = rpc
+		return in.Eval(cfg, w, EvalOptions{NoNoise: true}).Throughput
+	}
+	ssd, hdd := at(1.1), at(4.0)
+	if ssd <= hdd {
+		t.Fatalf("SSD-tuned random_page_cost should beat the HDD default on YCSB: %v vs %v", ssd, hdd)
+	}
+}
+
+// TestPGParallelWorkersHelpOLAP: gather parallelism accelerates the
+// scan/join-heavy JOB queries.
+func TestPGParallelWorkersHelpOLAP(t *testing.T) {
+	in := newPG()
+	w := workload.NewJOB(1, false).At(0)
+	at := func(pw float64) float64 {
+		cfg := in.Space.DBADefault()
+		cfg["max_parallel_workers_per_gather"] = pw
+		return in.Eval(cfg, w, EvalOptions{NoNoise: true}).ExecTimeSec
+	}
+	if serial, par := at(0), at(4); par >= serial {
+		t.Fatalf("parallel query should shorten JOB: %v vs %v", par, serial)
+	}
+}
+
+// Property: the PG model fails exactly on the documented overcommit
+// cliff, like the MySQL model.
+func TestQuickPGFailureIffOvercommit(t *testing.T) {
+	in := newPG()
+	w := workload.NewTPCC(1, false).At(0)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		u := make([]float64, in.Space.Dim())
+		for i := range u {
+			u[i] = rng.Float64()
+		}
+		res := in.Eval(in.Space.Decode(u), w, EvalOptions{NoNoise: true})
+		return res.Failed == (res.MemFrac > 1.08)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPGSubspaceBasePinned: tuning the 5-knob pg-case subspace pins the
+// remaining knobs to the full Postgres16 DBA defaults.
+func TestPGSubspaceBasePinned(t *testing.T) {
+	in := New(knobs.PGCase5(), 7)
+	w := workload.NewTPCC(1, false).At(0)
+	sub := in.DBAResult(w).Throughput
+	full := newPG().DBAResult(w).Throughput
+	if sub != full {
+		t.Fatalf("pg-case DBA default should equal full-space DBA default: %v vs %v", sub, full)
+	}
+}

@@ -1,9 +1,12 @@
-// Package knobs defines the configuration space tuned in the paper: 40
-// dynamic MySQL/InnoDB-style knobs with realistic ranges, MySQL-5.7
-// defaults and DBA-tuned defaults, plus the 5-knob subspace used in the
-// case study (§7.2). It provides the unit-hypercube encoding used by all
-// tuners: each knob maps to [0,1] (log-scaled where the range spans
-// orders of magnitude) and back.
+// Package knobs defines the configuration spaces tuned by the system,
+// keyed by DBMS engine: the paper's 40 dynamic MySQL/InnoDB knobs (with
+// MySQL-5.7 vendor defaults and DBA-tuned defaults, plus the 5-knob
+// case-study subspace of §7.2) and a PostgreSQL 16 space mirroring the
+// same reference instance. Spaces carry an Engine tag and are published
+// through a name registry (Register/Lookup) so new engines plug in
+// without touching callers. Every space provides the unit-hypercube
+// encoding used by all tuners: each knob maps to [0,1] (log-scaled where
+// the range spans orders of magnitude) and back.
 package knobs
 
 import (
@@ -28,7 +31,7 @@ type Knob struct {
 	Type       Type
 	Min, Max   float64  // inclusive bounds for int/float (enum: implied)
 	Enum       []string // values for TypeEnum (TypeBool uses off/on)
-	Default    float64  // MySQL vendor default (raw value, or enum index)
+	Default    float64  // engine vendor default (raw value, or enum index)
 	DBADefault float64  // experienced-DBA default (raw value, or enum index)
 	Log        bool     // log-scale the unit encoding (requires Min > 0)
 	Unit       string   // bytes, count, percent, ... (documentation only)
@@ -81,12 +84,20 @@ func (c Config) Clone() Config {
 // Space is an ordered collection of knobs with a unit-hypercube encoding.
 type Space struct {
 	Knobs []Knob
-	index map[string]int
+	// Engine tags which DBMS the knobs belong to; the zero value means
+	// EngineMySQL (see Engine.OrMySQL).
+	Engine Engine
+	index  map[string]int
 }
 
-// NewSpace builds a space from a knob list. Knob names must be unique.
-func NewSpace(ks []Knob) *Space {
-	s := &Space{Knobs: ks, index: make(map[string]int, len(ks))}
+// NewSpace builds a MySQL-engine space from a knob list. Knob names must
+// be unique.
+func NewSpace(ks []Knob) *Space { return NewEngineSpace(EngineMySQL, ks) }
+
+// NewEngineSpace builds a space for the given engine. Knob names must be
+// unique.
+func NewEngineSpace(e Engine, ks []Knob) *Space {
+	s := &Space{Knobs: ks, Engine: e.OrMySQL(), index: make(map[string]int, len(ks))}
 	for i, k := range ks {
 		if _, dup := s.index[k.Name]; dup {
 			panic(fmt.Sprintf("knobs: duplicate knob %q", k.Name))
@@ -119,7 +130,7 @@ func (s *Space) Get(name string) (*Knob, bool) {
 	return &s.Knobs[i], true
 }
 
-// Default returns the MySQL vendor default configuration.
+// Default returns the engine vendor's default configuration.
 func (s *Space) Default() Config {
 	c := make(Config, len(s.Knobs))
 	for _, k := range s.Knobs {
@@ -180,7 +191,7 @@ func (k *Knob) raw(u float64) float64 {
 }
 
 // Encode maps a configuration to the unit hypercube [0,1]^Dim in knob
-// order. Missing knobs take their MySQL default.
+// order. Missing knobs take their vendor default.
 func (s *Space) Encode(c Config) []float64 {
 	u := make([]float64, len(s.Knobs))
 	for i, k := range s.Knobs {
@@ -222,7 +233,8 @@ func (s *Space) Names() []string {
 }
 
 // Subspace returns a new Space containing only the named knobs, in the
-// given order. It panics if a name is unknown.
+// given order, preserving the engine tag. It panics if a name is
+// unknown.
 func (s *Space) Subspace(names ...string) *Space {
 	ks := make([]Knob, 0, len(names))
 	for _, n := range names {
@@ -232,5 +244,5 @@ func (s *Space) Subspace(names ...string) *Space {
 		}
 		ks = append(ks, *k)
 	}
-	return NewSpace(ks)
+	return NewEngineSpace(s.Engine, ks)
 }

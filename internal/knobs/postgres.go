@@ -1,0 +1,71 @@
+package knobs
+
+// Postgres16 returns the PostgreSQL 16 configuration space for the same
+// 8 vCPU / 16 GB reference instance the paper's MySQL evaluation uses:
+// 31 dynamic knobs covering memory sizing, WAL/checkpoint behavior,
+// connection and parallelism limits, planner cost model, autovacuum and
+// the background writer. Vendor defaults follow postgresql.conf; the
+// DBA defaults encode the common community guidance for a dedicated
+// 16 GB SSD box (shared_buffers ≈ 25% RAM, random_page_cost ≈ 1.1,
+// aggressive autovacuum).
+func Postgres16() *Space {
+	return NewEngineSpace(EnginePostgres, []Knob{
+		// Memory sizing — work_mem is allocated per sort/hash node per
+		// connection, the canonical PostgreSQL OOM trap.
+		{Name: "shared_buffers", Type: TypeInt, Min: 16 * MiB, Max: 12 * GiB, Default: 128 * MiB, DBADefault: 4 * GiB, Log: true, Unit: "bytes"},
+		{Name: "work_mem", Type: TypeInt, Min: 64 * KiB, Max: 1 * GiB, Default: 4 * MiB, DBADefault: 16 * MiB, Log: true, Unit: "bytes"},
+		{Name: "maintenance_work_mem", Type: TypeInt, Min: 1 * MiB, Max: 4 * GiB, Default: 64 * MiB, DBADefault: 1 * GiB, Log: true, Unit: "bytes"},
+		{Name: "temp_buffers", Type: TypeInt, Min: 1 * MiB, Max: 1 * GiB, Default: 8 * MiB, DBADefault: 32 * MiB, Log: true, Unit: "bytes"},
+		{Name: "wal_buffers", Type: TypeInt, Min: 64 * KiB, Max: 256 * MiB, Default: 16 * MiB, DBADefault: 64 * MiB, Log: true, Unit: "bytes"},
+		{Name: "effective_cache_size", Type: TypeInt, Min: 32 * MiB, Max: 15 * GiB, Default: 4 * GiB, DBADefault: 12 * GiB, Log: true, Unit: "bytes"},
+		{Name: "hash_mem_multiplier", Type: TypeFloat, Min: 1, Max: 8, Default: 2, DBADefault: 2},
+
+		// WAL and durability.
+		{Name: "max_wal_size", Type: TypeInt, Min: 128 * MiB, Max: 16 * GiB, Default: 1 * GiB, DBADefault: 8 * GiB, Log: true, Unit: "bytes"},
+		{Name: "min_wal_size", Type: TypeInt, Min: 32 * MiB, Max: 4 * GiB, Default: 80 * MiB, DBADefault: 1 * GiB, Log: true, Unit: "bytes"},
+		{Name: "checkpoint_completion_target", Type: TypeFloat, Min: 0.1, Max: 0.99, Default: 0.9, DBADefault: 0.9},
+		{Name: "checkpoint_timeout", Type: TypeInt, Min: 30, Max: 3600, Default: 300, DBADefault: 900, Log: true, Unit: "seconds"},
+		{Name: "synchronous_commit", Type: TypeEnum, Enum: []string{"off", "local", "on"}, Default: 2, DBADefault: 2},
+		{Name: "wal_compression", Type: TypeBool, Default: 0, DBADefault: 1},
+		{Name: "full_page_writes", Type: TypeBool, Default: 1, DBADefault: 1},
+		{Name: "commit_delay", Type: TypeInt, Min: 0, Max: 10000, Default: 0, DBADefault: 0, Unit: "microseconds"},
+
+		// Connections and parallelism.
+		{Name: "max_connections", Type: TypeInt, Min: 10, Max: 10000, Default: 100, DBADefault: 500, Log: true, Unit: "count"},
+		{Name: "max_worker_processes", Type: TypeInt, Min: 1, Max: 64, Default: 8, DBADefault: 8, Unit: "threads"},
+		{Name: "max_parallel_workers", Type: TypeInt, Min: 0, Max: 64, Default: 8, DBADefault: 8, Unit: "threads"},
+		{Name: "max_parallel_workers_per_gather", Type: TypeInt, Min: 0, Max: 16, Default: 2, DBADefault: 4, Unit: "threads"},
+
+		// Planner cost model and I/O.
+		{Name: "random_page_cost", Type: TypeFloat, Min: 1, Max: 10, Default: 4.0, DBADefault: 1.1},
+		{Name: "effective_io_concurrency", Type: TypeInt, Min: 0, Max: 1000, Default: 1, DBADefault: 200, Unit: "count"},
+		{Name: "jit", Type: TypeBool, Default: 1, DBADefault: 0},
+		{Name: "default_statistics_target", Type: TypeInt, Min: 10, Max: 1000, Default: 100, DBADefault: 100, Log: true, Unit: "count"},
+
+		// Autovacuum — too lazy bloats write-heavy tables, too aggressive
+		// competes for IOPS at peak.
+		{Name: "autovacuum", Type: TypeBool, Default: 1, DBADefault: 1},
+		{Name: "autovacuum_max_workers", Type: TypeInt, Min: 1, Max: 16, Default: 3, DBADefault: 6, Unit: "threads"},
+		{Name: "autovacuum_naptime", Type: TypeInt, Min: 1, Max: 300, Default: 60, DBADefault: 15, Log: true, Unit: "seconds"},
+		{Name: "autovacuum_vacuum_cost_limit", Type: TypeInt, Min: 10, Max: 10000, Default: 200, DBADefault: 2000, Log: true, Unit: "count"},
+		{Name: "autovacuum_vacuum_scale_factor", Type: TypeFloat, Min: 0.001, Max: 0.5, Default: 0.2, DBADefault: 0.05},
+
+		// Background writer.
+		{Name: "bgwriter_delay", Type: TypeInt, Min: 10, Max: 10000, Default: 200, DBADefault: 100, Log: true, Unit: "ms"},
+		{Name: "bgwriter_lru_maxpages", Type: TypeInt, Min: 0, Max: 1000, Default: 100, DBADefault: 400, Unit: "pages"},
+		{Name: "bgwriter_lru_multiplier", Type: TypeFloat, Min: 0, Max: 10, Default: 2, DBADefault: 4},
+	})
+}
+
+// PGCase5 returns the 5-knob PostgreSQL subspace ("pg-case") mirroring
+// the paper's case-study setup: the knobs with the steepest response
+// surfaces in the simulator, small enough to map exhaustively.
+func PGCase5() *Space {
+	return Postgres16().Subspace(
+		"shared_buffers",
+		"work_mem",
+		"max_wal_size",
+		"random_page_cost",
+		"effective_io_concurrency",
+	)
+}

@@ -1,0 +1,98 @@
+package whitebox
+
+import (
+	"math"
+
+	"repro/internal/knobs"
+)
+
+// PostgresRules is the pgtune-style rule table for PostgreSQL 16 on the
+// reference instance. Like the MySQL table it encodes conservative DBA
+// folklore — the relaxation machinery exists because such rules can
+// exclude the optimum — except for the two memory-budget guards, whose
+// credibility makes them effectively non-relaxable.
+func PostgresRules() []*Rule {
+	// When a candidate does not tune max_connections (subspaces like
+	// "pg-case"), the knob stays pinned at the instance's DBA default —
+	// that ceiling, not the vendor's, is what work_mem multiplies across.
+	dbaConns := knobs.Postgres16().DBADefault()["max_connections"]
+	return []*Rule{
+		{
+			Name:   "pg-shared-buffers-cap",
+			Engine: knobs.EnginePostgres,
+			// PostgreSQL double-buffers through the OS page cache:
+			// community guidance caps shared_buffers at ~40% of RAM, and
+			// beyond it the OS cache starves. Overcommit hangs the
+			// instance, so this rule is effectively non-relaxable.
+			Credibility: 1000,
+			Apply: func(env Env) (Range, bool) {
+				return Range{Knob: "shared_buffers", Lo: 0, Hi: 0.40 * env.HW.RAMBytes}, true
+			},
+		},
+		{
+			Name:   "pg-workmem-connections-oom",
+			Engine: knobs.EnginePostgres,
+			// work_mem is allocated per sort/hash node per backend: the
+			// classic OOM is a big work_mem multiplied across
+			// max_connections. Budget ~60% of RAM across the configured
+			// connection ceiling (active backends are typically far
+			// fewer, hence the generous numerator). Non-relaxable.
+			Credibility: 1000,
+			ApplyCfg: func(env Env, cfg knobs.Config) (Range, bool) {
+				conns, ok := cfg["max_connections"]
+				if !ok || conns <= 0 {
+					conns = dbaConns
+				}
+				return Range{Knob: "work_mem", Lo: 0, Hi: 0.60 * env.HW.RAMBytes / conns}, true
+			},
+		},
+		{
+			Name:   "pg-max-wal-floor",
+			Engine: knobs.EnginePostgres,
+			// Under write churn a small WAL budget forces checkpoint
+			// storms with full-page-write amplification: keep at least
+			// the vendor's 1 GB.
+			Credibility: 3,
+			Apply: func(env Env) (Range, bool) {
+				if env.Load.WriteFrac() > 0.3 {
+					return Range{Knob: "max_wal_size", Lo: 1 * knobs.GiB, Hi: 16 * knobs.GiB}, true
+				}
+				return Range{}, false
+			},
+		},
+		{
+			Name:   "pg-autovacuum-on-writes",
+			Engine: knobs.EnginePostgres,
+			// Disabling autovacuum on a write-heavy workload bloats
+			// tables until wraparound vacuums stall everything.
+			Credibility: 4,
+			Apply: func(env Env) (Range, bool) {
+				if env.Load.WriteFrac() > 0.4 {
+					return Range{Knob: "autovacuum", Lo: 1, Hi: 1}, true
+				}
+				return Range{}, false
+			},
+		},
+		{
+			Name:   "pg-random-page-cost-ssd",
+			Engine: knobs.EnginePostgres,
+			// On SSD storage random_page_cost beyond ~2 pushes the
+			// planner onto sequential scans. Folklore that can exclude
+			// the optimum on cold caches — relaxable.
+			Credibility: 2,
+			Apply: func(env Env) (Range, bool) {
+				return Range{Knob: "random_page_cost", Lo: 1, Hi: 2}, true
+			},
+		},
+		{
+			Name:   "pg-parallel-gather-cap",
+			Engine: knobs.EnginePostgres,
+			// Each gather can fan out this many extra backends; cap at
+			// half the cores so parallel query cannot starve OLTP.
+			Credibility: 2,
+			Apply: func(env Env) (Range, bool) {
+				return Range{Knob: "max_parallel_workers_per_gather", Lo: 0, Hi: math.Max(1, float64(env.HW.VCPUs)/2)}, true
+			},
+		},
+	}
+}

@@ -1,0 +1,162 @@
+package whitebox
+
+import (
+	"testing"
+
+	"repro/internal/dbsim"
+	"repro/internal/knobs"
+	"repro/internal/workload"
+)
+
+func pgEngine() *Engine { return NewEngineFor(knobs.EnginePostgres) }
+
+func TestPGDefaultsPassAllRules(t *testing.T) {
+	e := pgEngine()
+	env := tpccEnv()
+	cfg := knobs.Postgres16().DBADefault()
+	if v := e.Check(cfg, env); !v.OK {
+		names := ""
+		for _, r := range v.ViolatedRules {
+			names += r.Name + " "
+		}
+		t.Fatalf("PG DBA default violates rules: %s", names)
+	}
+}
+
+func TestPGSharedBuffersCapRule(t *testing.T) {
+	e := pgEngine()
+	cfg := knobs.Postgres16().DBADefault()
+	cfg["shared_buffers"] = 10 * knobs.GiB // > 40% of 16 GB
+	if e.Check(cfg, tpccEnv()).OK {
+		t.Fatal("10 GiB shared_buffers should violate the 40% cap")
+	}
+}
+
+func TestPGWorkMemOOMGuardScalesWithConnections(t *testing.T) {
+	e := pgEngine()
+	env := tpccEnv()
+	cfg := knobs.Postgres16().DBADefault()
+	cfg["work_mem"] = 256 * knobs.MiB
+	cfg["max_connections"] = 2000
+	if e.Check(cfg, env).OK {
+		t.Fatal("256 MiB work_mem × 2000 connections should violate the OOM guard")
+	}
+	// The identical work_mem is fine when the connection ceiling is low.
+	cfg["max_connections"] = 20
+	if v := e.Check(cfg, env); !v.OK {
+		t.Fatalf("256 MiB work_mem × 20 connections should pass: %v", v.ViolatedRules[0].Name)
+	}
+}
+
+// TestPGWorkMemOOMGuardSubspaceFallback: when max_connections is not
+// tuned (pg-case subspace) the knob stays at the instance's DBA default
+// (500), and the guard must budget against that ceiling — not the
+// vendor's 100.
+func TestPGWorkMemOOMGuardSubspaceFallback(t *testing.T) {
+	e := pgEngine()
+	env := tpccEnv()
+	cfg := knobs.PGCase5().DBADefault() // no max_connections knob
+	if v := e.Check(cfg, env); !v.OK {
+		t.Fatalf("pg-case DBA default should pass: %v", v.ViolatedRules[0].Name)
+	}
+	cfg["work_mem"] = 64 * knobs.MiB // 64 MiB × 500 pinned conns ≈ 31 GiB
+	if e.Check(cfg, env).OK {
+		t.Fatal("work_mem beyond the pinned 500-connection budget should violate")
+	}
+}
+
+func TestPGMaxWalFloorConditionalOnChurn(t *testing.T) {
+	e := pgEngine()
+	cfg := knobs.Postgres16().DBADefault()
+	cfg["max_wal_size"] = 256 * knobs.MiB
+	if e.Check(cfg, tpccEnv()).OK {
+		t.Fatal("256 MiB max_wal_size should violate the floor under TPC-C churn")
+	}
+	// Read-only analytics: the rule does not apply.
+	jobEnv := Env{HW: dbsim.DefaultHardware(), Load: workload.NewJOB(1, false).At(0)}
+	if !e.Check(cfg, jobEnv).OK {
+		t.Fatal("max_wal floor should not bind for read-only JOB")
+	}
+}
+
+func TestPGAutovacuumRule(t *testing.T) {
+	e := pgEngine()
+	cfg := knobs.Postgres16().DBADefault()
+	cfg["autovacuum"] = 0
+	if e.Check(cfg, tpccEnv()).OK {
+		t.Fatal("autovacuum=off should violate on write-heavy TPC-C")
+	}
+}
+
+// TestRulesNeverFireForWrongEngine pins the engine isolation property:
+// a configuration that grossly violates one engine's folklore sails
+// through the other engine's rule table.
+func TestRulesNeverFireForWrongEngine(t *testing.T) {
+	env := tpccEnv()
+
+	// A Postgres config that breaks every PG memory rule, checked by the
+	// MySQL engine: no MySQL rule mentions these knobs, so it passes.
+	badPG := knobs.Postgres16().DBADefault()
+	badPG["shared_buffers"] = 11 * knobs.GiB
+	badPG["work_mem"] = 1 * knobs.GiB
+	badPG["autovacuum"] = 0
+	if v := NewEngineFor(knobs.EngineMySQL).Check(badPG, env); !v.OK {
+		t.Fatalf("MySQL engine fired on a Postgres config: %v", v.ViolatedRules[0].Name)
+	}
+
+	// And the mirror image: an InnoDB config that breaks the MySQL
+	// memory budget, checked by the Postgres engine.
+	badMy := knobs.MySQL57().DBADefault()
+	badMy["innodb_buffer_pool_size"] = 15 * knobs.GiB
+	badMy["innodb_thread_concurrency"] = 1
+	badMy["sort_buffer_size"] = 512 * knobs.MiB
+	if v := NewEngineFor(knobs.EnginePostgres).Check(badMy, env); !v.OK {
+		t.Fatalf("Postgres engine fired on a MySQL config: %v", v.ViolatedRules[0].Name)
+	}
+}
+
+// TestMismatchedRuleInTableIsSkipped: even if a rule with the wrong tag
+// is injected into an engine's table, Check skips it.
+func TestMismatchedRuleInTableIsSkipped(t *testing.T) {
+	e := NewEngineFor(knobs.EnginePostgres)
+	e.Rules = append(e.Rules, DefaultRules()...) // MySQL rules, wrong tag
+	cfg := knobs.MySQL57().DBADefault()
+	cfg["innodb_buffer_pool_size"] = 15 * knobs.GiB
+	if v := e.Check(cfg, tpccEnv()); !v.OK {
+		t.Fatalf("wrong-engine rule fired: %v", v.ViolatedRules[0].Name)
+	}
+}
+
+// TestPGOOMGuardRelaxationWrapsApplyCfg: the relax machinery must widen
+// config-dependent rules the same way it widens plain ones.
+func TestPGOOMGuardRelaxationWrapsApplyCfg(t *testing.T) {
+	e := pgEngine()
+	var oom *Rule
+	for _, r := range e.Rules {
+		if r.Name == "pg-workmem-connections-oom" {
+			oom = r
+		}
+	}
+	if oom == nil {
+		t.Fatal("rule missing")
+	}
+	env := tpccEnv()
+	cfg := knobs.Postgres16().DBADefault()
+	cfg["max_connections"] = 2000
+	cfg["work_mem"] = 6 * knobs.MiB // above the 2000-conn budget (~5 MiB)
+	if e.Check(cfg, env).OK {
+		t.Fatal("setup: config should violate before relaxation")
+	}
+	for i := 0; i < e.ConflictThreshold+oom.Credibility; i++ {
+		e.ReportConflict(oom)
+	}
+	for i := 0; i < e.RelaxThreshold; i++ {
+		e.ReportOutcome(oom, true)
+	}
+	if oom.Relaxations() != 1 {
+		t.Fatalf("relaxations = %d", oom.Relaxations())
+	}
+	if !e.Check(cfg, env).OK {
+		t.Fatal("relaxed OOM guard should admit the borderline work_mem")
+	}
+}

@@ -1,12 +1,16 @@
 // Package whitebox implements the heuristic rule engine OnlineTune
 // consults as its white-box safety assistant (§6.2.2), modeled on
 // MysqlTuner: static rules over DBMS metrics that emit per-knob legal
-// ranges or point suggestions. It also implements the paper's rule
-// relaxation: each rule carries a conflict counter and a conflict-safe
-// counter; when the black box repeatedly wants a configuration a rule
-// rejects, the rule is temporarily ignored, and if the controversial
-// configurations keep proving safe, the rule's range is permanently
-// relaxed.
+// ranges or point suggestions. Rules live in per-engine tables tagged
+// with the knobs.Engine they reason about — MySQL folklore
+// (MysqlTuner-style) and PostgreSQL folklore (pgtune-style) are separate
+// declarative rule sets selected by NewEngineFor, so an engine's rules
+// can never veto another engine's configurations. The package also
+// implements the paper's rule relaxation: each rule carries a conflict
+// counter and a conflict-safe counter; when the black box repeatedly
+// wants a configuration a rule rejects, the rule is temporarily ignored,
+// and if the controversial configurations keep proving safe, the rule's
+// range is permanently relaxed.
 package whitebox
 
 import (
@@ -39,16 +43,33 @@ func (r *Range) Contains(v float64) bool { return v >= r.Lo-1e-9 && v <= r.Hi+1e
 // ok=false when the rule does not apply.
 type Rule struct {
 	Name string
+	// Engine tags which DBMS the rule's folklore belongs to; the zero
+	// value means MySQL. Engines only evaluate rules matching their own
+	// tag, so a rule can never fire for the wrong engine.
+	Engine knobs.Engine
 	// Credibility sets the relaxation thresholds: higher means the rule
 	// is trusted longer before being relaxed.
 	Credibility int
 	// Apply inspects the environment and emits a restriction.
 	Apply func(env Env) (Range, bool)
+	// ApplyCfg, when set, replaces Apply for rules whose restriction on
+	// one knob depends on another knob's candidate value (e.g. the
+	// PostgreSQL work_mem budget divides by the configured
+	// max_connections).
+	ApplyCfg func(env Env, cfg knobs.Config) (Range, bool)
 
 	conflicts     int
 	conflictSafe  int
 	relaxations   int
 	ignoredActive bool
+}
+
+// apply evaluates the rule's restriction for a candidate configuration.
+func (r *Rule) apply(env Env, cfg knobs.Config) (Range, bool) {
+	if r.ApplyCfg != nil {
+		return r.ApplyCfg(env, cfg)
+	}
+	return r.Apply(env)
 }
 
 // Env is what the white box can observe: hardware, workload snapshot and
@@ -62,6 +83,9 @@ type Env struct {
 // Engine evaluates rules and manages relaxation state.
 type Engine struct {
 	Rules []*Rule
+	// For is the DBMS engine this rule engine serves; rules tagged with
+	// a different engine never fire (the zero value means MySQL).
+	For knobs.Engine
 	// ConflictThreshold is how many black-box/white-box decision
 	// conflicts a rule sustains before being ignored for one
 	// recommendation.
@@ -72,13 +96,26 @@ type Engine struct {
 }
 
 // NewEngine returns the MysqlTuner-style rule set for the 8 vCPU / 16 GB
-// reference instance.
-func NewEngine() *Engine {
+// reference instance (shorthand for NewEngineFor(knobs.EngineMySQL)).
+func NewEngine() *Engine { return NewEngineFor(knobs.EngineMySQL) }
+
+// NewEngineFor returns the rule engine for one DBMS engine, loaded with
+// that engine's rule table.
+func NewEngineFor(e knobs.Engine) *Engine {
 	return &Engine{
-		Rules:             DefaultRules(),
+		Rules:             RulesFor(e),
+		For:               e.OrMySQL(),
 		ConflictThreshold: 3,
 		RelaxThreshold:    3,
 	}
+}
+
+// RulesFor returns the rule table for a DBMS engine.
+func RulesFor(e knobs.Engine) []*Rule {
+	if e.OrMySQL() == knobs.EnginePostgres {
+		return PostgresRules()
+	}
+	return DefaultRules()
 }
 
 // DefaultRules is the MysqlTuner-inspired rule set. Each rule encodes a
@@ -203,11 +240,15 @@ type Verdict struct {
 
 // Check evaluates all rules against a configuration. Rules currently in
 // the "ignored" state (conflict threshold reached) do not veto, but at
-// most one rule may be ignored per recommendation (§6.2.2).
+// most one rule may be ignored per recommendation (§6.2.2). Rules tagged
+// with a different engine than the engine's own never fire.
 func (e *Engine) Check(cfg knobs.Config, env Env) Verdict {
 	v := Verdict{OK: true}
 	for _, r := range e.Rules {
-		rg, ok := r.Apply(env)
+		if r.Engine.OrMySQL() != e.For.OrMySQL() {
+			continue
+		}
+		rg, ok := r.apply(env, cfg)
 		if !ok {
 			continue
 		}
@@ -270,14 +311,12 @@ func (e *Engine) ReportOutcome(r *Rule, safe bool) {
 	}
 }
 
-// relax permanently widens the rule by wrapping its Apply with a range
-// expansion (each relaxation widens by 50% around the range midpoint,
-// and drops exclusion bands).
+// relax permanently widens the rule by wrapping its Apply/ApplyCfg with
+// a range expansion (each relaxation widens by 50% around the range
+// midpoint, and drops exclusion bands).
 func (r *Rule) relax() {
 	r.relaxations++
-	inner := r.Apply
-	r.Apply = func(env Env) (Range, bool) {
-		rg, ok := inner(env)
+	widen := func(rg Range, ok bool) (Range, bool) {
 		if !ok {
 			return rg, ok
 		}
@@ -293,6 +332,17 @@ func (r *Rule) relax() {
 		}
 		rg.exclude = nil
 		return rg, ok
+	}
+	if r.ApplyCfg != nil {
+		inner := r.ApplyCfg
+		r.ApplyCfg = func(env Env, cfg knobs.Config) (Range, bool) {
+			return widen(inner(env, cfg))
+		}
+		return
+	}
+	inner := r.Apply
+	r.Apply = func(env Env) (Range, bool) {
+		return widen(inner(env))
 	}
 }
 

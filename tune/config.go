@@ -28,9 +28,12 @@ type StoppingConfig struct {
 // value is valid — OnlineTune on the full 40-knob MySQL space with the
 // paper's defaults.
 type Config struct {
-	// Space selects the knob space by name: "mysql57" (default, 40
-	// knobs; "full" is accepted as an alias) or "case5" (the 5-knob
-	// case-study subset).
+	// Space selects the knob space by name from the engine-keyed
+	// registry (Spaces lists them): "mysql57" (default, 40 knobs; "full"
+	// is accepted as an alias), "case5" (the 5-knob case-study subset),
+	// "pg16" (PostgreSQL 16, 31 knobs) or "pg-case" (its 5-knob
+	// subset). The space's engine tag selects the simulator behavior
+	// and white-box rule set.
 	Space string `json:"space,omitempty"`
 	// Backend selects the tuner by registry name (Backends lists them);
 	// default "onlinetune".
@@ -56,7 +59,7 @@ type Config struct {
 }
 
 // Spaces lists the knob-space names Config.Space accepts.
-func Spaces() []string { return []string{"mysql57", "case5"} }
+func Spaces() []string { return knobs.SpaceNames() }
 
 // OpenSpace resolves a knob-space name ("" defaults to mysql57).
 func OpenSpace(name string) (*knobs.Space, error) {
@@ -74,16 +77,17 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// space resolves the named knob space.
+// space resolves the named knob space through the engine registry.
 func (c Config) space() (*knobs.Space, error) {
-	switch c.Space {
-	case "", "mysql57", "full":
-		return knobs.MySQL57(), nil
-	case "case5":
-		return knobs.CaseStudy5(), nil
-	default:
-		return nil, fmt.Errorf("tune: unknown knob space %q (have mysql57, case5)", c.Space)
+	name := c.Space
+	if name == "" {
+		name = "mysql57"
 	}
+	s, err := knobs.Lookup(name)
+	if err != nil {
+		return nil, fmt.Errorf("tune: %w", err)
+	}
+	return s, nil
 }
 
 // initial resolves the initial safe configuration for a space: the DBA

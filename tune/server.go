@@ -17,10 +17,18 @@ import (
 //	POST   /v1/sessions/{id}/report    ← Outcome, → {"iter": n}
 //	GET    /v1/sessions/{id}/snapshot  → versioned snapshot JSON
 //	GET    /v1/backends                registered backend names
+//	GET    /healthz                    readiness probe
 //
 // Errors are returned as {"error": "..."} with a 4xx/5xx status.
 func NewServer(m *Manager) http.Handler {
 	mux := http.NewServeMux()
+
+	// Readiness probe: by the time the server is listening, the manager
+	// has restored every checkpointed session, so a 200 means sessions
+	// are servable. CI and orchestration poll this instead of sleeping.
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "sessions": len(m.List())})
+	})
 
 	mux.HandleFunc("GET /v1/backends", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"backends": Backends(), "spaces": Spaces()})

@@ -165,6 +165,97 @@ func TestTunedServerSmokeWithRestart(t *testing.T) {
 	doJSON(t, srv2, "POST", "/v1/sessions/db1/suggest", nil, http.StatusNotFound, nil)
 }
 
+// dbaRes returns the DBA default's OLTP objective for a snapshot.
+func dbaRes(in *dbsim.Instance, w workload.Snapshot) float64 {
+	r := in.DBAResult(w)
+	return r.Objective(false)
+}
+
+// TestHealthzAndPG16SessionOverHTTP covers the readiness probe and a
+// PostgreSQL session served end-to-end over the HTTP API: create a
+// "pg16" session, suggest, report a PG-flavored interval, snapshot, and
+// restart the manager over the same state dir.
+func TestHealthzAndPG16SessionOverHTTP(t *testing.T) {
+	stateDir := t.TempDir()
+	m, err := NewManager(stateDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(m))
+	defer srv.Close()
+
+	var health struct {
+		Status   string `json:"status"`
+		Sessions int    `json:"sessions"`
+	}
+	doJSON(t, srv, "GET", "/healthz", nil, http.StatusOK, &health)
+	if health.Status != "ok" || health.Sessions != 0 {
+		t.Fatalf("healthz = %+v", health)
+	}
+
+	cfg := Config{Space: "pg16", Seed: 3}
+	var info SessionInfo
+	doJSON(t, srv, "POST", "/v1/sessions", map[string]any{"id": "pgdb", "config": cfg}, http.StatusCreated, &info)
+	if info.Space != "pg16" {
+		t.Fatalf("created %+v", info)
+	}
+
+	var adv Advice
+	doJSON(t, srv, "POST", "/v1/sessions/pgdb/suggest", nil, http.StatusOK, &adv)
+	if _, ok := adv.Config["shared_buffers"]; !ok {
+		t.Fatalf("pg16 advice should carry PostgreSQL knobs: %v", adv.Config)
+	}
+	if _, ok := adv.Config["innodb_buffer_pool_size"]; ok {
+		t.Fatal("pg16 advice must not carry InnoDB knobs")
+	}
+
+	in := dbsim.New(knobs.Postgres16(), 3)
+	w := workload.NewTPCC(3, true).At(0)
+	res := in.Eval(adv.Config, w, dbsim.EvalOptions{})
+	var rep struct {
+		Iter int `json:"iter"`
+	}
+	doJSON(t, srv, "POST", "/v1/sessions/pgdb/report", Outcome{
+		Workload:    WorkloadFromSnapshot(w),
+		Stats:       in.OptimizerStats(w),
+		Metrics:     res.Metrics,
+		Performance: res.Objective(false),
+		Baseline:    dbaRes(in, w),
+		Failed:      res.Failed,
+	}, http.StatusOK, &rep)
+	if rep.Iter != 1 {
+		t.Fatalf("iter = %d", rep.Iter)
+	}
+
+	doJSON(t, srv, "GET", "/healthz", nil, http.StatusOK, &health)
+	if health.Sessions != 1 {
+		t.Fatalf("healthz after create = %+v", health)
+	}
+	doJSON(t, srv, "GET", "/v1/sessions/pgdb/snapshot", nil, http.StatusOK, nil)
+
+	// Restart: a fresh manager over the same state dir restores the
+	// session and keeps serving it.
+	srv.Close()
+	m2, err := NewManager(stateDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2 := httptest.NewServer(NewServer(m2))
+	defer srv2.Close()
+	doJSON(t, srv2, "GET", "/healthz", nil, http.StatusOK, &health)
+	if health.Sessions != 1 {
+		t.Fatalf("healthz after restart = %+v", health)
+	}
+	doJSON(t, srv2, "GET", "/v1/sessions/pgdb", nil, http.StatusOK, &info)
+	if info.Space != "pg16" || info.Iter != 1 {
+		t.Fatalf("restored %+v", info)
+	}
+	doJSON(t, srv2, "POST", "/v1/sessions/pgdb/suggest", nil, http.StatusOK, &adv)
+	if _, ok := adv.Config["shared_buffers"]; !ok {
+		t.Fatal("restored pg16 session should keep suggesting PostgreSQL knobs")
+	}
+}
+
 // TestManagerDeleteVsCheckpointRace hammers Delete against concurrent
 // Suggest checkpointing on the same id: once Delete returns and the
 // suggesters drain, no checkpoint file may remain (a racing checkpoint

@@ -171,6 +171,69 @@ func TestSnapshotRestoreProperty(t *testing.T) {
 	}
 }
 
+// TestSnapshotRestorePG16 pins the restart-equivalence property for the
+// PostgreSQL engine: a "pg16" session snapshotted and restored every 10
+// iterations produces advice bitwise identical to an uninterrupted one
+// (the pg16 space name, engine-tagged rules and PG simulator metrics all
+// round-trip through the snapshot).
+func TestSnapshotRestorePG16(t *testing.T) {
+	cfg := Config{Space: "pg16", Seed: 11}
+	uninterrupted, err := NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	interrupted, err := NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inA := dbsim.New(knobs.Postgres16(), 13)
+	inB := dbsim.New(knobs.Postgres16(), 13)
+	genA, genB := workload.NewTPCC(11, true), workload.NewTPCC(11, true)
+
+	step := func(s *Session, in *dbsim.Instance, gen workload.Generator, i int) Advice {
+		adv, err := s.Suggest(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := gen.At(i)
+		res := in.Eval(adv.Config, w, dbsim.EvalOptions{})
+		dba := in.DBAResult(w)
+		if err := s.Report(Outcome{
+			Workload:    WorkloadFromSnapshot(w),
+			Stats:       in.OptimizerStats(w),
+			Metrics:     res.Metrics,
+			Performance: res.Objective(w.OLAP),
+			Baseline:    dba.Objective(w.OLAP),
+			Failed:      res.Failed,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return adv
+	}
+
+	const iters = 40
+	for i := 0; i < iters; i++ {
+		if i > 0 && i%10 == 0 {
+			data, err := interrupted.Snapshot()
+			if err != nil {
+				t.Fatalf("iter %d: Snapshot: %v", i, err)
+			}
+			interrupted, err = Restore(data)
+			if err != nil {
+				t.Fatalf("iter %d: Restore: %v", i, err)
+			}
+		}
+		a := step(uninterrupted, inA, genA, i)
+		b := step(interrupted, inB, genB, i)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("iter %d: pg16 advice diverged after restore\nuninterrupted: %+v\nrestored:      %+v", i, a, b)
+		}
+	}
+	if got := interrupted.Config().Space; got != "pg16" {
+		t.Fatalf("restored session space = %q", got)
+	}
+}
+
 // TestRestoreRejectsGarbage covers the error paths of Restore.
 func TestRestoreRejectsGarbage(t *testing.T) {
 	if _, err := Restore([]byte("{")); err == nil {
