@@ -87,6 +87,8 @@ func BenchmarkExt2IncrementalSpeedup(b *testing.B) {
 func BenchmarkExt3FeaturizeClusterSpeedup(b *testing.B) {
 	runExperiment(b, "ext3", *benchIters)
 }
+func BenchmarkExt4CrossEngine(b *testing.B)   { runExperiment(b, "ext4", *benchIters) }
+func BenchmarkExt5CanaryRollout(b *testing.B) { runExperiment(b, "ext5", *benchIters) }
 
 // BenchmarkFeaturizeContext measures context featurization over a
 // repeating-template workload snapshot at paper scale (the per-iteration

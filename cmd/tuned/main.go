@@ -14,6 +14,7 @@
 //	POST   /v1/sessions                {"id": "db1", "config": {"space": "mysql57"}}
 //	POST   /v1/sessions/db1/suggest    → configuration advice
 //	POST   /v1/sessions/db1/report     ← raw interval observation
+//	GET    /v1/sessions/db1/rollout    → canary rollout status
 //	GET    /v1/sessions/db1/snapshot   → durable session snapshot
 package main
 

@@ -21,6 +21,7 @@ import (
 	"repro/internal/knobs"
 	"repro/internal/mathx"
 	"repro/internal/repo"
+	"repro/internal/rollout"
 	"repro/internal/safety"
 	"repro/internal/subspace"
 	"repro/internal/svm"
@@ -61,6 +62,14 @@ type Options struct {
 	// refit — the pre-incremental cost profile, kept for the overhead
 	// benchmarks and as an ablation.
 	FullRefitGP bool
+
+	// Rollout configures the staged canary rollout: when enabled, every
+	// recommendation that differs from the primary's last-good
+	// configuration is staged on a shadow replica and only promoted
+	// after a clean comparison window (see internal/rollout). The zero
+	// value keeps direct apply — the pre-rollout behavior and the ext5
+	// ablation switch.
+	Rollout rollout.Policy
 }
 
 // DefaultOptions mirrors the paper's settings.
@@ -122,6 +131,16 @@ type Recommendation struct {
 	// WhiteBoxVetoes counts candidates the rule engine rejected this
 	// round (white-box rule hits).
 	WhiteBoxVetoes int
+	// RolloutPhase reports the canary rollout state this recommendation
+	// was routed through: "" (rollout disabled — direct apply), "steady"
+	// (no candidate in flight, Unit goes straight to the primary), or
+	// "canary" (Unit/Config carry the primary's last-good configuration
+	// while ShadowUnit/ShadowConfig carry the candidate staged on the
+	// shadow replica; report the pair through ObservePair).
+	RolloutPhase string
+	// ShadowUnit/ShadowConfig are the staged candidate during a canary.
+	ShadowUnit   []float64
+	ShadowConfig knobs.Config
 }
 
 // OnlineTune is the tuner. It is safe for concurrent use: Recommend,
@@ -139,7 +158,9 @@ type OnlineTune struct {
 	// a half-written state.
 	mu sync.Mutex
 
-	ctxDim     int
+	ctxDim int
+	// roll is the canary rollout state machine (nil = direct apply).
+	roll       *rollout.Controller
 	models     []*model
 	labels     []int // cluster label per repo observation
 	classifier *svm.Multiclass
@@ -175,6 +196,9 @@ func New(space *knobs.Space, ctxDim int, initialSafe []float64, seed int64, opts
 		seed:         seed,
 		initialUnit:  mathx.VecClone(initialSafe),
 		reclusterIdx: cluster.NewDistMatrix(nil),
+	}
+	if opts.Rollout.Enabled {
+		o.roll = rollout.NewController(opts.Rollout, initialSafe)
 	}
 	o.models = []*model{o.newModel(initialSafe)}
 	return o
@@ -262,12 +286,27 @@ func (o *OnlineTune) Recommend(ctx []float64, env whitebox.Env, tau float64) Rec
 	m := o.models[mi]
 	o.times.ModelSelect += time.Since(t0)
 
+	// An in-flight canary holds the staged state: the primary keeps the
+	// last-good configuration and the shadow keeps the candidate until
+	// the comparison window decides. No acquisition computation (and no
+	// randomness) is consumed, so held iterations replay exactly.
+	if o.roll != nil && o.roll.CanaryActive() {
+		pu := mathx.VecClone(o.roll.LastGood())
+		su := mathx.VecClone(o.roll.Candidate())
+		rec := Recommendation{
+			Unit: pu, Config: o.Space.Decode(pu), Fallback: true, ModelIndex: mi,
+			RegionKind: "hold", RolloutPhase: string(rollout.PhaseCanary),
+			ShadowUnit: su, ShadowConfig: o.Space.Decode(su),
+		}
+		o.lastRec = &rec
+		return rec
+	}
+
 	// Cold model: stay at the initial safety set.
 	if m.gp.Len() == 0 {
 		u := mathx.VecClone(o.bestCenter(m))
 		rec := Recommendation{Unit: u, Config: o.Space.Decode(u), Fallback: true, ModelIndex: mi, RegionKind: "init"}
-		o.lastRec = &rec
-		return rec
+		return o.finishRecommend(rec)
 	}
 
 	// Recenter on the posterior-mean best for this context (robust to
@@ -286,8 +325,7 @@ func (o *OnlineTune) Recommend(ctx []float64, env whitebox.Env, tau float64) Rec
 		}
 		u := mathx.VecClone(o.bestCenter(m))
 		rec := Recommendation{Unit: u, Config: o.Space.Decode(u), Fallback: true, ModelIndex: mi, RegionKind: "probe"}
-		o.lastRec = &rec
-		return rec
+		return o.finishRecommend(rec)
 	}
 
 	// ③ Subspace adaptation (or the whole space for the ablation).
@@ -359,8 +397,33 @@ func (o *OnlineTune) Recommend(ctx []float64, env whitebox.Env, tau float64) Rec
 	}
 	rec.Config = o.Space.Decode(rec.Unit)
 	o.pendingRule = rec.IgnoredRule
-	o.lastRec = &rec
 	o.times.CandidateSelect += time.Since(t0)
+	return o.finishRecommend(rec)
+}
+
+// finishRecommend routes a fully assembled recommendation through the
+// rollout controller (when enabled) and records it. A candidate that
+// differs from the primary's last-good configuration starts a canary:
+// the returned Unit/Config swap to the last-good configuration for the
+// primary and the candidate moves to ShadowUnit/ShadowConfig. Every
+// Recommend path funnels through here, so no unit can reach the primary
+// without either matching last-good or surviving a comparison window —
+// including conservative probe and fallback picks of an evaluated-best
+// configuration that was never promoted.
+func (o *OnlineTune) finishRecommend(rec Recommendation) Recommendation {
+	if o.roll != nil {
+		primary, shadow := o.roll.Submit(rec.Unit)
+		if shadow == nil {
+			rec.RolloutPhase = string(rollout.PhaseSteady)
+		} else {
+			rec.RolloutPhase = string(rollout.PhaseCanary)
+			rec.ShadowUnit = mathx.VecClone(shadow)
+			rec.ShadowConfig = o.Space.Decode(rec.ShadowUnit)
+			rec.Unit = mathx.VecClone(primary)
+			rec.Config = o.Space.Decode(rec.Unit)
+		}
+	}
+	o.lastRec = &rec
 	return rec
 }
 
@@ -491,6 +554,89 @@ func (o *OnlineTune) Observe(iter int, ctx, unit []float64, perf, tau float64, f
 	defer o.mu.Unlock()
 	t0 := time.Now()
 	defer func() { o.times.ModelUpdate += time.Since(t0) }()
+	// A plain observation during an active canary measures the primary's
+	// last-good configuration, not the staged candidate a bypassed rule
+	// would be attached to.
+	o.observeLocked(iter, ctx, unit, perf, tau, failed, o.roll == nil || !o.roll.CanaryActive())
+}
+
+// ObservePair records one paired interval of a canary: the primary
+// measured under the last-good configuration and the shadow replica
+// measured under the staged candidate. The candidate's shadow
+// measurement is what feeds the model — it is the interval's
+// exploratory data point, so the tuner learns exactly what direct apply
+// would have taught it while the regression (if any) stays on the
+// shadow. The rollout controller then consumes the pair and promotes or
+// rolls back once the comparison window fills. Without an active
+// canary the call degrades to a plain observation of the primary.
+func (o *OnlineTune) ObservePair(iter int, ctx []float64, primaryPerf, shadowPerf, tau float64, primaryFailed, shadowFailed bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	t0 := time.Now()
+	defer func() { o.times.ModelUpdate += time.Since(t0) }()
+	if o.roll == nil || !o.roll.CanaryActive() {
+		// Attribute the measurement to what the primary actually ran —
+		// the last recommendation. The controller's last-good can be
+		// ahead of it for one interval after a drift rollback (lastGood
+		// reverts to the anchor immediately, the primary only switches
+		// at the next Recommend), so it is only the final fallback.
+		unit := o.initialUnit
+		if o.lastRec != nil {
+			unit = o.lastRec.Unit
+		} else if o.roll != nil {
+			unit = o.roll.LastGood()
+		}
+		o.observeLocked(iter, ctx, unit, primaryPerf, tau, primaryFailed, true)
+		return
+	}
+	cand := mathx.VecClone(o.roll.Candidate())
+	o.observeLocked(iter, ctx, cand, shadowPerf, tau, shadowFailed, true)
+	o.roll.ObservePair(iter, primaryPerf, shadowPerf, tau, primaryFailed, shadowFailed)
+}
+
+// RolloutPhase returns the rollout phase alone — PhaseDirect when the
+// rollout is disabled — without the state copies RolloutStatus makes,
+// for the phase-only checks on every report and session listing.
+func (o *OnlineTune) RolloutPhase() rollout.Phase {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.roll == nil {
+		return rollout.PhaseDirect
+	}
+	return o.roll.Phase()
+}
+
+// RolloutStatus returns a copy of the canary rollout controller's
+// state, or nil when the rollout is disabled (direct apply).
+func (o *OnlineTune) RolloutStatus() *rollout.Status {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.roll == nil {
+		return nil
+	}
+	st := o.roll.Status()
+	return &st
+}
+
+// observeLocked is the shared model/bookkeeping update behind Observe
+// and ObservePair. Callers hold o.mu. ruleOutcome reports whether this
+// observation measures the configuration the pending bypassed rule was
+// attached to: during a canary the pending rule belongs to the
+// CANDIDATE (running only on the shadow), so a plain primary
+// observation of the last-good configuration must NOT resolve it —
+// crediting a bypass from a configuration that never bypassed the rule
+// would wrongly accelerate the rule's relaxation.
+func (o *OnlineTune) observeLocked(iter int, ctx, unit []float64, perf, tau float64, failed, ruleOutcome bool) {
+	// Steady-phase drift tracking: a promoted configuration that decays
+	// as the workload drifts is rolled back to the initial safe
+	// configuration. (No-op while a canary is active — ObservePair owns
+	// those intervals and this call carries the shadow measurement —
+	// and for measurements of anything other than the current
+	// last-good, e.g. the pre-promotion config still serving in the
+	// one-interval gap after a promote.)
+	if o.roll != nil {
+		o.roll.ObserveSteady(iter, unit, perf, tau, failed)
+	}
 	mi := o.selectModel(ctx)
 	m := o.models[mi]
 	safe := !failed && perf >= tau
@@ -527,7 +673,7 @@ func (o *OnlineTune) Observe(iter int, ctx, unit []float64, perf, tau float64, f
 	}
 
 	// White-box outcome for a bypassed rule.
-	if o.pendingRule != nil {
+	if o.pendingRule != nil && ruleOutcome {
 		o.White.ReportOutcome(o.pendingRule, safe)
 		o.pendingRule = nil
 	}

@@ -1,0 +1,336 @@
+// Package rollout implements the staged canary rollout of recommended
+// configurations: instead of applying a candidate straight to the
+// primary instance, the candidate is staged on a shadow replica, a
+// comparison window of paired primary/shadow observations is collected,
+// and a promotion policy decides whether the candidate is promoted to
+// the primary or rolled back to the last-good configuration. This turns
+// the tuner's pre-apply safety prediction into an operational guarantee:
+// a configuration that regresses in practice is observed regressing on
+// the shadow and never reaches the primary.
+//
+// The state machine (all coordinates are unit-hypercube encodings):
+//
+//	          Submit(candidate ≠ last-good)
+//	┌────────┐ ───────────────────────────► ┌────────┐
+//	│ steady │                              │ canary │──┐
+//	└────────┘ ◄─────────────────────────── └────────┘  │ ObservePair
+//	   ▲  ▲      promote: last-good ← candidate   ▲      │ (fills the
+//	   │  └───── rollback: candidate discarded ───┼──────┘  window)
+//	   └───────  (shadow failed, regressed vs     │
+//	             primary, or fell below τ)        │
+//
+// The controller is deterministic: every decision is a pure function of
+// the observed performance pairs, so a snapshot/replay of the driving
+// session reproduces the exact promote/rollback history.
+package rollout
+
+import (
+	"fmt"
+	"math"
+	"slices"
+
+	"repro/internal/mathx"
+)
+
+// Phase is the controller's externally visible state.
+type Phase string
+
+// Phases. PhaseDirect is reported by drivers whose rollout is disabled
+// (the direct-apply ablation); an enabled controller is either steady
+// (primary runs the last-good configuration, no candidate in flight) or
+// canary (a candidate is staged on the shadow replica).
+const (
+	PhaseDirect Phase = "direct"
+	PhaseSteady Phase = "steady"
+	PhaseCanary Phase = "canary"
+)
+
+// Event kinds recorded for promotion decisions.
+const (
+	EventPromote  = "promote"
+	EventRollback = "rollback"
+)
+
+// DefaultWindow is the number of paired observations a promotion
+// decision requires, and DefaultThreshold the relative regression beyond
+// which a candidate is rolled back.
+const (
+	DefaultWindow    = 3
+	DefaultThreshold = 0.02
+)
+
+// Policy configures the staged rollout.
+type Policy struct {
+	// Enabled turns the canary rollout on. The zero value keeps the
+	// pre-rollout direct-apply behavior (the ext5 ablation).
+	Enabled bool `json:"enabled,omitempty"`
+	// Window is the number of paired primary/shadow observations the
+	// promotion decision requires (0 = DefaultWindow).
+	Window int `json:"window,omitempty"`
+	// RegressionThreshold is the relative regression tolerance against
+	// the incumbent: a candidate whose shadow mean falls below the
+	// primary mean by more than this fraction is rolled back (0 =
+	// DefaultThreshold). The safety threshold τ is a hard floor on top
+	// of it — a shadow mean strictly below the mean τ rolls back with
+	// NO slack, because τ is the performance the operator was promised
+	// (the untuned default); the threshold only softens the
+	// incumbent-vs-candidate comparison, and the steady-phase drift
+	// rollback, where single noisy measurements rather than window
+	// means are judged.
+	RegressionThreshold float64 `json:"regression_threshold,omitempty"`
+}
+
+// WithDefaults fills zero fields with the default window and threshold.
+func (p Policy) WithDefaults() Policy {
+	if p.Window <= 0 {
+		p.Window = DefaultWindow
+	}
+	if p.RegressionThreshold <= 0 {
+		p.RegressionThreshold = DefaultThreshold
+	}
+	return p
+}
+
+// Event is one promotion decision, the rollback provenance exposed to
+// drivers and recorded in session snapshot logs.
+type Event struct {
+	// Kind is EventPromote or EventRollback.
+	Kind string `json:"kind"`
+	// Iter is the tuning interval at which the decision was made.
+	Iter int `json:"iter"`
+	// Candidate is the decided candidate in unit coordinates.
+	Candidate []float64 `json:"candidate,omitempty"`
+	// PrimaryMean/ShadowMean/TauMean are the comparison-window means the
+	// decision was based on.
+	PrimaryMean float64 `json:"primary_mean"`
+	ShadowMean  float64 `json:"shadow_mean"`
+	TauMean     float64 `json:"tau_mean"`
+	// Pairs is how many paired observations were collected.
+	Pairs int `json:"pairs"`
+	// Reason is a human-readable explanation of the decision.
+	Reason string `json:"reason"`
+}
+
+// Status is a copy of the controller's externally visible state.
+type Status struct {
+	Phase Phase `json:"phase"`
+	// LastGood is the configuration currently applied to the primary
+	// (unit coordinates) — the rollback target.
+	LastGood []float64 `json:"last_good,omitempty"`
+	// Candidate is the configuration staged on the shadow replica
+	// (canary phase only).
+	Candidate []float64 `json:"candidate,omitempty"`
+	// Pairs/Window report the comparison window's fill level.
+	Pairs  int `json:"pairs"`
+	Window int `json:"window"`
+	// RegressionThreshold echoes the active policy.
+	RegressionThreshold float64 `json:"regression_threshold"`
+	// Promotions/Rollbacks count decisions over the controller's life.
+	Promotions int `json:"promotions"`
+	Rollbacks  int `json:"rollbacks"`
+	// LastEvent is the most recent decision (nil before the first).
+	LastEvent *Event `json:"last_event,omitempty"`
+}
+
+// Controller is the rollout state machine for one primary instance. Not
+// safe for concurrent use; core.OnlineTune serializes access under its
+// own mutex.
+type Controller struct {
+	policy Policy
+	// initial is the known-safe anchor configuration (the DBA default
+	// whose performance defines τ) — the drift-rollback target.
+	initial  []float64
+	lastGood []float64
+	// candidate is non-nil exactly while a canary is in flight.
+	candidate []float64
+	primary   []float64
+	shadow    []float64
+	taus      []float64
+	// steadyBad counts consecutive steady-phase intervals where the
+	// applied configuration measured below τ by more than the threshold.
+	steadyBad int
+
+	promotions int
+	rollbacks  int
+	lastEvent  *Event
+}
+
+// NewController returns a controller whose primary currently runs the
+// initial configuration (unit coordinates).
+func NewController(p Policy, initial []float64) *Controller {
+	return &Controller{policy: p.WithDefaults(), initial: mathx.VecClone(initial), lastGood: mathx.VecClone(initial)}
+}
+
+// CanaryActive reports whether a candidate is staged on the shadow.
+func (c *Controller) CanaryActive() bool { return c.candidate != nil }
+
+// Phase returns the controller's phase without copying any state (the
+// cheap alternative to Status for phase-only checks).
+func (c *Controller) Phase() Phase {
+	if c.candidate != nil {
+		return PhaseCanary
+	}
+	return PhaseSteady
+}
+
+// LastGood returns the configuration currently applied to the primary.
+func (c *Controller) LastGood() []float64 { return c.lastGood }
+
+// Candidate returns the staged candidate (nil outside a canary).
+func (c *Controller) Candidate() []float64 { return c.candidate }
+
+// Submit routes a freshly recommended candidate. It returns the
+// configuration to apply on the primary and the configuration to stage
+// on the shadow (nil when no canary starts: the candidate already
+// matches the applied configuration). Submitting during an active
+// canary holds the staged state unchanged.
+func (c *Controller) Submit(candidate []float64) (primary, shadow []float64) {
+	if c.candidate != nil {
+		return c.lastGood, c.candidate
+	}
+	if slices.Equal(candidate, c.lastGood) {
+		return c.lastGood, nil
+	}
+	c.candidate = mathx.VecClone(candidate)
+	c.primary = c.primary[:0]
+	c.shadow = c.shadow[:0]
+	c.taus = c.taus[:0]
+	return c.lastGood, c.candidate
+}
+
+// ObservePair records one paired interval measurement — the primary
+// running last-good and the shadow running the candidate, plus the
+// interval's safety threshold τ — and returns the decision it triggered:
+// EventPromote, EventRollback, or "" while the window is still filling.
+// A shadow failure (hang/OOM) rolls back immediately without waiting
+// for the window, and so does a primary failure: a primary failing
+// under the last-good configuration invalidates the comparison, so the
+// candidate is discarded and the primary reverts to the initial safe
+// anchor rather than holding the canary open against a sick baseline.
+func (c *Controller) ObservePair(iter int, primaryPerf, shadowPerf, tau float64, primaryFailed, shadowFailed bool) string {
+	if c.candidate == nil {
+		return ""
+	}
+	// The pair is recorded before any decision so failure rollbacks
+	// carry the failing interval's actual measurements in their
+	// provenance instead of empty-window zeros.
+	c.primary = append(c.primary, primaryPerf)
+	c.shadow = append(c.shadow, shadowPerf)
+	c.taus = append(c.taus, tau)
+	if shadowFailed {
+		return c.decide(iter, EventRollback, "shadow replica failed under the candidate configuration")
+	}
+	if primaryFailed {
+		kind := c.decide(iter, EventRollback,
+			"primary failed under the last-good configuration mid-canary; candidate discarded and primary reverted to the initial safe configuration")
+		c.lastGood = mathx.VecClone(c.initial)
+		return kind
+	}
+	if len(c.primary) < c.policy.Window {
+		return ""
+	}
+
+	pm, sm, tm := mathx.Mean(c.primary), mathx.Mean(c.shadow), mathx.Mean(c.taus)
+	thr := c.policy.RegressionThreshold
+	switch {
+	case sm < pm-thr*math.Abs(pm):
+		return c.decide(iter, EventRollback, fmt.Sprintf(
+			"shadow mean %.4g regressed more than %.1f%% below primary mean %.4g", sm, 100*thr, pm))
+	case sm < tm:
+		return c.decide(iter, EventRollback, fmt.Sprintf(
+			"shadow mean %.4g fell below the safety threshold mean %.4g", sm, tm))
+	default:
+		return c.decide(iter, EventPromote, fmt.Sprintf(
+			"shadow mean %.4g cleared primary mean %.4g and threshold mean %.4g over %d paired intervals",
+			sm, pm, tm, len(c.primary)))
+	}
+}
+
+// ObserveSteady records a steady-phase primary measurement of unit (no
+// canary in flight) and implements the drift rollback: a configuration
+// that was healthy when promoted can decay as the workload drifts, so
+// a failure — or Window consecutive measurements below τ by more than
+// the regression threshold — rolls the primary back to the initial
+// safe configuration (the anchor whose performance defines τ). Returns
+// EventRollback when the rollback fires, "" otherwise. No-op while a
+// canary is active (ObservePair owns those intervals), while the
+// primary already runs the initial configuration, or when the measured
+// unit is not the current last-good — a promotion changes last-good
+// one interval before the primary actually switches, and a measurement
+// of some other configuration says nothing about last-good's health.
+func (c *Controller) ObserveSteady(iter int, unit []float64, perf, tau float64, failed bool) string {
+	if c.candidate != nil || slices.Equal(c.lastGood, c.initial) {
+		c.steadyBad = 0
+		return ""
+	}
+	if !slices.Equal(unit, c.lastGood) {
+		return ""
+	}
+	if !failed && perf >= tau-c.policy.RegressionThreshold*math.Abs(tau) {
+		c.steadyBad = 0
+		return ""
+	}
+	c.steadyBad++
+	if !failed && c.steadyBad < c.policy.Window {
+		return ""
+	}
+	demoted := c.lastGood
+	streak := c.steadyBad
+	c.lastGood = mathx.VecClone(c.initial)
+	c.steadyBad = 0
+	c.rollbacks++
+	reason := fmt.Sprintf(
+		"applied configuration measured below the safety threshold for %d consecutive steady intervals; rolled back to the initial safe configuration", streak)
+	if failed {
+		reason = "primary failed under the applied configuration; rolled back to the initial safe configuration"
+	}
+	c.lastEvent = &Event{
+		Kind: EventRollback, Iter: iter, Candidate: mathx.VecClone(demoted),
+		PrimaryMean: perf, TauMean: tau, Pairs: streak, Reason: reason,
+	}
+	return EventRollback
+}
+
+// decide finalizes the in-flight canary.
+func (c *Controller) decide(iter int, kind, reason string) string {
+	ev := &Event{
+		Kind: kind, Iter: iter, Candidate: mathx.VecClone(c.candidate),
+		PrimaryMean: mathx.Mean(c.primary), ShadowMean: mathx.Mean(c.shadow), TauMean: mathx.Mean(c.taus),
+		Pairs: len(c.primary), Reason: reason,
+	}
+	if kind == EventPromote {
+		c.promotions++
+		c.lastGood = c.candidate
+	} else {
+		c.rollbacks++
+	}
+	c.candidate = nil
+	c.primary = c.primary[:0]
+	c.shadow = c.shadow[:0]
+	c.taus = c.taus[:0]
+	c.lastEvent = ev
+	return kind
+}
+
+// Status returns a copy of the controller's externally visible state.
+func (c *Controller) Status() Status {
+	st := Status{
+		Phase:               PhaseSteady,
+		LastGood:            mathx.VecClone(c.lastGood),
+		Pairs:               len(c.primary),
+		Window:              c.policy.Window,
+		RegressionThreshold: c.policy.RegressionThreshold,
+		Promotions:          c.promotions,
+		Rollbacks:           c.rollbacks,
+	}
+	if c.candidate != nil {
+		st.Phase = PhaseCanary
+		st.Candidate = mathx.VecClone(c.candidate)
+	}
+	if c.lastEvent != nil {
+		ev := *c.lastEvent
+		ev.Candidate = mathx.VecClone(c.lastEvent.Candidate)
+		st.LastEvent = &ev
+	}
+	return st
+}

@@ -1,0 +1,171 @@
+package rollout
+
+import (
+	"math"
+	"slices"
+	"testing"
+)
+
+func newC() *Controller {
+	return NewController(Policy{Enabled: true, Window: 3, RegressionThreshold: 0.02}, []float64{0.5, 0.5})
+}
+
+func TestSubmitSameAsLastGoodStaysSteady(t *testing.T) {
+	c := newC()
+	primary, shadow := c.Submit([]float64{0.5, 0.5})
+	if shadow != nil {
+		t.Fatal("identical candidate must not start a canary")
+	}
+	if !slices.Equal(primary, []float64{0.5, 0.5}) {
+		t.Fatalf("primary = %v", primary)
+	}
+	if c.CanaryActive() {
+		t.Fatal("no canary should be active")
+	}
+}
+
+func TestCanaryPromotesAfterCleanWindow(t *testing.T) {
+	c := newC()
+	cand := []float64{0.6, 0.4}
+	primary, shadow := c.Submit(cand)
+	if !slices.Equal(primary, []float64{0.5, 0.5}) || !slices.Equal(shadow, cand) {
+		t.Fatalf("staging wrong: primary %v shadow %v", primary, shadow)
+	}
+	if got := c.Status().Phase; got != PhaseCanary {
+		t.Fatalf("phase = %q", got)
+	}
+	// Two clean pairs: window (3) not yet full.
+	for i := 0; i < 2; i++ {
+		if d := c.ObservePair(i, 100, 105, 98, false, false); d != "" {
+			t.Fatalf("pair %d decided early: %q", i, d)
+		}
+	}
+	if d := c.ObservePair(2, 100, 105, 98, false, false); d != EventPromote {
+		t.Fatalf("decision = %q, want promote", d)
+	}
+	st := c.Status()
+	if st.Phase != PhaseSteady || st.Promotions != 1 || st.Rollbacks != 0 {
+		t.Fatalf("status after promote: %+v", st)
+	}
+	if !slices.Equal(st.LastGood, cand) {
+		t.Fatalf("last-good not updated: %v", st.LastGood)
+	}
+	if st.LastEvent == nil || st.LastEvent.Kind != EventPromote || st.LastEvent.Pairs != 3 {
+		t.Fatalf("last event: %+v", st.LastEvent)
+	}
+}
+
+func TestCanaryRollsBackOnRegression(t *testing.T) {
+	c := newC()
+	c.Submit([]float64{0.9, 0.9})
+	c.ObservePair(0, 100, 90, 98, false, false)
+	c.ObservePair(1, 100, 91, 98, false, false)
+	if d := c.ObservePair(2, 100, 92, 98, false, false); d != EventRollback {
+		t.Fatalf("decision = %q, want rollback", d)
+	}
+	st := c.Status()
+	if st.Rollbacks != 1 || st.Phase != PhaseSteady {
+		t.Fatalf("status after rollback: %+v", st)
+	}
+	if !slices.Equal(st.LastGood, []float64{0.5, 0.5}) {
+		t.Fatalf("rollback must keep the previous last-good, got %v", st.LastGood)
+	}
+	if st.LastEvent == nil || st.LastEvent.Kind != EventRollback || !slices.Equal(st.LastEvent.Candidate, []float64{0.9, 0.9}) {
+		t.Fatalf("rollback provenance missing: %+v", st.LastEvent)
+	}
+}
+
+func TestCanaryRollsBackBelowTau(t *testing.T) {
+	// The shadow stays within the primary threshold but below the safety
+	// threshold τ: the candidate must not be promoted.
+	c := NewController(Policy{Enabled: true, Window: 2, RegressionThreshold: 0.10}, []float64{0.5})
+	c.Submit([]float64{0.7})
+	c.ObservePair(0, 100, 96, 99, false, false)
+	if d := c.ObservePair(1, 100, 96, 99, false, false); d != EventRollback {
+		t.Fatalf("decision = %q, want rollback (shadow mean below tau mean)", d)
+	}
+}
+
+func TestShadowFailureRollsBackImmediately(t *testing.T) {
+	c := newC()
+	c.Submit([]float64{0.1, 0.1})
+	if d := c.ObservePair(0, 100, 0, 98, false, true); d != EventRollback {
+		t.Fatalf("decision = %q, want immediate rollback on shadow failure", d)
+	}
+	if c.CanaryActive() {
+		t.Fatal("canary must end on shadow failure")
+	}
+}
+
+func TestFailedPrimaryResolvesCanaryAndRevertsToInitial(t *testing.T) {
+	// Promote a first candidate so last-good differs from the initial
+	// anchor, then fail the primary during the next canary.
+	c := newC()
+	first := []float64{0.6, 0.6}
+	c.Submit(first)
+	for i := 0; i < 3; i++ {
+		c.ObservePair(i, 100, 110, 98, false, false)
+	}
+	if !slices.Equal(c.LastGood(), first) {
+		t.Fatal("setup: first candidate should have promoted")
+	}
+	c.Submit([]float64{0.8, 0.8})
+	if d := c.ObservePair(3, 0, 100, 98, true, false); d != EventRollback {
+		t.Fatalf("failed primary mid-canary must resolve with a rollback, got %q", d)
+	}
+	if c.CanaryActive() {
+		t.Fatal("canary must not stay wedged open against a failing primary")
+	}
+	if !slices.Equal(c.LastGood(), []float64{0.5, 0.5}) {
+		t.Fatalf("primary must revert to the initial safe anchor, got %v", c.LastGood())
+	}
+	if ev := c.Status().LastEvent; ev == nil || ev.Kind != EventRollback {
+		t.Fatalf("missing rollback provenance: %+v", ev)
+	}
+}
+
+func TestSubmitDuringCanaryHoldsStagedState(t *testing.T) {
+	c := newC()
+	first := []float64{0.6, 0.6}
+	c.Submit(first)
+	primary, shadow := c.Submit([]float64{0.2, 0.2})
+	if !slices.Equal(shadow, first) {
+		t.Fatalf("second submit must hold the in-flight candidate, got shadow %v", shadow)
+	}
+	if !slices.Equal(primary, []float64{0.5, 0.5}) {
+		t.Fatalf("primary drifted during hold: %v", primary)
+	}
+}
+
+func TestNegativeObjectives(t *testing.T) {
+	// OLAP objectives are negative (−execution time); the relative
+	// threshold must still work. Shadow −102 vs primary −100 is a 2%
+	// regression at threshold 2%... just beyond, so rollback.
+	c := NewController(Policy{Enabled: true, Window: 1, RegressionThreshold: 0.02}, []float64{0.5})
+	c.Submit([]float64{0.6})
+	if d := c.ObservePair(0, -100, -102.5, -103, false, false); d != EventRollback {
+		t.Fatal("2.5% regression on a negative objective must roll back")
+	}
+	c.Submit([]float64{0.6})
+	if d := c.ObservePair(1, -100, -101, -103, false, false); d != EventPromote {
+		t.Fatal("1% drift within threshold on a negative objective must promote")
+	}
+}
+
+func TestPolicyDefaults(t *testing.T) {
+	p := Policy{Enabled: true}.WithDefaults()
+	if p.Window != DefaultWindow || p.RegressionThreshold != DefaultThreshold {
+		t.Fatalf("defaults not applied: %+v", p)
+	}
+}
+
+func TestStatusIsACopy(t *testing.T) {
+	c := newC()
+	c.Submit([]float64{0.6, 0.6})
+	st := c.Status()
+	st.LastGood[0] = math.NaN()
+	st.Candidate[0] = math.NaN()
+	if math.IsNaN(c.LastGood()[0]) || math.IsNaN(c.Candidate()[0]) {
+		t.Fatal("Status must not alias controller state")
+	}
+}

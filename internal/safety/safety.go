@@ -4,11 +4,15 @@
 // (black-box knowledge), and the white-box rule engine does not veto it.
 package safety
 
-import (
-	"math"
+import "math"
 
-	"repro/internal/gp"
-)
+// Model is the posterior the assessment queries: a batched predictor
+// returning the mean and variance of performance for every candidate
+// configuration under one context. gp.ContextualGP implements it; tests
+// may substitute degenerate models.
+type Model interface {
+	PredictAll(configs [][]float64, ctx []float64) (means, variances []float64)
+}
 
 // Assessment holds the per-candidate safety information of one round.
 type Assessment struct {
@@ -26,7 +30,7 @@ type Assessment struct {
 // al. (2010); the paper sets it per that analysis. All candidates are
 // scored in one batched posterior pass (shared factor and weights,
 // candidate blocks fanned across a bounded worker pool).
-func Assess(model *gp.ContextualGP, ctx []float64, candidates [][]float64, beta, tau float64) *Assessment {
+func Assess(model Model, ctx []float64, candidates [][]float64, beta, tau float64) *Assessment {
 	a := &Assessment{
 		Candidates: candidates,
 		Lower:      make([]float64, len(candidates)),
@@ -36,7 +40,15 @@ func Assess(model *gp.ContextualGP, ctx []float64, candidates [][]float64, beta,
 	}
 	mus, vars := model.PredictAll(candidates, ctx)
 	for i := range candidates {
-		s := math.Sqrt(vars[i])
+		// A near-singular posterior can report a tiny negative variance
+		// (float cancellation in the Schur complement); clamp to zero
+		// before the square root, or the NaN sigma would poison every
+		// bound and silently empty ArgMaxUCB/ArgMaxBoundary. The clamp
+		// also neutralizes NaN variances (NaN > 0 is false).
+		s := 0.0
+		if vars[i] > 0 {
+			s = math.Sqrt(vars[i])
+		}
 		a.Lower[i] = mus[i] - beta*s
 		a.Upper[i] = mus[i] + beta*s
 		a.Sigma[i] = s
@@ -73,8 +85,15 @@ func (a *Assessment) ArgMaxBoundary() int {
 	return best
 }
 
-// Veto removes candidate i from the safe set (white-box rejection).
+// Veto removes candidate i from the safe set (white-box rejection). An
+// out-of-range index is ignored: the alternative is a panic (negative or
+// too-large i) that would take down a whole tuning session over one bad
+// rule verdict, or — with a sparse bounds check — a silent NumSafe
+// corruption that distorts every later safe-set decision.
 func (a *Assessment) Veto(i int) {
+	if i < 0 || i >= len(a.Safe) {
+		return
+	}
 	if a.Safe[i] {
 		a.Safe[i] = false
 		a.NumSafe--

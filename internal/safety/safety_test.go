@@ -1,6 +1,7 @@
 package safety
 
 import (
+	"math"
 	"testing"
 
 	"repro/internal/gp"
@@ -101,5 +102,87 @@ func TestBetaWidensBounds(t *testing.T) {
 	wide := Assess(m, []float64{0}, [][]float64{{0.6}}, 3, 0)
 	if wide.Lower[0] >= narrow.Lower[0] || wide.Upper[0] <= narrow.Upper[0] {
 		t.Fatal("larger beta must widen the interval")
+	}
+}
+
+// degenerateModel is a safety.Model stub whose posterior reports the
+// given variances verbatim — including the tiny negative values a
+// near-singular Gram matrix produces through float cancellation.
+type degenerateModel struct {
+	mus, vars []float64
+}
+
+func (d degenerateModel) PredictAll(configs [][]float64, ctx []float64) ([]float64, []float64) {
+	return d.mus, d.vars
+}
+
+func TestAssessClampsNegativeVariance(t *testing.T) {
+	m := degenerateModel{
+		mus:  []float64{10, 12, 11},
+		vars: []float64{-1e-17, 0, math.NaN()},
+	}
+	cands := [][]float64{{0.1}, {0.5}, {0.9}}
+	a := Assess(m, []float64{0}, cands, 2, 5)
+	for i := range cands {
+		if math.IsNaN(a.Sigma[i]) || math.IsNaN(a.Lower[i]) || math.IsNaN(a.Upper[i]) {
+			t.Fatalf("candidate %d: NaN leaked through assessment: sigma=%v lower=%v upper=%v",
+				i, a.Sigma[i], a.Lower[i], a.Upper[i])
+		}
+		if a.Sigma[i] != 0 {
+			t.Fatalf("candidate %d: degenerate variance must clamp sigma to 0, got %v", i, a.Sigma[i])
+		}
+	}
+	// All posterior means clear τ=5 with σ=0, so all are safe and the
+	// argmax picks the highest mean instead of silently returning -1.
+	if a.NumSafe != 3 {
+		t.Fatalf("NumSafe = %d, want 3", a.NumSafe)
+	}
+	if pick := a.ArgMaxUCB(); pick != 1 {
+		t.Fatalf("ArgMaxUCB = %d, want 1 (highest mean)", pick)
+	}
+	if pick := a.ArgMaxBoundary(); pick < 0 {
+		t.Fatal("ArgMaxBoundary poisoned by degenerate variance")
+	}
+}
+
+func TestAssessNearSingularGP(t *testing.T) {
+	// Many duplicated observations drive the GP posterior variance at
+	// the training point toward zero; the assessment must stay finite.
+	m := gp.NewContextual(1, 1)
+	var configs, ctxs [][]float64
+	var perf []float64
+	for i := 0; i < 30; i++ {
+		configs = append(configs, []float64{0.5})
+		ctxs = append(ctxs, []float64{0})
+		perf = append(perf, 10)
+	}
+	if err := m.Fit(configs, ctxs, perf); err != nil {
+		t.Fatal(err)
+	}
+	a := Assess(m, []float64{0}, [][]float64{{0.5}, {0.500001}}, 2, 5)
+	for i := range a.Candidates {
+		if math.IsNaN(a.Sigma[i]) || math.IsNaN(a.Lower[i]) {
+			t.Fatalf("near-singular model leaked NaN at %d: %+v", i, a)
+		}
+	}
+	if a.ArgMaxUCB() < 0 {
+		t.Fatal("near-singular model emptied the safe set")
+	}
+}
+
+func TestVetoOutOfRangeIsIgnored(t *testing.T) {
+	m := fitted(t)
+	a := Assess(m, []float64{0}, [][]float64{{0.5}, {0.45}}, 2, 0)
+	n := a.NumSafe
+	a.Veto(-1)
+	a.Veto(len(a.Safe))
+	a.Veto(1000000)
+	if a.NumSafe != n {
+		t.Fatalf("out-of-range veto corrupted NumSafe: %d -> %d", n, a.NumSafe)
+	}
+	for i, s := range a.Safe {
+		if !s {
+			t.Fatalf("out-of-range veto flipped Safe[%d]", i)
+		}
 	}
 }

@@ -47,24 +47,64 @@ func (r *Region) radiusAt(d int) float64 {
 	return r.Radius
 }
 
-// Contains reports whether a unit point lies in the region (lines accept
-// points within a thin tube).
+// containsTol is the absolute membership slack: it absorbs float error
+// from the unit encoding, nothing more. Hypercube per-dimension bounds,
+// the line's off-line residual and the line's projection bounds all use
+// this one tolerance, so no region kind is looser than another.
+const containsTol = 1e-9
+
+// Contains reports whether a unit point lies in the region. Line
+// membership requires both a near-zero off-line residual and a
+// projection α inside the feasible range — the segment of the line that
+// stays within [0,1]^dim — so points on the infinite line beyond the
+// region's actual extent are rejected.
 func (r *Region) Contains(u []float64) bool {
 	switch r.Kind {
 	case Hypercube:
 		for i := range u {
-			if math.Abs(u[i]-r.Center[i]) > r.radiusAt(i)+1e-9 {
+			if math.Abs(u[i]-r.Center[i]) > r.radiusAt(i)+containsTol {
 				return false
 			}
 		}
 		return true
 	default:
-		// Project onto the line and check the residual.
 		d := mathx.VecSub(u, r.Center)
 		alpha := mathx.Dot(d, r.Dir)
+		lo, hi, ok := r.alphaRange()
+		if !ok || alpha < lo-containsTol || alpha > hi+containsTol {
+			return false
+		}
 		res := mathx.VecSub(d, mathx.VecScale(alpha, r.Dir))
-		return mathx.Norm2(res) < 1e-6
+		return mathx.Norm2(res) <= containsTol
 	}
+}
+
+// alphaRange returns the feasible projection range of a line region:
+// the α for which center + α·dir stays inside [0,1] in every
+// coordinate. ok is false when the range is empty or unbounded (a zero
+// direction).
+func (r *Region) alphaRange() (lo, hi float64, ok bool) {
+	lo, hi = math.Inf(-1), math.Inf(1)
+	for i, d := range r.Dir {
+		if d == 0 {
+			continue
+		}
+		a := (0 - r.Center[i]) / d
+		b := (1 - r.Center[i]) / d
+		if a > b {
+			a, b = b, a
+		}
+		if a > lo {
+			lo = a
+		}
+		if b < hi {
+			hi = b
+		}
+	}
+	if math.IsInf(lo, -1) || math.IsInf(hi, 1) || hi < lo {
+		return 0, 0, false
+	}
+	return lo, hi, true
 }
 
 // Candidates discretizes the region into at most n unit points, always
@@ -76,11 +116,25 @@ func (r *Region) Candidates(n int, rng *rand.Rand) [][]float64 {
 	switch r.Kind {
 	case Hypercube:
 		dim := len(r.Center)
+		var idx []int
+		if r.PerturbK > 0 && r.PerturbK < dim {
+			idx = make([]int, dim)
+			for i := range idx {
+				idx[i] = i
+			}
+		}
 		for len(out) < n {
 			p := mathx.VecClone(r.Center)
-			if r.PerturbK > 0 && r.PerturbK < dim {
+			if idx != nil {
+				// Partial Fisher–Yates: exactly PerturbK DISTINCT
+				// dimensions are perturbed per candidate (independent
+				// draws could collide and leave fewer moved). The scratch
+				// permutation carries over between candidates — any
+				// starting order yields a uniform distinct-K sample.
 				for k := 0; k < r.PerturbK; k++ {
-					i := rng.Intn(dim)
+					j := k + rng.Intn(dim-k)
+					idx[k], idx[j] = idx[j], idx[k]
+					i := idx[k]
 					p[i] = r.Center[i] + (rng.Float64()*2-1)*r.radiusAt(i)
 				}
 			} else {
@@ -92,24 +146,8 @@ func (r *Region) Candidates(n int, rng *rand.Rand) [][]float64 {
 		}
 	default:
 		// Feasible α range: center + α·dir ∈ [0,1] per coordinate.
-		lo, hi := math.Inf(-1), math.Inf(1)
-		for i, d := range r.Dir {
-			if d == 0 {
-				continue
-			}
-			a := (0 - r.Center[i]) / d
-			b := (1 - r.Center[i]) / d
-			if a > b {
-				a, b = b, a
-			}
-			if a > lo {
-				lo = a
-			}
-			if b < hi {
-				hi = b
-			}
-		}
-		if math.IsInf(lo, -1) || math.IsInf(hi, 1) || hi <= lo {
+		lo, hi, ok := r.alphaRange()
+		if !ok || hi <= lo {
 			return out
 		}
 		grid := n - 1

@@ -213,3 +213,85 @@ func TestQuickCandidatesInUnitCube(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestLineContainsBoundsProjection(t *testing.T) {
+	// Axis-aligned line through the center of a 2-D unit square: the
+	// feasible segment is α ∈ [-0.5, 0.5].
+	r := &Region{Kind: Line, Center: []float64{0.5, 0.5}, Dir: []float64{1, 0}}
+	for _, u := range [][]float64{{0.5, 0.5}, {0.0, 0.5}, {1.0, 0.5}, {0.25, 0.5}} {
+		if !r.Contains(u) {
+			t.Fatalf("%v lies on the feasible segment and must be contained", u)
+		}
+	}
+	// Points on the INFINITE line but outside [0,1]^dim were wrongly
+	// accepted before the α-range bound.
+	for _, u := range [][]float64{{1.5, 0.5}, {-0.25, 0.5}, {7, 0.5}} {
+		if r.Contains(u) {
+			t.Fatalf("%v is beyond the feasible segment and must be rejected", u)
+		}
+	}
+	// Off the line entirely: residual beyond the 1e-9 tolerance. The old
+	// 1e-6 residual tube was 1000x looser than the hypercube tolerance.
+	if r.Contains([]float64{0.5, 0.5 + 1e-7}) {
+		t.Fatal("1e-7 residual must exceed the reconciled 1e-9 tolerance")
+	}
+	if !r.Contains([]float64{0.5 + 1e-10, 0.5}) {
+		t.Fatal("sub-tolerance float error along the line must still be contained")
+	}
+}
+
+func TestLineContainsDiagonal(t *testing.T) {
+	s := math.Sqrt(2) / 2
+	r := &Region{Kind: Line, Center: []float64{0.2, 0.2}, Dir: []float64{s, s}}
+	if !r.Contains([]float64{0.8, 0.8}) {
+		t.Fatal("diagonal point inside the cube must be contained")
+	}
+	if r.Contains([]float64{1.2, 1.2}) {
+		t.Fatal("diagonal point outside the cube must be rejected")
+	}
+}
+
+func TestLineCandidatesAllContained(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		a := NewAdapter(4, int64(trial))
+		r := &Region{Kind: Line, Center: []float64{0.3, 0.6, 0.5, 0.4}, Dir: a.generateDirection()}
+		for i, c := range r.Candidates(30, rng) {
+			if !r.Contains(c) {
+				t.Fatalf("trial %d: line candidate %d (%v) not contained in its own region", trial, i, c)
+			}
+		}
+	}
+}
+
+func TestPerturbKMovesExactlyKDistinctDims(t *testing.T) {
+	const dim, k = 12, 5
+	center := make([]float64, dim)
+	for i := range center {
+		center[i] = 0.5
+	}
+	r := &Region{Kind: Hypercube, Center: center, Radius: 0.05, PerturbK: k}
+	rng := rand.New(rand.NewSource(7))
+	cands := r.Candidates(400, rng)
+	moved := make([]int, dim)
+	for ci, c := range cands[1:] { // cands[0] is the center itself
+		n := 0
+		for i := range c {
+			if c[i] != center[i] {
+				moved[i]++
+				n++
+			}
+		}
+		// rng.Intn(dim) duplicates used to leave fewer than K moved.
+		// (rng.Float64()*2-1 hitting exactly 0 has probability ~0.)
+		if n != k {
+			t.Fatalf("candidate %d perturbs %d dimensions, want exactly %d", ci+1, n, k)
+		}
+	}
+	// Distinct-K sampling must still cover every dimension over many draws.
+	for i, m := range moved {
+		if m == 0 {
+			t.Fatalf("dimension %d never perturbed across %d candidates", i, len(cands)-1)
+		}
+	}
+}

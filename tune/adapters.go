@@ -3,6 +3,7 @@ package tune
 import (
 	"repro/internal/core"
 	"repro/internal/knobs"
+	"repro/internal/rollout"
 	"repro/internal/whitebox"
 )
 
@@ -16,6 +17,13 @@ type lastRecommender interface {
 // grants sessions access to the tuner's exportable state.
 type coreTuner interface {
 	Core() *core.OnlineTune
+}
+
+// stagedTuner is implemented by adapters whose backend runs the canary
+// rollout and can consume a paired primary/shadow observation.
+type stagedTuner interface {
+	CanaryActive() bool
+	FeedbackStaged(env Env, primary Result, shadowPerf float64, shadowFailed bool)
 }
 
 // OnlineTuner adapts core.OnlineTune (Algorithm 3) to the unified Tuner
@@ -72,6 +80,18 @@ func (a *OnlineTuner) Last() *core.Recommendation { return a.T.LastRecommendatio
 // Core exposes the underlying tuner for state export.
 func (a *OnlineTuner) Core() *core.OnlineTune { return a.T }
 
+// CanaryActive reports whether a candidate is staged on the shadow.
+func (a *OnlineTuner) CanaryActive() bool {
+	return a.T.RolloutPhase() == rollout.PhaseCanary
+}
+
+// FeedbackStaged consumes one paired canary observation: the primary
+// measured under the last-good configuration and the shadow under the
+// staged candidate.
+func (a *OnlineTuner) FeedbackStaged(env Env, primary Result, shadowPerf float64, shadowFailed bool) {
+	a.T.ObservePair(env.Iter, env.Ctx, primary.Objective(env.OLAP), shadowPerf, env.Tau, primary.Failed, shadowFailed)
+}
+
 // Best returns the best configuration found so far across all cluster
 // models and its measured performance (-Inf before any safe
 // observation).
@@ -127,6 +147,11 @@ func (a *StoppingTuner) Feedback(env Env, cfg KnobConfig, res Result) {
 func (a *StoppingTuner) Last() *core.Recommendation { return a.T.LastRecommendation() }
 
 // Core exposes the underlying tuner for state export.
+//
+// StoppingTuner deliberately does NOT implement stagedTuner: its paused
+// iterations hold the applied configuration without consulting the
+// rollout controller, so the canary rollout is unsupported for this
+// backend (the "stopping" registry factory rejects the combination).
 func (a *StoppingTuner) Core() *core.OnlineTune { return a.T }
 
 // Paused reports whether the backend is currently holding the applied

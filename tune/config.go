@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dbsim"
 	"repro/internal/knobs"
+	"repro/internal/rollout"
 )
 
 // TunerOptions are the OnlineTune algorithm options (confidence-bound
@@ -14,6 +15,21 @@ type TunerOptions = core.Options
 
 // DefaultTunerOptions mirrors the paper's settings.
 func DefaultTunerOptions() TunerOptions { return core.DefaultOptions() }
+
+// RolloutConfig enables the staged canary rollout for OnlineTune-based
+// backends: recommendations that differ from the primary's last-good
+// configuration are staged on a shadow replica and promoted only after
+// a clean comparison window (see the README's "Canary rollout"
+// section). Zero fields take the rollout defaults (window 3, threshold
+// 2%).
+type RolloutConfig struct {
+	// Window is the number of paired primary/shadow observations a
+	// promotion decision requires.
+	Window int `json:"window,omitempty"`
+	// RegressionThreshold is the relative shadow-vs-primary regression
+	// beyond which a candidate is rolled back.
+	RegressionThreshold float64 `json:"regression_threshold,omitempty"`
+}
 
 // StoppingConfig tunes the stopping-and-triggering backend: pause
 // reconfiguration after Patience consecutive intervals whose best
@@ -47,6 +63,10 @@ type Config struct {
 	// DisableSafety turns off all safety machinery (vanilla contextual
 	// BO — the paper's OnlineTune-w/o-safe ablation).
 	DisableSafety bool `json:"disable_safety,omitempty"`
+	// Rollout enables the staged canary rollout; nil keeps direct apply
+	// (recommendations go straight to the primary — the ablation and
+	// the pre-rollout behavior).
+	Rollout *RolloutConfig `json:"rollout,omitempty"`
 	// Stopping configures the "stopping" backend; ignored otherwise.
 	// Zero fields take the defaults (EITrigger 0.05, Patience 4).
 	Stopping *StoppingConfig `json:"stopping,omitempty"`
@@ -112,6 +132,13 @@ func (c Config) options() core.Options {
 	}
 	if c.DisableSafety {
 		opts.UseSafety = false
+	}
+	if c.Rollout != nil {
+		opts.Rollout = rollout.Policy{
+			Enabled:             true,
+			Window:              c.Rollout.Window,
+			RegressionThreshold: c.Rollout.RegressionThreshold,
+		}
 	}
 	return opts
 }

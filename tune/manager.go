@@ -60,6 +60,9 @@ type SessionInfo struct {
 	Backend string `json:"backend"`
 	Space   string `json:"space"`
 	Iter    int    `json:"iter"`
+	// RolloutPhase is the session's canary rollout state ("direct",
+	// "steady" or "canary").
+	RolloutPhase string `json:"rollout_phase,omitempty"`
 }
 
 // NewManager returns a manager. A non-empty stateDir enables
@@ -198,8 +201,7 @@ func (m *Manager) List() []SessionInfo {
 		sh := &m.shards[i]
 		sh.mu.RLock()
 		for id, s := range sh.sessions {
-			cfg := s.Config()
-			out = append(out, SessionInfo{ID: id, Backend: cfg.Backend, Space: cfg.Space, Iter: s.Iter()})
+			out = append(out, sessionInfo(id, s))
 		}
 		sh.mu.RUnlock()
 	}
@@ -240,6 +242,15 @@ func (m *Manager) Snapshot(id string) ([]byte, error) {
 		return nil, fmt.Errorf("tune: %w: %q", ErrNotFound, id)
 	}
 	return s.Snapshot()
+}
+
+// Rollout returns the named session's canary rollout status.
+func (m *Manager) Rollout(id string) (RolloutStatus, error) {
+	s, ok := m.Get(id)
+	if !ok {
+		return RolloutStatus{}, fmt.Errorf("tune: %w: %q", ErrNotFound, id)
+	}
+	return s.Rollout(), nil
 }
 
 // checkpoint writes the session snapshot to the state directory

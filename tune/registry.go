@@ -77,8 +77,17 @@ func init() {
 		if err != nil {
 			return nil, err
 		}
+		opts := cfg.options()
+		// The stopping backend's paused iterations bypass core's rollout
+		// routing (they hold the applied configuration without consulting
+		// the controller), so a paused mid-canary session would emit
+		// advice with no shadow configuration and the comparison window
+		// could never fill. Reject the combination instead of wedging.
+		if opts.Rollout.Enabled {
+			return nil, fmt.Errorf("tune: the canary rollout is not supported with the stopping backend")
+		}
 		sc := cfg.stopping()
-		return NewStoppingTuner(space, featurize.ContextDim, initial, cfg.Seed, cfg.options(), sc.EITrigger, sc.Patience), nil
+		return NewStoppingTuner(space, featurize.ContextDim, initial, cfg.Seed, opts, sc.EITrigger, sc.Patience), nil
 	})
 	simple := map[string]func(cfg Config, space *knobs.Space) Tuner{
 		"bo":         func(cfg Config, s *knobs.Space) Tuner { return baselines.NewBO(s, cfg.Seed) },

@@ -15,6 +15,7 @@ import (
 //	DELETE /v1/sessions/{id}           drop a session
 //	POST   /v1/sessions/{id}/suggest   → Advice
 //	POST   /v1/sessions/{id}/report    ← Outcome, → {"iter": n}
+//	GET    /v1/sessions/{id}/rollout   → canary rollout status
 //	GET    /v1/sessions/{id}/snapshot  → versioned snapshot JSON
 //	GET    /v1/backends                registered backend names
 //	GET    /healthz                    readiness probe
@@ -96,6 +97,15 @@ func NewServer(m *Manager) http.Handler {
 		writeJSON(w, http.StatusOK, map[string]any{"iter": iter})
 	})
 
+	mux.HandleFunc("GET /v1/sessions/{id}/rollout", func(w http.ResponseWriter, r *http.Request) {
+		st, err := m.Rollout(r.PathValue("id"))
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+
 	mux.HandleFunc("GET /v1/sessions/{id}/snapshot", func(w http.ResponseWriter, r *http.Request) {
 		data, err := m.Snapshot(r.PathValue("id"))
 		if err != nil {
@@ -138,7 +148,10 @@ func statusFor(err error) int {
 
 func sessionInfo(id string, s *Session) SessionInfo {
 	cfg := s.Config()
-	return SessionInfo{ID: id, Backend: cfg.Backend, Space: cfg.Space, Iter: s.Iter()}
+	return SessionInfo{
+		ID: id, Backend: cfg.Backend, Space: cfg.Space, Iter: s.Iter(),
+		RolloutPhase: s.RolloutPhase(),
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/featurize"
 	"repro/internal/knobs"
+	"repro/internal/rollout"
 	"repro/internal/workload"
 )
 
@@ -102,6 +103,24 @@ type Outcome struct {
 	P99LatencyMs float64 `json:"p99_latency_ms,omitempty"`
 	// Failed marks an instance failure (hang, crash, OOM).
 	Failed bool `json:"failed,omitempty"`
+	// Shadow reports the canary replica's measurement of the staged
+	// candidate configuration. Required for the comparison window to
+	// advance while the session's rollout is in the canary phase;
+	// ignored otherwise. A report without it during a canary still
+	// teaches the model the primary's measurement, but defers the
+	// promotion decision.
+	Shadow *ShadowOutcome `json:"shadow,omitempty"`
+}
+
+// ShadowOutcome is the canary replica's measurement during one interval
+// of a comparison window.
+type ShadowOutcome struct {
+	// Performance is the objective the staged candidate achieved on the
+	// shadow replica.
+	Performance float64 `json:"performance"`
+	// Failed marks a shadow failure (hang, crash, OOM) — an immediate
+	// rollback.
+	Failed bool `json:"failed,omitempty"`
 }
 
 // clone deep-copies the outcome's reference fields, so a logged outcome
@@ -109,6 +128,10 @@ type Outcome struct {
 func (o Outcome) clone() Outcome {
 	oc := o
 	oc.Workload.Statements = append([]Statement(nil), o.Workload.Statements...)
+	if o.Shadow != nil {
+		sh := *o.Shadow
+		oc.Shadow = &sh
+	}
 	return oc
 }
 
@@ -158,6 +181,16 @@ type Advice struct {
 	// Paused reports that the stopping backend is holding the applied
 	// configuration.
 	Paused bool `json:"paused,omitempty"`
+	// RolloutPhase is the canary rollout state this advice was routed
+	// through: empty (rollout disabled — Config goes straight to the
+	// primary), "steady" (no candidate in flight), or "canary"
+	// (Config/Unit carry the primary's last-good configuration while
+	// ShadowConfig/ShadowUnit carry the candidate to run on the shadow
+	// replica; report the paired measurement via Outcome.Shadow).
+	RolloutPhase string `json:"rollout_phase,omitempty"`
+	// ShadowConfig/ShadowUnit are the staged candidate during a canary.
+	ShadowConfig KnobConfig `json:"shadow_config,omitempty"`
+	ShadowUnit   []float64  `json:"shadow_unit,omitempty"`
 	// EI is the model's Expected Improvement of this configuration over
 	// the previously applied one (meaningful when HasEI).
 	EI    float64 `json:"ei,omitempty"`
@@ -273,6 +306,11 @@ func (s *Session) suggestLocked() Advice {
 			if rec.IgnoredRule != nil {
 				adv.IgnoredRule = rec.IgnoredRule.Name
 			}
+			adv.RolloutPhase = rec.RolloutPhase
+			if rec.ShadowUnit != nil {
+				adv.ShadowUnit = append([]float64(nil), rec.ShadowUnit...)
+				adv.ShadowConfig = rec.ShadowConfig.Clone()
+			}
 		}
 	}
 	if st, ok := s.tuner.(*StoppingTuner); ok {
@@ -304,7 +342,10 @@ func (s *Session) Report(o Outcome) error {
 	return nil
 }
 
-// reportLocked applies one outcome. Also used by Restore's replay.
+// reportLocked applies one outcome. Also used by Restore's replay —
+// any promote/rollback decision the outcome triggers is appended to the
+// event log here, so a replayed log regenerates the identical decision
+// sequence for Restore to verify.
 func (s *Session) reportLocked(o Outcome) {
 	snap := o.Workload.snapshot(s.iter)
 	ctx := s.feat.ContextInto(nil, snap, o.Stats)
@@ -312,7 +353,17 @@ func (s *Session) reportLocked(o Outcome) {
 		Iter: s.iter, Snapshot: snap, Ctx: ctx, Metrics: o.Metrics,
 		Tau: o.Baseline, OLAP: snap.OLAP, HW: s.hw,
 	}
-	s.tuner.Feedback(env, s.lastCfg, o.result())
+	staged := false
+	if o.Shadow != nil {
+		if st, ok := s.tuner.(stagedTuner); ok && st.CanaryActive() {
+			st.FeedbackStaged(env, o.result(), o.Shadow.Performance, o.Shadow.Failed)
+			staged = true
+		}
+	}
+	if !staged {
+		s.tuner.Feedback(env, s.lastCfg, o.result())
+	}
+	s.recordRolloutEventLocked()
 	s.lastSnap = snap
 	s.lastCtx = ctx
 	s.lastMet = o.Metrics
@@ -328,6 +379,52 @@ func (s *Session) envLocked() Env {
 		Iter: s.iter, Snapshot: s.lastSnap, Ctx: s.lastCtx,
 		Metrics: s.lastMet, Tau: s.lastTau, OLAP: s.lastOLAP, HW: s.hw,
 	}
+}
+
+// recordRolloutEventLocked appends the promote/rollback decision made
+// by the report currently being applied (identified by its iteration)
+// to the session's event log.
+func (s *Session) recordRolloutEventLocked() {
+	ct, ok := s.tuner.(coreTuner)
+	if !ok {
+		return
+	}
+	st := ct.Core().RolloutStatus()
+	if st == nil || st.LastEvent == nil || st.LastEvent.Iter != s.iter {
+		return
+	}
+	ev := *st.LastEvent
+	s.events = append(s.events, event{Kind: ev.Kind, Rollout: &ev})
+}
+
+// Rollout returns the session's canary rollout status. Sessions whose
+// rollout is disabled (or whose backend has none) report PhaseDirect:
+// recommendations apply straight to the primary.
+func (s *Session) Rollout() RolloutStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rolloutLocked()
+}
+
+func (s *Session) rolloutLocked() RolloutStatus {
+	if ct, ok := s.tuner.(coreTuner); ok {
+		if st := ct.Core().RolloutStatus(); st != nil {
+			return *st
+		}
+	}
+	return RolloutStatus{Phase: rollout.PhaseDirect}
+}
+
+// RolloutPhase returns just the session's rollout phase ("direct",
+// "steady" or "canary") without copying the controller state — for
+// session listings polled per request.
+func (s *Session) RolloutPhase() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ct, ok := s.tuner.(coreTuner); ok {
+		return string(ct.Core().RolloutPhase())
+	}
+	return RolloutDirect
 }
 
 // Best returns the best configuration the session has measured and its

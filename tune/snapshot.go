@@ -5,17 +5,24 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/rollout"
 )
 
 // SnapshotVersion is the version of the session snapshot JSON schema.
 // The schema is append-only within a version: fields may be added,
-// never renamed or repurposed.
-const SnapshotVersion = 1
+// never renamed or repurposed. Version 2 added the canary rollout:
+// promote/rollback events in the log, Outcome.Shadow payloads, and the
+// rollout state summary. Version 1 snapshots (pre-rollout) restore
+// unchanged, with the rollout defaulted to direct apply.
+const SnapshotVersion = 2
 
 // snapshotKind tags the document so unrelated JSON is rejected early.
 const snapshotKind = "tune.Session"
 
-// Event kinds in the session log.
+// Event kinds in the session log. Promote/rollback events
+// (rollout.EventPromote / rollout.EventRollback) record canary
+// decisions; they are derived — a replayed report regenerates them — and
+// serve as integrity checks during Restore.
 const (
 	eventSuggest = "suggest"
 	eventReport  = "report"
@@ -25,12 +32,14 @@ const (
 // deterministic function of its Config and the ordered event log, so
 // the log IS the durable state: Restore replays it through a freshly
 // built session and arrives at a bitwise-identical tuner (GP Cholesky
-// factors, RNG stream, cluster assignments, rule-relaxation counters
-// and all) — a fidelity no field-by-field serialization of float state
-// could guarantee as cheaply.
+// factors, RNG stream, cluster assignments, rule-relaxation counters,
+// rollout state and all) — a fidelity no field-by-field serialization
+// of float state could guarantee as cheaply.
 type event struct {
 	Kind    string   `json:"kind"`
 	Outcome *Outcome `json:"outcome,omitempty"`
+	// Rollout carries a promote/rollback decision's provenance.
+	Rollout *RolloutEvent `json:"rollout,omitempty"`
 }
 
 // sessionState is the derived, human-inspectable state summary embedded
@@ -48,6 +57,9 @@ type sessionState struct {
 	Models []core.ModelSnapshot `json:"models,omitempty"`
 	// Vocabulary is the featurizer's admitted token list in id order.
 	Vocabulary []string `json:"vocabulary,omitempty"`
+	// Rollout summarizes the canary rollout controller (nil when the
+	// session applies recommendations directly).
+	Rollout *RolloutStatus `json:"rollout,omitempty"`
 }
 
 // snapshotFile is the versioned JSON document Snapshot produces.
@@ -93,6 +105,7 @@ func (s *Session) stateLocked() *sessionState {
 		for i := 0; i < t.NumModels(); i++ {
 			st.Models = append(st.Models, t.ModelSnapshotAt(i))
 		}
+		st.Rollout = t.RolloutStatus()
 	}
 	return st
 }
@@ -111,13 +124,18 @@ func Restore(data []byte) (*Session, error) {
 	if f.Kind != "" && f.Kind != snapshotKind {
 		return nil, fmt.Errorf("tune: snapshot kind %q is not %q", f.Kind, snapshotKind)
 	}
-	if f.Version != SnapshotVersion {
-		return nil, fmt.Errorf("tune: snapshot version %d not supported (want %d)", f.Version, SnapshotVersion)
+	if f.Version < 1 || f.Version > SnapshotVersion {
+		return nil, fmt.Errorf("tune: snapshot version %d not supported (want 1..%d)", f.Version, SnapshotVersion)
 	}
 	s, err := NewSession(f.Config)
 	if err != nil {
 		return nil, err
 	}
+	// Rollout decisions are derived from the replayed reports — during
+	// replay s.events accumulates exactly the regenerated promote/
+	// rollback events, which must line up one-to-one with the logged
+	// ones (verified is the cursor into the regenerated sequence).
+	verified := 0
 	for i, ev := range f.Events {
 		switch ev.Kind {
 		case eventSuggest:
@@ -127,9 +145,21 @@ func Restore(data []byte) (*Session, error) {
 				return nil, fmt.Errorf("tune: snapshot event %d: report without outcome", i)
 			}
 			s.reportLocked(*ev.Outcome)
+		case rollout.EventPromote, rollout.EventRollback:
+			if verified >= len(s.events) || s.events[verified].Kind != ev.Kind {
+				return nil, fmt.Errorf("tune: snapshot event %d: replay did not reproduce the logged %s decision", i, ev.Kind)
+			}
+			if got := s.events[verified].Rollout; got != nil && ev.Rollout != nil && got.Iter != ev.Rollout.Iter {
+				return nil, fmt.Errorf("tune: snapshot event %d: replay made the %s decision at iter %d, snapshot logged iter %d",
+					i, ev.Kind, got.Iter, ev.Rollout.Iter)
+			}
+			verified++
 		default:
 			return nil, fmt.Errorf("tune: snapshot event %d: unknown kind %q", i, ev.Kind)
 		}
+	}
+	if verified != len(s.events) {
+		return nil, fmt.Errorf("tune: replay produced %d rollout decisions, snapshot logged %d", len(s.events), verified)
 	}
 	s.events = f.Events
 	if s.iter != f.Iter {
@@ -156,6 +186,13 @@ func (s *Session) verifyState(want *sessionState) error {
 	}
 	if len(want.Vocabulary) != 0 && len(want.Vocabulary) != len(got.Vocabulary) {
 		return fmt.Errorf("tune: replayed vocabulary holds %d tokens, snapshot recorded %d", len(got.Vocabulary), len(want.Vocabulary))
+	}
+	if want.Rollout != nil {
+		gr := got.Rollout
+		if gr == nil || gr.Phase != want.Rollout.Phase ||
+			gr.Promotions != want.Rollout.Promotions || gr.Rollbacks != want.Rollout.Rollbacks {
+			return fmt.Errorf("tune: replayed rollout state %+v does not match snapshot %+v", gr, want.Rollout)
+		}
 	}
 	return nil
 }

@@ -27,6 +27,7 @@ import (
 	"repro/internal/baselines"
 	"repro/internal/dbsim"
 	"repro/internal/knobs"
+	"repro/internal/rollout"
 )
 
 // KnobConfig is an assignment of raw values to knob names (enum and
@@ -45,6 +46,21 @@ type Hardware = dbsim.Hardware
 
 // Result is the raw observation from one evaluation interval.
 type Result = dbsim.Result
+
+// RolloutStatus is the externally visible state of a session's canary
+// rollout controller: phase, last-good/candidate configurations, window
+// fill, promotion/rollback counts and the last decision's provenance.
+type RolloutStatus = rollout.Status
+
+// RolloutEvent is one promote/rollback decision with its provenance.
+type RolloutEvent = rollout.Event
+
+// Rollout phases reported by Session.Rollout and Advice.RolloutPhase.
+const (
+	RolloutDirect = string(rollout.PhaseDirect)
+	RolloutSteady = string(rollout.PhaseSteady)
+	RolloutCanary = string(rollout.PhaseCanary)
+)
 
 // Env is the per-interval information handed to a Tuner: the workload
 // snapshot, the featurized context, the previous interval's metrics and
