@@ -1,13 +1,16 @@
 // Command tuned is the tuning-as-a-service server: an HTTP/JSON API
 // multiplexing many concurrent tuning sessions (one per database
-// instance) through the public tune package. With -state it checkpoints
-// every session to disk after each operation and reloads them on boot,
-// so a restarted server resumes every session with recommendations
-// identical to an uninterrupted run.
+// instance) through the public tune package. With -state every
+// operation is made durable through a per-session write-ahead log with
+// periodic compaction into base snapshots; on boot the server registers
+// every durable session from snapshot headers alone (no replay) and
+// hydrates each one on first touch, so a restarted server resumes every
+// session with recommendations identical to an uninterrupted run while
+// holding at most -max-resident sessions in memory.
 //
 // Usage:
 //
-//	tuned -addr :8080 -state /var/lib/tuned
+//	tuned -addr :8080 -state /var/lib/tuned -max-resident 1024
 //
 // API (see tune.NewServer):
 //
@@ -16,6 +19,7 @@
 //	POST   /v1/sessions/db1/report     ← raw interval observation
 //	GET    /v1/sessions/db1/rollout    → canary rollout status
 //	GET    /v1/sessions/db1/snapshot   → durable session snapshot
+//	GET    /healthz                    → session/residency counters
 package main
 
 import (
@@ -30,10 +34,15 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	state := flag.String("state", "", "state directory: checkpoint sessions here and reload them on boot (created if missing)")
+	state := flag.String("state", "", "state directory: persist sessions here and reload them on boot (created if missing)")
+	maxResident := flag.Int("max-resident", 0, "max sessions hydrated in memory before LRU eviction (0 = default, negative = unlimited)")
+	noFsync := flag.Bool("no-fsync", false, "skip fsyncs on checkpoint writes (benchmarks only: a power failure may lose committed intervals)")
 	flag.Parse()
 
-	m, err := tune.NewManager(*state)
+	m, err := tune.NewManagerOpts(*state, tune.ManagerOptions{
+		MaxResident: *maxResident,
+		NoFsync:     *noFsync,
+	})
 	if err != nil {
 		// A missing directory is created; reaching here means the path
 		// is unwritable or holds a corrupt snapshot — fail loudly.
@@ -41,7 +50,9 @@ func main() {
 		os.Exit(1)
 	}
 	if *state != "" {
-		log.Printf("tuned: state dir %s, %d session(s) restored", *state, len(m.List()))
+		st := m.Stats()
+		log.Printf("tuned: state dir %s: %d session(s) registered (hydrated lazily), %d stale temp file(s) swept",
+			*state, st.Sessions, st.SweptTempFiles)
 	}
 	log.Printf("tuned: listening on %s (backends: %v)", *addr, tune.Backends())
 	if err := http.ListenAndServe(*addr, tune.NewServer(m)); err != nil {

@@ -1,17 +1,19 @@
 package tune
 
 import (
+	"container/list"
 	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
 	"os"
-	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/fsutil"
+	"repro/internal/wal"
 )
 
 // Sentinel errors the Manager wraps its failures with, so transports
@@ -25,6 +27,12 @@ var (
 	// ErrInvalid marks requests rejected by validation (bad session id,
 	// unknown space/backend/knob in the config).
 	ErrInvalid = errors.New("invalid request")
+	// ErrDurability marks an operation whose in-memory effect succeeded
+	// but whose checkpoint failed twice: the session advanced, the write
+	// was NOT made durable, and the un-persisted events retry on the
+	// next successful operation. Transports map it to 503 so clients
+	// back off instead of resubmitting the same interval.
+	ErrDurability = errors.New("durability failure")
 )
 
 // managerShards is the number of session-map shards. Session operations
@@ -32,26 +40,138 @@ var (
 // the id→session lookup, so a modest constant suffices.
 const managerShards = 16
 
+// Defaults for ManagerOptions zero values.
+const (
+	// DefaultMaxResident bounds how many sessions are hydrated in memory
+	// at once before the least-recently-used is evicted back to its
+	// compacted on-disk form.
+	DefaultMaxResident = 1024
+	// DefaultCompactMin is the minimum WAL tail length before a
+	// compaction folds it into the base snapshot.
+	DefaultCompactMin = 64
+)
+
+// ManagerOptions tunes fleet-scale serving behavior. The zero value is
+// production defaults.
+type ManagerOptions struct {
+	// MaxResident bounds hydrated sessions in memory (0 = DefaultMaxResident,
+	// negative = unlimited). Sessions beyond the bound are LRU-evicted to
+	// their compacted base+log form and re-hydrated on first touch.
+	MaxResident int
+	// CompactMin is the minimum tail length before compaction
+	// (0 = DefaultCompactMin). The effective threshold grows with the
+	// base (max(CompactMin, base events)), keeping lifetime checkpoint
+	// I/O linear in session length.
+	CompactMin int
+	// NoFsync skips fsyncs on WAL commits and base-snapshot writes.
+	// For benchmarks and tests; a power failure may lose committed
+	// intervals.
+	NoFsync bool
+	// FullSnapshots restores the pre-WAL durability strategy (rewrite
+	// the whole <id>.json snapshot on every operation). Ablation arm
+	// for the ext6 benchmark — not for serving.
+	FullSnapshots bool
+}
+
 // Manager multiplexes many concurrent tuning sessions behind sharded
-// locks, optionally checkpointing every session to a state directory
-// (one <id>.json snapshot per session, written atomically) and
-// reloading them on construction.
+// locks, optionally persisting every session to a state directory and
+// reloading on demand.
 //
-// Durability tradeoff: a checkpoint rewrites the session's full
-// snapshot (whose event log grows with every interval), and restoring
-// replays that log through the tuner — cost proportional to session
-// length on both sides. At tuning cadence (one interval every few
-// minutes, histories of hundreds of events) both are milliseconds;
-// incremental log appends are the upgrade path if sessions ever grow
-// orders of magnitude longer.
+// Durability: each operation appends its events to the session's
+// write-ahead log (<id>.wal) with one group-commit fsync — O(1) I/O per
+// interval — and a periodic compaction folds the tail into an atomic
+// base snapshot (<id>.base.json), so lifetime checkpoint bytes stay
+// linear in session length instead of quadratic. Recovery loads the
+// base and replays the tail through the snapshot verification
+// machinery; deterministic replay makes the recovered session
+// bitwise-identical to the one that crashed.
+//
+// Memory: sessions hydrate lazily. Boot reads only snapshot headers and
+// WAL tails (O(#sessions)); a session's history is replayed on its
+// first touch, and once more sessions are resident than MaxResident the
+// least-recently-used is compacted and dropped from memory. A fleet of
+// thousands of mostly-idle sessions costs a bounded working set.
 type Manager struct {
 	stateDir string
+	opts     ManagerOptions
 	shards   [managerShards]managerShard
+
+	// lmu guards the LRU list of resident (hydrated) sessions and the
+	// resident count. Lock order: managedSession.mu → lmu; never the
+	// reverse.
+	lmu      sync.Mutex
+	lru      *list.List // of *managedSession, front = most recent
+	resident int
+
+	hydrations        atomic.Int64
+	evictions         atomic.Int64
+	compactions       atomic.Int64
+	checkpointBytes   atomic.Int64
+	durabilityRetries atomic.Int64
+	sweptTemps        int // set once at boot
+
+	// checkpointFailure, when non-nil, is consulted before every persist
+	// attempt. Test seam for injecting durability faults (tests often
+	// run as root, where permission-based injection is a no-op).
+	checkpointFailure func() error
 }
 
 type managerShard struct {
 	mu       sync.RWMutex
-	sessions map[string]*Session
+	sessions map[string]*managedSession
+}
+
+// managedSession is one registry entry. The entry outlives eviction:
+// s is nil while the session lives only on disk, and mu serializes
+// every operation, hydration and eviction on the session.
+type managedSession struct {
+	id string
+
+	mu      sync.Mutex
+	deleted bool
+	s       *Session // nil when evicted
+	log     *wal.Log // nil for legacy entries until first write
+	// persisted is the index into the session's event log up to which
+	// events are durable; everything at or past it is appended on the
+	// next persist (the retry path after a durability failure).
+	persisted int
+	// baseEvents is how many events the on-disk base snapshot holds.
+	baseEvents int
+	// legacy marks sessions persisted as a whole <id>.json snapshot
+	// (pre-WAL checkpoints, or FullSnapshots mode); cleared when the
+	// first write migrates them to base+log.
+	legacy bool
+
+	// elem is this entry's LRU node (nil when not resident or selected
+	// for eviction); guarded by Manager.lmu.
+	elem *list.Element
+
+	// info is the cached summary List and the boot scan serve without
+	// hydrating the session.
+	infoMu sync.Mutex
+	info   SessionInfo
+}
+
+func (e *managedSession) Info() SessionInfo {
+	e.infoMu.Lock()
+	defer e.infoMu.Unlock()
+	return e.info
+}
+
+func (e *managedSession) setInfo(in SessionInfo) {
+	e.infoMu.Lock()
+	e.info = in
+	e.infoMu.Unlock()
+}
+
+// dropLogLocked closes and forgets the WAL handle after a write error
+// left it in an unknown state; the next persist rewrites an atomic base
+// instead of appending to a possibly-torn log.
+func (e *managedSession) dropLogLocked() {
+	if e.log != nil {
+		e.log.Close()
+		e.log = nil
+	}
 }
 
 // SessionInfo summarizes one managed session.
@@ -65,13 +185,40 @@ type SessionInfo struct {
 	RolloutPhase string `json:"rollout_phase,omitempty"`
 }
 
-// NewManager returns a manager. A non-empty stateDir enables
-// durability: the directory is created if missing, verified writable,
-// and any existing session snapshots in it are restored.
+// ManagerStats counts the manager's serving and durability activity.
+type ManagerStats struct {
+	// Sessions is the total session count, resident or not.
+	Sessions int `json:"sessions"`
+	// Hydrated is how many sessions are resident in memory.
+	Hydrated int `json:"hydrated"`
+	// Evicted is how many sessions currently live only on disk.
+	Evicted int `json:"evicted"`
+	// Hydrations / Evictions / Compactions are lifetime counters.
+	Hydrations  int64 `json:"hydrations"`
+	Evictions   int64 `json:"evictions"`
+	Compactions int64 `json:"compactions"`
+	// CheckpointBytes is the total bytes written for durability (WAL
+	// frames plus base snapshots) since the manager started.
+	CheckpointBytes int64 `json:"checkpoint_bytes"`
+	// DurabilityRetries counts persist attempts that needed the retry.
+	DurabilityRetries int64 `json:"durability_retries"`
+	// SweptTempFiles is how many stale checkpoint temps boot removed.
+	SweptTempFiles int `json:"swept_temp_files"`
+}
+
+// NewManager returns a manager with default options. A non-empty
+// stateDir enables durability: the directory is created if missing,
+// verified writable, and existing sessions are registered (but not
+// hydrated) from their on-disk form.
 func NewManager(stateDir string) (*Manager, error) {
-	m := &Manager{stateDir: stateDir}
+	return NewManagerOpts(stateDir, ManagerOptions{})
+}
+
+// NewManagerOpts is NewManager with explicit ManagerOptions.
+func NewManagerOpts(stateDir string, opts ManagerOptions) (*Manager, error) {
+	m := &Manager{stateDir: stateDir, opts: opts, lru: list.New()}
 	for i := range m.shards {
-		m.shards[i].sessions = map[string]*Session{}
+		m.shards[i].sessions = map[string]*managedSession{}
 	}
 	if stateDir == "" {
 		return m, nil
@@ -83,24 +230,61 @@ func NewManager(stateDir string) (*Manager, error) {
 	if err != nil {
 		return nil, fmt.Errorf("tune: reading state dir: %w", err)
 	}
-	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+	type diskSession struct{ base, wal, legacy bool }
+	found := map[string]*diskSession{}
+	for _, de := range entries {
+		if de.IsDir() {
 			continue
 		}
-		id := strings.TrimSuffix(e.Name(), ".json")
-		if err := validID(id); err != nil {
+		name := de.Name()
+		if strings.HasPrefix(name, ".") {
+			// A crash between CreateTemp and rename orphans an atomic-write
+			// temp; session ids cannot start with a dot, so anything
+			// dot-prefixed here is sweepable.
+			if os.Remove(m.stateDir+string(os.PathSeparator)+name) == nil {
+				m.sweptTemps++
+			}
 			continue
 		}
-		data, err := os.ReadFile(filepath.Join(stateDir, e.Name()))
-		if err != nil {
-			return nil, fmt.Errorf("tune: reading session %q: %w", id, err)
+		var id string
+		var mark func(*diskSession)
+		switch {
+		case strings.HasSuffix(name, ".base.json"):
+			id, mark = strings.TrimSuffix(name, ".base.json"), func(d *diskSession) { d.base = true }
+		case strings.HasSuffix(name, ".wal"):
+			id, mark = strings.TrimSuffix(name, ".wal"), func(d *diskSession) { d.wal = true }
+		case strings.HasSuffix(name, ".json"):
+			id, mark = strings.TrimSuffix(name, ".json"), func(d *diskSession) { d.legacy = true }
+		default:
+			continue
 		}
-		s, err := Restore(data)
-		if err != nil {
-			return nil, fmt.Errorf("tune: restoring session %q: %w", id, err)
+		if validID(id) != nil {
+			continue
 		}
-		sh := m.shard(id)
-		sh.sessions[id] = s
+		d := found[id]
+		if d == nil {
+			d = &diskSession{}
+			found[id] = d
+		}
+		mark(d)
+	}
+	for id, d := range found {
+		switch {
+		case !d.base && !d.legacy:
+			// An orphan tail: the crash happened before the session's first
+			// base rename, so there is nothing to anchor a replay to.
+			os.Remove(m.walPath(id))
+			continue
+		case d.base && d.legacy:
+			// Crash mid-migration: the base+log pair supersedes the legacy
+			// snapshot; finish removing it.
+			os.Remove(m.legacyPath(id))
+		}
+		e := &managedSession{id: id, legacy: !d.base}
+		if err := m.peekInfo(e); err != nil {
+			return nil, fmt.Errorf("tune: scanning session %q: %w", id, err)
+		}
+		m.shard(id).sessions[id] = e
 	}
 	return m, nil
 }
@@ -122,6 +306,10 @@ func validID(id string) error {
 	if strings.HasPrefix(id, ".") {
 		return fmt.Errorf("tune: %w: session id %q must not start with a dot", ErrInvalid, id)
 	}
+	if strings.HasSuffix(id, ".base") {
+		// "<x>.base"'s legacy file would collide with <x>'s base snapshot.
+		return fmt.Errorf("tune: %w: session id %q ends with reserved suffix %q", ErrInvalid, id, ".base")
+	}
 	return nil
 }
 
@@ -131,77 +319,255 @@ func (m *Manager) shard(id string) *managerShard {
 	return &m.shards[h.Sum32()%managerShards]
 }
 
+// entry looks up the session entry under id and returns it with its
+// lock HELD. A concurrently deleted entry is retried: the id may have
+// been recreated under a fresh entry.
+func (m *Manager) entry(id string) (*managedSession, error) {
+	for {
+		sh := m.shard(id)
+		sh.mu.RLock()
+		e, ok := sh.sessions[id]
+		sh.mu.RUnlock()
+		if !ok {
+			return nil, fmt.Errorf("tune: %w: %q", ErrNotFound, id)
+		}
+		e.mu.Lock()
+		if !e.deleted {
+			return e, nil
+		}
+		e.mu.Unlock()
+	}
+}
+
+// withSession runs fn on the hydrated session entry under id with the
+// entry lock held, then evicts whatever the hydration displaced past
+// the residency bound. Victims are processed strictly after the acting
+// entry's lock is released — the evictor never holds two entry locks.
+func (m *Manager) withSession(id string, fn func(e *managedSession) error) error {
+	e, err := m.entry(id)
+	if err != nil {
+		return err
+	}
+	var victims []*managedSession
+	err = func() error {
+		defer e.mu.Unlock()
+		if err := m.hydrateLocked(e); err != nil {
+			return err
+		}
+		victims = m.noteResident(e)
+		return fn(e)
+	}()
+	m.evict(victims)
+	return err
+}
+
+func (m *Manager) maxResident() int {
+	switch {
+	case m.opts.MaxResident > 0:
+		return m.opts.MaxResident
+	case m.opts.MaxResident < 0:
+		return int(^uint(0) >> 1) // unlimited
+	default:
+		return DefaultMaxResident
+	}
+}
+
+// noteResident marks e as the most recently used resident session and
+// pops everything past the residency bound off the LRU tail. Callers
+// hold e.mu; the returned victims must be evicted AFTER releasing it.
+func (m *Manager) noteResident(e *managedSession) []*managedSession {
+	m.lmu.Lock()
+	defer m.lmu.Unlock()
+	if e.elem != nil {
+		m.lru.MoveToFront(e.elem)
+	} else {
+		e.elem = m.lru.PushFront(e)
+		m.resident++
+	}
+	if m.stateDir == "" {
+		return nil // nowhere to evict to
+	}
+	var victims []*managedSession
+	for max := m.maxResident(); m.resident > max; {
+		back := m.lru.Back()
+		if back == nil || back == e.elem {
+			break
+		}
+		v := back.Value.(*managedSession)
+		m.lru.Remove(back)
+		v.elem = nil
+		m.resident--
+		victims = append(victims, v)
+	}
+	return victims
+}
+
+// evict persists and drops each victim from memory. A victim touched
+// between selection and here has re-entered the LRU (elem != nil) and
+// is skipped; one whose flush fails is re-inserted rather than dropped,
+// since losing un-persisted events is never acceptable.
+func (m *Manager) evict(victims []*managedSession) {
+	for _, v := range victims {
+		m.evictOne(v)
+	}
+}
+
+func (m *Manager) evictOne(v *managedSession) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.deleted || v.s == nil || v.elem != nil {
+		return
+	}
+	reinsert := func() {
+		m.lmu.Lock()
+		if v.elem == nil {
+			v.elem = m.lru.PushBack(v)
+			m.resident++
+		}
+		m.lmu.Unlock()
+	}
+	// Flushing the pending tail is enough: hydration replays base+tail,
+	// so eviction must NOT force a compaction — under LRU churn that
+	// would rewrite the base snapshot on every eviction and reintroduce
+	// the quadratic lifetime I/O the WAL exists to avoid. Compaction
+	// stays on its geometric schedule inside tryPersistLocked.
+	if err := m.tryPersistLocked(v); err != nil {
+		reinsert()
+		return
+	}
+	v.dropLogLocked()
+	v.s = nil
+	m.evictions.Add(1)
+}
+
+// persistLocked makes the entry's pending events durable, retrying once
+// and wrapping a double failure in ErrDurability. The in-memory session
+// has already advanced either way — the persisted cursor keeps the
+// unflushed events queued, so the next successful operation self-heals.
+func (m *Manager) persistLocked(e *managedSession) error {
+	defer e.setInfo(sessionInfo(e.id, e.s))
+	if m.stateDir == "" {
+		return nil
+	}
+	err := m.tryPersistLocked(e)
+	if err == nil {
+		return nil
+	}
+	m.durabilityRetries.Add(1)
+	if err2 := m.tryPersistLocked(e); err2 != nil {
+		return fmt.Errorf("tune: %w: session %q advanced in memory but two checkpoint attempts failed (%v; retry: %v); its un-persisted events will be flushed by the next successful operation",
+			ErrDurability, e.id, err, err2)
+	}
+	return nil
+}
+
 // Create builds a new session under id. It fails if the id is taken.
 func (m *Manager) Create(id string, cfg Config) (*Session, error) {
 	if err := validID(id); err != nil {
 		return nil, err
 	}
-	// Build outside the shard lock: construction pre-trains the
-	// featurizer, and concurrent creates on other shards (or even this
-	// one) must not serialize behind it.
+	// Build outside all locks: construction pre-trains the featurizer,
+	// and concurrent creates must not serialize behind it.
 	s, err := NewSession(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("tune: %w: %w", ErrInvalid, err)
 	}
+	e := &managedSession{id: id, s: s, legacy: m.opts.FullSnapshots}
 	sh := m.shard(id)
 	sh.mu.Lock()
 	if _, ok := sh.sessions[id]; ok {
 		sh.mu.Unlock()
 		return nil, fmt.Errorf("tune: %w: %q", ErrExists, id)
 	}
-	sh.sessions[id] = s
+	sh.sessions[id] = e
 	sh.mu.Unlock()
-	if err := m.checkpoint(id, s); err != nil {
-		// Roll the registration back: a session that could not be made
-		// durable must not exist in memory only, or a client retry hits
-		// "already exists" for a session that would vanish on restart.
-		sh.mu.Lock()
-		if sh.sessions[id] == s {
-			delete(sh.sessions, id)
+
+	e.mu.Lock()
+	var victims []*managedSession
+	err = func() error {
+		defer e.mu.Unlock()
+		if m.stateDir != "" {
+			if perr := m.tryPersistLocked(e); perr != nil {
+				// Roll the registration back: a session that could not be
+				// made durable must not exist in memory only, or a client
+				// retry hits "already exists" for a session that would
+				// vanish on restart.
+				e.deleted = true
+				e.dropLogLocked()
+				sh.mu.Lock()
+				if sh.sessions[id] == e {
+					delete(sh.sessions, id)
+				}
+				sh.mu.Unlock()
+				return perr
+			}
 		}
-		sh.mu.Unlock()
+		e.setInfo(sessionInfo(id, s))
+		victims = m.noteResident(e)
+		return nil
+	}()
+	if err != nil {
 		return nil, err
 	}
+	m.evict(victims)
 	return s, nil
 }
 
-// Get returns the session under id.
-func (m *Manager) Get(id string) (*Session, bool) {
-	sh := m.shard(id)
-	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	s, ok := sh.sessions[id]
-	return s, ok
+// Get returns the session under id, hydrating it if evicted.
+func (m *Manager) Get(id string) (*Session, error) {
+	var s *Session
+	err := m.withSession(id, func(e *managedSession) error {
+		s = e.s
+		return nil
+	})
+	return s, err
 }
 
-// Delete removes the session under id (and its checkpoint file). The
-// shard lock is held across the file removal so an in-flight
-// checkpoint (which re-checks membership under the read lock) cannot
-// resurrect the file afterwards.
+// Delete removes the session under id and its durable files. The entry
+// lock is held across the removal, so an in-flight operation's persist
+// cannot resurrect the files afterwards.
 func (m *Manager) Delete(id string) error {
+	e, err := m.entry(id)
+	if err != nil {
+		return err
+	}
+	defer e.mu.Unlock()
+	e.deleted = true
 	sh := m.shard(id)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if _, ok := sh.sessions[id]; !ok {
-		return fmt.Errorf("tune: %w: %q", ErrNotFound, id)
+	if sh.sessions[id] == e {
+		delete(sh.sessions, id)
 	}
-	delete(sh.sessions, id)
+	sh.mu.Unlock()
+	m.lmu.Lock()
+	if e.elem != nil {
+		m.lru.Remove(e.elem)
+		e.elem = nil
+		m.resident--
+	}
+	m.lmu.Unlock()
+	e.dropLogLocked()
+	e.s = nil
 	if m.stateDir != "" {
-		if err := os.Remove(filepath.Join(m.stateDir, id+".json")); err != nil && !os.IsNotExist(err) {
-			return err
+		for _, p := range []string{m.basePath(id), m.walPath(id), m.legacyPath(id)} {
+			if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
+				return err
+			}
 		}
 	}
 	return nil
 }
 
-// List summarizes all sessions, sorted by id.
+// List summarizes all sessions, sorted by id. Evicted sessions are
+// served from their cached summaries — listing a fleet never hydrates
+// anything.
 func (m *Manager) List() []SessionInfo {
 	var out []SessionInfo
 	for i := range m.shards {
 		sh := &m.shards[i]
 		sh.mu.RLock()
-		for id, s := range sh.sessions {
-			out = append(out, sessionInfo(id, s))
+		for _, e := range sh.sessions {
+			out = append(out, e.Info())
 		}
 		sh.mu.RUnlock()
 	}
@@ -209,80 +575,104 @@ func (m *Manager) List() []SessionInfo {
 	return out
 }
 
-// Suggest runs Session.Suggest on the named session and checkpoints it.
-func (m *Manager) Suggest(ctx context.Context, id string) (Advice, error) {
-	s, ok := m.Get(id)
-	if !ok {
-		return Advice{}, fmt.Errorf("tune: %w: %q", ErrNotFound, id)
+// Stats reports serving and durability counters.
+func (m *Manager) Stats() ManagerStats {
+	var st ManagerStats
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.RLock()
+		st.Sessions += len(sh.sessions)
+		sh.mu.RUnlock()
 	}
-	adv, err := s.Suggest(ctx)
-	if err != nil {
-		return Advice{}, err
+	m.lmu.Lock()
+	st.Hydrated = m.resident
+	m.lmu.Unlock()
+	if st.Hydrated > st.Sessions {
+		st.Hydrated = st.Sessions
 	}
-	return adv, m.checkpoint(id, s)
+	st.Evicted = st.Sessions - st.Hydrated
+	st.Hydrations = m.hydrations.Load()
+	st.Evictions = m.evictions.Load()
+	st.Compactions = m.compactions.Load()
+	st.CheckpointBytes = m.checkpointBytes.Load()
+	st.DurabilityRetries = m.durabilityRetries.Load()
+	st.SweptTempFiles = m.sweptTemps
+	return st
 }
 
-// Report runs Session.Report on the named session and checkpoints it.
-// It returns the session's iteration count after the report.
+// Suggest runs Session.Suggest on the named session and persists the
+// new events. On ErrDurability the advice is still returned: the
+// session advanced in memory and will flush with the next operation.
+func (m *Manager) Suggest(ctx context.Context, id string) (Advice, error) {
+	var adv Advice
+	err := m.withSession(id, func(e *managedSession) error {
+		a, err := e.s.Suggest(ctx)
+		if err != nil {
+			return err
+		}
+		adv = a
+		return m.persistLocked(e)
+	})
+	return adv, err
+}
+
+// Report runs Session.Report on the named session and persists the new
+// events. It returns the session's iteration count after the report.
 func (m *Manager) Report(id string, o Outcome) (int, error) {
-	s, ok := m.Get(id)
-	if !ok {
-		return 0, fmt.Errorf("tune: %w: %q", ErrNotFound, id)
-	}
-	if err := s.Report(o); err != nil {
-		return 0, err
-	}
-	return s.Iter(), m.checkpoint(id, s)
+	var iter int
+	err := m.withSession(id, func(e *managedSession) error {
+		if err := e.s.Report(o); err != nil {
+			return err
+		}
+		iter = e.s.Iter()
+		return m.persistLocked(e)
+	})
+	return iter, err
 }
 
 // Snapshot serializes the named session.
 func (m *Manager) Snapshot(id string) ([]byte, error) {
-	s, ok := m.Get(id)
-	if !ok {
-		return nil, fmt.Errorf("tune: %w: %q", ErrNotFound, id)
-	}
-	return s.Snapshot()
+	var data []byte
+	err := m.withSession(id, func(e *managedSession) error {
+		var serr error
+		data, serr = e.s.Snapshot()
+		return serr
+	})
+	return data, err
 }
 
 // Rollout returns the named session's canary rollout status.
 func (m *Manager) Rollout(id string) (RolloutStatus, error) {
-	s, ok := m.Get(id)
-	if !ok {
-		return RolloutStatus{}, fmt.Errorf("tune: %w: %q", ErrNotFound, id)
-	}
-	return s.Rollout(), nil
+	var st RolloutStatus
+	err := m.withSession(id, func(e *managedSession) error {
+		st = e.s.Rollout()
+		return nil
+	})
+	return st, err
 }
 
-// checkpoint writes the session snapshot to the state directory
-// (tmp-file + rename, so a crash never leaves a torn checkpoint). It
-// holds the shard read lock and re-checks membership, so a checkpoint
-// racing Delete can never recreate a deleted session's file.
-func (m *Manager) checkpoint(id string, s *Session) error {
-	if m.stateDir == "" {
-		return nil
+// Close flushes and closes every resident session's log. The manager
+// must not be used afterwards.
+func (m *Manager) Close() error {
+	var first error
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.RLock()
+		es := make([]*managedSession, 0, len(sh.sessions))
+		for _, e := range sh.sessions {
+			es = append(es, e)
+		}
+		sh.mu.RUnlock()
+		for _, e := range es {
+			e.mu.Lock()
+			if e.log != nil {
+				if err := e.log.Close(); err != nil && first == nil {
+					first = err
+				}
+				e.log = nil
+			}
+			e.mu.Unlock()
+		}
 	}
-	sh := m.shard(id)
-	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	if sh.sessions[id] != s {
-		return nil // deleted (or replaced) concurrently; nothing to persist
-	}
-	data, err := s.Snapshot()
-	if err != nil {
-		return err
-	}
-	tmp, err := os.CreateTemp(m.stateDir, "."+id+"-*")
-	if err != nil {
-		return err
-	}
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	return os.Rename(tmp.Name(), filepath.Join(m.stateDir, id+".json"))
+	return first
 }

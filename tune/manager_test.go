@@ -1,0 +1,565 @@
+package tune
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// managedStep drives one suggest+report interval on session id through
+// m and on an uninterrupted reference session, asserting the manager's
+// advice is bitwise identical to the reference's.
+func managedStep(t *testing.T, m *Manager, id string, ref *Session, i int) {
+	t.Helper()
+	adv, err := m.Suggest(context.Background(), id)
+	if err != nil {
+		t.Fatalf("%s iter %d: Suggest: %v", id, i, err)
+	}
+	want, err := ref.Suggest(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(adv, want) {
+		t.Fatalf("%s iter %d: managed advice diverged from reference\nmanaged:   %+v\nreference: %+v", id, i, adv, want)
+	}
+	o := goldenOutcome(i)
+	if _, err := m.Report(id, o); err != nil {
+		t.Fatalf("%s iter %d: Report: %v", id, i, err)
+	}
+	if err := ref.Report(o); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestManagerLazyHydration: a restarted manager registers every durable
+// session without replaying any history — sessions hydrate on first
+// touch, and the boot-time List is served from snapshot headers and WAL
+// tails alone.
+func TestManagerLazyHydration(t *testing.T) {
+	stateDir := t.TempDir()
+	m, err := NewManagerOpts(stateDir, ManagerOptions{NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 5
+	const iters = 4
+	for g := 0; g < n; g++ {
+		id := fmt.Sprintf("db-%d", g)
+		if _, err := m.Create(id, Config{Space: "case5", Seed: int64(g)}); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < iters; i++ {
+			if _, err := m.Suggest(context.Background(), id); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := m.Report(id, goldenOutcome(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, err := NewManagerOpts(stateDir, ManagerOptions{NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := m2.Stats()
+	if st.Sessions != n || st.Hydrated != 0 || st.Evicted != n || st.Hydrations != 0 {
+		t.Fatalf("after restart, before any touch: %+v", st)
+	}
+	// The boot scan's summaries must match what a hydrated session would
+	// report, iteration count included (it lives in the WAL tail, not
+	// the stale base header).
+	list := m2.List()
+	if len(list) != n {
+		t.Fatalf("listed %d sessions, want %d", len(list), n)
+	}
+	for _, info := range list {
+		if info.Iter != iters || info.Backend != "onlinetune" || info.Space != "case5" || info.RolloutPhase != RolloutDirect {
+			t.Fatalf("boot summary %+v", info)
+		}
+	}
+	if st := m2.Stats(); st.Hydrated != 0 {
+		t.Fatalf("List hydrated sessions: %+v", st)
+	}
+
+	// First touch hydrates exactly the touched session, and its next
+	// advice matches an uninterrupted reference.
+	ref, err := NewSession(Config{Space: "case5", Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < iters; i++ {
+		if _, err := ref.Suggest(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.Report(goldenOutcome(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	managedStep(t, m2, "db-3", ref, iters)
+	st = m2.Stats()
+	if st.Hydrated != 1 || st.Hydrations != 1 {
+		t.Fatalf("after one touch: %+v", st)
+	}
+}
+
+// TestManagerLRUEviction holds more sessions than MaxResident and
+// drives them round-robin: residency stays bounded, evicted sessions
+// rehydrate transparently, and every session's advice stays bitwise
+// identical to its uninterrupted reference throughout the churn.
+func TestManagerLRUEviction(t *testing.T) {
+	stateDir := t.TempDir()
+	m, err := NewManagerOpts(stateDir, ManagerOptions{MaxResident: 2, CompactMin: 4, NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 5
+	refs := make([]*Session, n)
+	for g := 0; g < n; g++ {
+		cfg := Config{Space: "case5", Seed: int64(100 + g)}
+		if _, err := m.Create(fmt.Sprintf("db-%d", g), cfg); err != nil {
+			t.Fatal(err)
+		}
+		if refs[g], err = NewSession(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const iters = 6
+	for i := 0; i < iters; i++ {
+		for g := 0; g < n; g++ {
+			managedStep(t, m, fmt.Sprintf("db-%d", g), refs[g], i)
+		}
+	}
+	st := m.Stats()
+	if st.Hydrated > 2 {
+		t.Fatalf("residency bound violated: %+v", st)
+	}
+	if st.Sessions != n || st.Evictions == 0 || st.Hydrations <= int64(n) {
+		t.Fatalf("expected eviction/rehydration churn across %d sessions: %+v", n, st)
+	}
+	if st.Compactions == 0 {
+		t.Fatalf("expected tail compactions at CompactMin=4: %+v", st)
+	}
+}
+
+// TestManagerCheckpointBytes pins the perf claim at unit scale: for the
+// same session history, WAL-mode durability writes far fewer bytes than
+// full-snapshot-per-op mode, and the state dir holds a base+log pair
+// instead of a legacy whole-snapshot file.
+func TestManagerCheckpointBytes(t *testing.T) {
+	run := func(opts ManagerOptions) (int64, string) {
+		dir := t.TempDir()
+		opts.NoFsync = true
+		m, err := NewManagerOpts(dir, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Create("db", Config{Space: "case5", Seed: 9}); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 40; i++ {
+			if _, err := m.Suggest(context.Background(), "db"); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := m.Report("db", goldenOutcome(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		defer m.Close()
+		return m.Stats().CheckpointBytes, dir
+	}
+	walBytes, walDir := run(ManagerOptions{CompactMin: 8})
+	fullBytes, fullDir := run(ManagerOptions{FullSnapshots: true})
+	if walBytes <= 0 || fullBytes <= 0 {
+		t.Fatalf("checkpoint bytes not counted: wal %d, full %d", walBytes, fullBytes)
+	}
+	if ratio := float64(fullBytes) / float64(walBytes); ratio < 3 {
+		t.Fatalf("full-snapshot mode wrote only %.1fx the bytes of WAL mode (full %d, wal %d); expected a large reduction", ratio, fullBytes, walBytes)
+	}
+	for _, name := range []string{"db.base.json", "db.wal"} {
+		if _, err := os.Stat(filepath.Join(walDir, name)); err != nil {
+			t.Fatalf("WAL-mode layout missing %s: %v", name, err)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(walDir, "db.json")); !os.IsNotExist(err) {
+		t.Fatal("WAL mode left a legacy whole-snapshot file")
+	}
+	if _, err := os.Stat(filepath.Join(fullDir, "db.json")); err != nil {
+		t.Fatalf("FullSnapshots-mode layout missing db.json: %v", err)
+	}
+}
+
+// TestManagerLegacyMigration: a pre-WAL <id>.json checkpoint (the
+// frozen v2 fixture) is served as-is, migrates to base+log on its first
+// write, and keeps producing reference-identical advice across another
+// restart.
+func TestManagerLegacyMigration(t *testing.T) {
+	fixture, err := os.ReadFile(filepath.Join("testdata", "snapshot_v2.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stateDir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(stateDir, "db.json"), fixture, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewManagerOpts(stateDir, ManagerOptions{NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	list := m.List()
+	if len(list) != 1 || list[0].ID != "db" || list[0].Iter != 3 {
+		t.Fatalf("legacy session summary: %+v", list)
+	}
+	if st := m.Stats(); st.Hydrated != 0 {
+		t.Fatalf("legacy session hydrated at boot: %+v", st)
+	}
+
+	// The fixture is the golden history: case5, seed 42, three
+	// goldenOutcome intervals.
+	ref, err := NewSession(Config{Space: "case5", Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := ref.Suggest(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.Report(goldenOutcome(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	managedStep(t, m, "db", ref, 3)
+
+	// The first write migrated the legacy file to the base+log layout.
+	if _, err := os.Stat(filepath.Join(stateDir, "db.base.json")); err != nil {
+		t.Fatalf("migration did not write a base snapshot: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(stateDir, "db.json")); !os.IsNotExist(err) {
+		t.Fatal("migration left the legacy checkpoint behind")
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, err := NewManagerOpts(stateDir, ManagerOptions{NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	managedStep(t, m2, "db", ref, 4)
+}
+
+// TestManagerDurabilityFailure covers the checkpoint-failure contract:
+// a single fault is absorbed by the retry; a persistent fault surfaces
+// ErrDurability (HTTP 503) while the session still advances in memory;
+// and once the fault clears, the next operation flushes the backlog so
+// a restart recovers the full history.
+func TestManagerDurabilityFailure(t *testing.T) {
+	stateDir := t.TempDir()
+	m, err := NewManagerOpts(stateDir, ManagerOptions{NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Space: "case5", Seed: 17}
+	if _, err := m.Create("db", cfg); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	managedStep(t, m, "db", ref, 0)
+
+	// One fault: the in-line retry absorbs it.
+	faults := int32(1)
+	m.checkpointFailure = func() error {
+		if atomic.AddInt32(&faults, -1) >= 0 {
+			return errors.New("injected checkpoint fault")
+		}
+		return nil
+	}
+	managedStep(t, m, "db", ref, 1)
+	if st := m.Stats(); st.DurabilityRetries != 1 {
+		t.Fatalf("retry not counted: %+v", st)
+	}
+
+	// Persistent fault: memory advances, ErrDurability surfaces.
+	atomic.StoreInt32(&faults, 1<<30)
+	adv, err := m.Suggest(context.Background(), "db")
+	if !errors.Is(err, ErrDurability) {
+		t.Fatalf("Suggest under persistent fault: err = %v, want ErrDurability", err)
+	}
+	want, err := ref.Suggest(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(adv, want) {
+		t.Fatalf("advice under durability failure diverged: %+v vs %+v", adv, want)
+	}
+	iter, err := m.Report("db", goldenOutcome(2))
+	if !errors.Is(err, ErrDurability) {
+		t.Fatalf("Report under persistent fault: err = %v, want ErrDurability", err)
+	}
+	if iter != 3 {
+		t.Fatalf("session did not advance in memory: iter %d, want 3", iter)
+	}
+	if err := ref.Report(goldenOutcome(2)); err != nil {
+		t.Fatal(err)
+	}
+
+	// The transport maps it to 503.
+	srv := httptest.NewServer(NewServer(m))
+	req, _ := http.NewRequest("POST", srv.URL+"/v1/sessions/db/suggest", nil)
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	srv.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("durability failure mapped to %d, want 503", resp.StatusCode)
+	}
+	if _, err := ref.Suggest(context.Background()); err != nil {
+		t.Fatal(err) // mirror the 503'd suggest: it advanced in memory
+	}
+
+	// Fault clears: the next operation flushes the whole backlog, so a
+	// restarted manager sees every interval, including the 503'd ones.
+	atomic.StoreInt32(&faults, 0)
+	if _, err := m.Report("db", goldenOutcome(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Report(goldenOutcome(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := NewManagerOpts(stateDir, ManagerOptions{NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	managedStep(t, m2, "db", ref, 4)
+}
+
+// TestManagerRolloutEvictionRestart drives a rollout-enabled session to
+// a canary promotion while eviction churn (a second session under
+// MaxResident 1) and periodic manager restarts keep forcing it through
+// the WAL recovery path. Promote/rollback events ride the WAL tail like
+// any other event, so advice and rollout status must stay bitwise
+// identical to an uninterrupted reference the whole way.
+func TestManagerRolloutEvictionRestart(t *testing.T) {
+	stateDir := t.TempDir()
+	opts := ManagerOptions{MaxResident: 1, CompactMin: 8, NoFsync: true}
+	m, err := NewManagerOpts(stateDir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Space: "case5", Seed: 3, Rollout: &RolloutConfig{Window: 2}}
+	if _, err := m.Create("canary", cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Create("filler", Config{Space: "case5", Seed: 8}); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outcome := func(i int, shadow *ShadowOutcome) Outcome {
+		o := goldenOutcome(i)
+		o.Performance = 105 + float64(i%5)
+		o.Baseline = 90
+		o.Shadow = shadow
+		return o
+	}
+	const maxIters = 120
+	promoted := false
+	for i := 0; i < maxIters && !promoted; i++ {
+		if i > 0 && i%25 == 0 {
+			if err := m.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if m, err = NewManagerOpts(stateDir, opts); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if i%10 == 5 {
+			// Touching the filler under MaxResident 1 evicts the canary.
+			if _, err := m.Suggest(context.Background(), "filler"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		adv, err := m.Suggest(context.Background(), "canary")
+		if err != nil {
+			t.Fatalf("iter %d: %v", i, err)
+		}
+		want, err := ref.Suggest(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(adv, want) {
+			t.Fatalf("iter %d: advice diverged\nmanaged:   %+v\nreference: %+v", i, adv, want)
+		}
+		var sh *ShadowOutcome
+		if adv.RolloutPhase == RolloutCanary {
+			sh = &ShadowOutcome{Performance: 130}
+		}
+		o := outcome(i, sh)
+		if _, err := m.Report("canary", o); err != nil {
+			t.Fatalf("iter %d: %v", i, err)
+		}
+		if err := ref.Report(o); err != nil {
+			t.Fatal(err)
+		}
+		st, err := m.Rollout("canary")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(st, ref.Rollout()) {
+			t.Fatalf("iter %d: rollout status diverged\nmanaged:   %+v\nreference: %+v", i, st, ref.Rollout())
+		}
+		promoted = st.Promotions > 0
+	}
+	if !promoted {
+		t.Fatalf("no canary promotion within %d iterations", maxIters)
+	}
+	if st := m.Stats(); st.Evictions == 0 || st.Hydrations == 0 {
+		t.Fatalf("rollout run saw no eviction churn: %+v", st)
+	}
+}
+
+// TestManagerBootSweep: stale atomic-write temps are removed at boot,
+// and an orphan WAL tail (its base never renamed into place) is cleaned
+// up rather than registered as a session.
+func TestManagerBootSweep(t *testing.T) {
+	stateDir := t.TempDir()
+	m, err := NewManagerOpts(stateDir, ManagerOptions{NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Create("db", Config{Space: "case5", Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{".db-1234567", ".other-887766"} {
+		if err := os.WriteFile(filepath.Join(stateDir, name), []byte("torn"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(stateDir, "ghost.wal"), []byte("orphan tail"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, err := NewManagerOpts(stateDir, ManagerOptions{NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := m2.Stats(); st.SweptTempFiles != 2 || st.Sessions != 1 {
+		t.Fatalf("boot sweep stats: %+v", st)
+	}
+	entries, err := os.ReadDir(stateDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() == "ghost.wal" || e.Name()[0] == '.' {
+			t.Fatalf("boot left %s behind", e.Name())
+		}
+	}
+	if list := m2.List(); len(list) != 1 || list[0].ID != "db" {
+		t.Fatalf("sessions after sweep: %+v", list)
+	}
+}
+
+// TestManagerEvictionRaceHammer runs concurrent operations, listings
+// and delete/create cycles against a manager whose residency bound
+// forces constant eviction and rehydration. Run under -race it checks
+// the lock discipline; the final iteration counts check that no report
+// was lost in the churn.
+func TestManagerEvictionRaceHammer(t *testing.T) {
+	m, err := NewManagerOpts(t.TempDir(), ManagerOptions{MaxResident: 2, CompactMin: 2, NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const ids = 4
+	for g := 0; g < ids; g++ {
+		if _, err := m.Create(fmt.Sprintf("db-%d", g), Config{Space: "case5", Seed: int64(g)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var reports [ids]atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				g := (w + i) % ids
+				id := fmt.Sprintf("db-%d", g)
+				if _, err := m.Suggest(context.Background(), id); err != nil {
+					t.Errorf("Suggest %s: %v", id, err)
+					return
+				}
+				if _, err := m.Report(id, goldenOutcome(i)); err != nil {
+					t.Errorf("Report %s: %v", id, err)
+					return
+				}
+				reports[g].Add(1)
+				if i%3 == 0 {
+					m.List()
+					m.Stats()
+				}
+			}
+		}()
+	}
+	// Churn an unrelated id through delete/create cycles concurrently.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 6; i++ {
+			id := "churn"
+			if _, err := m.Create(id, Config{Space: "case5", Seed: 99}); err != nil {
+				t.Errorf("Create %s: %v", id, err)
+				return
+			}
+			if _, err := m.Suggest(context.Background(), id); err != nil {
+				t.Errorf("Suggest %s: %v", id, err)
+				return
+			}
+			if err := m.Delete(id); err != nil {
+				t.Errorf("Delete %s: %v", id, err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	for _, info := range m.List() {
+		var g int
+		if _, err := fmt.Sscanf(info.ID, "db-%d", &g); err != nil {
+			t.Fatalf("unexpected session %q", info.ID)
+		}
+		if want := int(reports[g].Load()); info.Iter != want {
+			t.Fatalf("%s at iter %d, want %d", info.ID, info.Iter, want)
+		}
+	}
+	if st := m.Stats(); st.Hydrated > 2 || st.Sessions != ids {
+		t.Fatalf("after hammer: %+v", st)
+	}
+}

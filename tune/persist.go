@@ -1,0 +1,401 @@
+package tune
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/wal"
+)
+
+// On-disk layout of a durable session under the Manager's state
+// directory:
+//
+//	<id>.base.json  base snapshot (SnapshotVersion 3, full document)
+//	<id>.wal        append-only tail: events since the base was compacted
+//	<id>.json       legacy whole-snapshot checkpoint (pre-WAL deployments
+//	                and FullSnapshots mode); migrated to base+wal on the
+//	                session's first write
+//	.<id>-*         in-flight atomic-write temps; swept at boot
+//
+// Recovery loads the base, replays the tail through the same
+// rollout-verification cursor Restore uses, and arrives at a session
+// bitwise-identical to one that never restarted.
+func (m *Manager) basePath(id string) string {
+	return filepath.Join(m.stateDir, id+".base.json")
+}
+
+func (m *Manager) walPath(id string) string {
+	return filepath.Join(m.stateDir, id+".wal")
+}
+
+func (m *Manager) legacyPath(id string) string {
+	return filepath.Join(m.stateDir, id+".json")
+}
+
+// walRecord is the JSON payload of one WAL frame: a single session
+// event plus enough envelope to recover without parsing the base first.
+// Idx is the event's index in the session's global event log, so replay
+// can skip records that predate the current base (a crash between the
+// base's rename and the log's reset leaves such stale records) and
+// detect gaps. Iter and Phase mirror the session counters AFTER the
+// batch containing this record, so the boot scan can summarize an
+// evicted session from the log's final record alone.
+type walRecord struct {
+	Idx   int    `json:"idx"`
+	Iter  int    `json:"iter"`
+	Phase string `json:"phase,omitempty"`
+	Event event  `json:"event"`
+}
+
+// decodeTail turns recovered WAL payloads into the event tail that
+// follows a base snapshot holding baseEvents events. Records with
+// Idx < baseEvents are stale remnants of the pre-compaction log and are
+// skipped; anything else must be contiguous.
+func decodeTail(recs [][]byte, baseEvents int) ([]event, error) {
+	var tail []event
+	next := baseEvents
+	for i, data := range recs {
+		var rec walRecord
+		if err := json.Unmarshal(data, &rec); err != nil {
+			return nil, fmt.Errorf("tune: wal record %d: %w", i, err)
+		}
+		if rec.Idx < next {
+			continue // predates the base (or a re-appended duplicate)
+		}
+		if rec.Idx != next {
+			return nil, fmt.Errorf("tune: wal record %d: event index %d, want %d (gap in the tail)", i, rec.Idx, next)
+		}
+		tail = append(tail, rec.Event)
+		next++
+	}
+	return tail, nil
+}
+
+// tryPersistLocked makes the session's state durable once (the caller
+// handles retries and ErrDurability wrapping). Normal path: append the
+// events since the persisted cursor to the WAL and group-commit them —
+// O(1) I/O per operation. The full base snapshot is rewritten only on
+// the first write (creation or legacy migration), after a WAL write
+// error (the log is dropped so the next attempt re-bases atomically),
+// or when the tail has grown past the compaction threshold.
+func (m *Manager) tryPersistLocked(e *managedSession) error {
+	if m.stateDir == "" || e.s == nil {
+		return nil
+	}
+	if m.checkpointFailure != nil {
+		// Test seam: injected durability faults.
+		if err := m.checkpointFailure(); err != nil {
+			return err
+		}
+	}
+	if m.opts.FullSnapshots {
+		return m.persistFullLocked(e)
+	}
+	if e.log == nil {
+		return m.compactLocked(e)
+	}
+	evs := e.s.eventsSince(e.persisted)
+	if len(evs) == 0 {
+		return nil
+	}
+	iter, phase := e.s.Iter(), e.s.RolloutPhase()
+	before := e.log.Size()
+	for i, ev := range evs {
+		data, err := json.Marshal(walRecord{Idx: e.persisted + i, Iter: iter, Phase: phase, Event: ev})
+		if err != nil {
+			return err
+		}
+		if err := e.log.Append(data); err != nil {
+			e.dropLogLocked()
+			return err
+		}
+	}
+	if err := e.log.Commit(); err != nil {
+		// The buffered frames may have hit disk partially; appending after
+		// an unknown flush state could tear the middle of the log. Drop
+		// the handle — the retry path rewrites an atomic base instead.
+		e.dropLogLocked()
+		return err
+	}
+	e.persisted += len(evs)
+	m.checkpointBytes.Add(e.log.Size() - before)
+	if e.log.Count() >= m.compactThreshold(e.baseEvents) {
+		return m.compactLocked(e)
+	}
+	return nil
+}
+
+// compactThreshold is the tail length that triggers folding the log
+// into a new base. Growing it with the base size keeps total lifetime
+// checkpoint I/O linear in the event count (each event is rewritten
+// into O(1) bases), i.e. O(1) amortized bytes per operation.
+func (m *Manager) compactThreshold(baseEvents int) int {
+	min := m.opts.CompactMin
+	if min <= 0 {
+		min = DefaultCompactMin
+	}
+	if baseEvents > min {
+		return baseEvents
+	}
+	return min
+}
+
+// compactLocked folds the session's full event log into a fresh base
+// snapshot and resets the WAL tail. Ordering is the crash-safety
+// invariant: the base is written to a temp file, fsynced and renamed
+// into place BEFORE the log is reset, so a crash at any point leaves
+// either the old base+tail or the new base with stale tail records
+// (skipped by index on recovery) — never a state that loses events.
+// Also the legacy-migration path: a pre-WAL <id>.json session gets its
+// first base+log pair here and the legacy file is removed.
+func (m *Manager) compactLocked(e *managedSession) error {
+	data, err := e.s.Snapshot()
+	if err != nil {
+		return err
+	}
+	if err := m.writeAtomic(m.basePath(e.id), e.id, data); err != nil {
+		return err
+	}
+	m.checkpointBytes.Add(int64(len(data)))
+	if e.log == nil {
+		lg, _, err := wal.Open(m.walPath(e.id), wal.Options{NoFsync: m.opts.NoFsync})
+		if err != nil {
+			return err
+		}
+		e.log = lg
+	}
+	if err := e.log.Reset(); err != nil {
+		e.dropLogLocked()
+		return err
+	}
+	e.baseEvents = e.s.EventCount()
+	e.persisted = e.baseEvents
+	if e.legacy {
+		os.Remove(m.legacyPath(e.id)) // best-effort: boot prefers the base anyway
+		e.legacy = false
+	}
+	m.compactions.Add(1)
+	return nil
+}
+
+// persistFullLocked is the pre-WAL behavior, kept behind
+// ManagerOptions.FullSnapshots as the ablation arm the ext6 benchmark
+// measures against: rewrite the whole snapshot on every operation.
+func (m *Manager) persistFullLocked(e *managedSession) error {
+	data, err := e.s.Snapshot()
+	if err != nil {
+		return err
+	}
+	if err := m.writeAtomic(m.legacyPath(e.id), e.id, data); err != nil {
+		return err
+	}
+	m.checkpointBytes.Add(int64(len(data)))
+	n := e.s.EventCount()
+	e.persisted, e.baseEvents = n, n
+	if !e.legacy {
+		// A stale base+wal pair must not shadow the whole-snapshot file
+		// on the next boot.
+		e.dropLogLocked()
+		os.Remove(m.basePath(e.id))
+		os.Remove(m.walPath(e.id))
+		e.legacy = true
+	}
+	return nil
+}
+
+// writeAtomic writes data to path via a dot-prefixed temp file in the
+// state directory plus rename, fsyncing the file first (unless
+// NoFsync) so the rename never publishes torn contents. Temps orphaned
+// by a crash are swept at the next boot.
+func (m *Manager) writeAtomic(path, id string, data []byte) error {
+	tmp, err := os.CreateTemp(m.stateDir, "."+id+"-*")
+	if err != nil {
+		return err
+	}
+	cleanup := func() { tmp.Close(); os.Remove(tmp.Name()) }
+	if _, err := tmp.Write(data); err != nil {
+		cleanup()
+		return err
+	}
+	if !m.opts.NoFsync {
+		if err := tmp.Sync(); err != nil {
+			cleanup()
+			return err
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// hydrateLocked loads an evicted (or never-resident) session back into
+// memory: read the base (or legacy) snapshot, open the WAL, replay the
+// tail. Deterministic replay makes the hydrated session bitwise
+// equivalent to the one that was evicted.
+func (m *Manager) hydrateLocked(e *managedSession) error {
+	if e.s != nil {
+		return nil
+	}
+	if e.legacy {
+		data, err := os.ReadFile(m.legacyPath(e.id))
+		if err != nil {
+			return fmt.Errorf("tune: reading session %q: %w", e.id, err)
+		}
+		s, n, err := restoreParts(data, nil)
+		if err != nil {
+			return fmt.Errorf("tune: restoring session %q: %w", e.id, err)
+		}
+		e.s, e.baseEvents, e.persisted = s, n, n
+		m.hydrations.Add(1)
+		return nil
+	}
+	data, err := os.ReadFile(m.basePath(e.id))
+	if err != nil {
+		return fmt.Errorf("tune: reading session %q: %w", e.id, err)
+	}
+	f, err := parseSnapshot(data)
+	if err != nil {
+		return fmt.Errorf("tune: restoring session %q: %w", e.id, err)
+	}
+	lg, recs, err := wal.Open(m.walPath(e.id), wal.Options{NoFsync: m.opts.NoFsync})
+	if err != nil {
+		return fmt.Errorf("tune: opening wal for session %q: %w", e.id, err)
+	}
+	tail, err := decodeTail(recs, len(f.Events))
+	if err != nil {
+		lg.Close()
+		return fmt.Errorf("tune: session %q: %w", e.id, err)
+	}
+	s, err := restoreFile(f, tail)
+	if err != nil {
+		lg.Close()
+		return fmt.Errorf("tune: restoring session %q: %w", e.id, err)
+	}
+	e.s, e.log = s, lg
+	e.baseEvents = len(f.Events)
+	e.persisted = s.EventCount()
+	m.hydrations.Add(1)
+	return nil
+}
+
+// snapshotHeader is the prefix of a snapshot document the boot scan
+// reads: every field snapshotFile marshals before the event log.
+type snapshotHeader struct {
+	Version      int
+	Kind         string
+	Config       Config
+	Iter         int
+	RolloutPhase string
+}
+
+// peekSnapshotHeader reads a snapshot's header fields without buffering
+// its event log or state: a streaming decode that stops at the "events"
+// key. snapshotFile marshals version/kind/config/iter/rollout_phase
+// first, so this touches only the head of the file — boot cost for a
+// fleet of sessions is O(#sessions), not O(total history).
+func peekSnapshotHeader(path string) (snapshotHeader, error) {
+	var h snapshotHeader
+	f, err := os.Open(path)
+	if err != nil {
+		return h, err
+	}
+	defer f.Close()
+	dec := json.NewDecoder(bufio.NewReader(f))
+	tok, err := dec.Token()
+	if err != nil {
+		return h, err
+	}
+	if d, ok := tok.(json.Delim); !ok || d != '{' {
+		return h, fmt.Errorf("snapshot is not a JSON object")
+	}
+	for dec.More() {
+		keyTok, err := dec.Token()
+		if err != nil {
+			return h, err
+		}
+		key, _ := keyTok.(string)
+		switch key {
+		case "version":
+			err = dec.Decode(&h.Version)
+		case "kind":
+			err = dec.Decode(&h.Kind)
+		case "config":
+			err = dec.Decode(&h.Config)
+		case "iter":
+			err = dec.Decode(&h.Iter)
+		case "rollout_phase":
+			err = dec.Decode(&h.RolloutPhase)
+		case "events", "state":
+			return h, h.validate()
+		default:
+			var skip json.RawMessage
+			err = dec.Decode(&skip)
+		}
+		if err != nil {
+			return h, err
+		}
+	}
+	return h, h.validate()
+}
+
+func (h snapshotHeader) validate() error {
+	if h.Kind != "" && h.Kind != snapshotKind {
+		return fmt.Errorf("snapshot kind %q is not %q", h.Kind, snapshotKind)
+	}
+	if h.Version < 1 || h.Version > SnapshotVersion {
+		return fmt.Errorf("snapshot version %d not supported (want 1..%d)", h.Version, SnapshotVersion)
+	}
+	return nil
+}
+
+// peekInfo fills a not-yet-hydrated entry's SessionInfo from disk:
+// header fields from the base (or legacy) snapshot, then — for base+wal
+// sessions — the iter/phase envelope of the WAL's final record, which
+// reflects every operation since the last compaction.
+func (m *Manager) peekInfo(e *managedSession) error {
+	path := m.basePath(e.id)
+	if e.legacy {
+		path = m.legacyPath(e.id)
+	}
+	h, err := peekSnapshotHeader(path)
+	if err != nil {
+		return err
+	}
+	cfg := h.Config.withDefaults()
+	info := SessionInfo{
+		ID: e.id, Backend: cfg.Backend, Space: cfg.Space,
+		Iter: h.Iter, RolloutPhase: h.RolloutPhase,
+	}
+	if info.RolloutPhase == "" && cfg.Rollout == nil {
+		// v1/v2 headers carry no phase; direct-apply sessions are always
+		// "direct". Rollout-enabled legacy sessions stay blank until
+		// hydrated.
+		info.RolloutPhase = RolloutDirect
+	}
+	if !e.legacy {
+		_, last, err := wal.Stat(m.walPath(e.id))
+		if err != nil {
+			return err
+		}
+		if last != nil {
+			var rec walRecord
+			if err := json.Unmarshal(last, &rec); err == nil {
+				info.Iter = rec.Iter
+				if rec.Phase != "" {
+					info.RolloutPhase = rec.Phase
+				}
+			}
+		}
+	}
+	e.setInfo(info)
+	return nil
+}

@@ -25,10 +25,18 @@ func NewServer(m *Manager) http.Handler {
 	mux := http.NewServeMux()
 
 	// Readiness probe: by the time the server is listening, the manager
-	// has restored every checkpointed session, so a 200 means sessions
-	// are servable. CI and orchestration poll this instead of sleeping.
+	// has registered every durable session (hydration is lazy), so a 200
+	// means sessions are servable. CI and orchestration poll this
+	// instead of sleeping; loadgen asserts on the residency counters.
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "sessions": len(m.List())})
+		st := m.Stats()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":           "ok",
+			"sessions":         st.Sessions,
+			"hydrated":         st.Hydrated,
+			"evicted":          st.Evicted,
+			"checkpoint_bytes": st.CheckpointBytes,
+		})
 	})
 
 	mux.HandleFunc("GET /v1/backends", func(w http.ResponseWriter, r *http.Request) {
@@ -58,9 +66,9 @@ func NewServer(m *Manager) http.Handler {
 
 	mux.HandleFunc("GET /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
 		id := r.PathValue("id")
-		s, ok := m.Get(id)
-		if !ok {
-			writeError(w, http.StatusNotFound, fmt.Errorf("no session %q", id))
+		s, err := m.Get(id)
+		if err != nil {
+			writeError(w, statusFor(err), err)
 			return
 		}
 		writeJSON(w, http.StatusOK, sessionInfo(id, s))
@@ -141,6 +149,10 @@ func statusFor(err error) int {
 		return http.StatusConflict
 	case errors.Is(err, ErrInvalid):
 		return http.StatusBadRequest
+	case errors.Is(err, ErrDurability):
+		// The session advanced but the checkpoint did not stick: clients
+		// should back off and NOT resubmit the same interval.
+		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError
 	}

@@ -286,8 +286,10 @@ func TestManagerDeleteVsCheckpointRace(t *testing.T) {
 			t.Fatal(err)
 		}
 		wg.Wait()
-		if _, err := os.Stat(filepath.Join(stateDir, "db.json")); !os.IsNotExist(err) {
-			t.Fatalf("round %d: checkpoint file resurrected after delete (stat err: %v)", round, err)
+		for _, name := range []string{"db.json", "db.base.json", "db.wal"} {
+			if _, err := os.Stat(filepath.Join(stateDir, name)); !os.IsNotExist(err) {
+				t.Fatalf("round %d: %s resurrected after delete (stat err: %v)", round, name, err)
+			}
 		}
 	}
 }

@@ -268,6 +268,26 @@ func (s *Session) Iter() int {
 	return s.iter
 }
 
+// EventCount returns the number of logged events (suggests, reports and
+// rollout decisions) — the length of the log a Snapshot would carry.
+func (s *Session) EventCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.events)
+}
+
+// eventsSince returns a copy of the logged events from index n on — the
+// not-yet-persisted suffix the Manager appends to the session's
+// write-ahead log after each operation.
+func (s *Session) eventsSince(n int) []event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n < 0 || n >= len(s.events) {
+		return nil
+	}
+	return append([]event(nil), s.events[n:]...)
+}
+
 // Suggest recommends a configuration for the next interval, based on
 // the most recently reported workload (before any report: the initial
 // safe configuration).

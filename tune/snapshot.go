@@ -12,9 +12,13 @@ import (
 // The schema is append-only within a version: fields may be added,
 // never renamed or repurposed. Version 2 added the canary rollout:
 // promote/rollback events in the log, Outcome.Shadow payloads, and the
-// rollout state summary. Version 1 snapshots (pre-rollout) restore
-// unchanged, with the rollout defaulted to direct apply.
-const SnapshotVersion = 2
+// rollout state summary. Version 3 added the top-level rollout_phase
+// header field (emitted before the event log so the Manager's boot scan
+// can summarize a session by reading only the head of its base
+// snapshot) and is the format WAL compaction writes as a session's base
+// snapshot. Version 1 and 2 snapshots restore unchanged, with the
+// rollout defaulted to direct apply for v1.
+const SnapshotVersion = 3
 
 // snapshotKind tags the document so unrelated JSON is rejected early.
 const snapshotKind = "tune.Session"
@@ -62,14 +66,19 @@ type sessionState struct {
 	Rollout *RolloutStatus `json:"rollout,omitempty"`
 }
 
-// snapshotFile is the versioned JSON document Snapshot produces.
+// snapshotFile is the versioned JSON document Snapshot produces. Field
+// order matters: everything the Manager's boot scan needs (config,
+// iter, rollout_phase) is marshaled BEFORE the event log, so peeking a
+// base snapshot's header never reads past the head of the file.
 type snapshotFile struct {
-	Version int           `json:"version"`
-	Kind    string        `json:"kind"`
-	Config  Config        `json:"config"`
-	Iter    int           `json:"iter"`
-	Events  []event       `json:"events"`
-	State   *sessionState `json:"state,omitempty"`
+	Version int    `json:"version"`
+	Kind    string `json:"kind"`
+	Config  Config `json:"config"`
+	Iter    int    `json:"iter"`
+	// RolloutPhase duplicates State.Rollout.Phase in the header (v3+).
+	RolloutPhase string        `json:"rollout_phase,omitempty"`
+	Events       []event       `json:"events"`
+	State        *sessionState `json:"state,omitempty"`
 }
 
 // Snapshot serializes the session as versioned JSON: its configuration,
@@ -81,12 +90,13 @@ func (s *Session) Snapshot() ([]byte, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	f := snapshotFile{
-		Version: SnapshotVersion,
-		Kind:    snapshotKind,
-		Config:  s.cfg,
-		Iter:    s.iter,
-		Events:  s.events,
-		State:   s.stateLocked(),
+		Version:      SnapshotVersion,
+		Kind:         snapshotKind,
+		Config:       s.cfg,
+		Iter:         s.iter,
+		RolloutPhase: string(s.rolloutLocked().Phase),
+		Events:       s.events,
+		State:        s.stateLocked(),
 	}
 	data, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {
@@ -117,16 +127,45 @@ func (s *Session) stateLocked() *sessionState {
 // session would have produced. The embedded state summary is verified
 // against the replayed tuner.
 func Restore(data []byte) (*Session, error) {
+	s, _, err := restoreParts(data, nil)
+	return s, err
+}
+
+// parseSnapshot validates the version envelope of a snapshot document.
+func parseSnapshot(data []byte) (snapshotFile, error) {
 	var f snapshotFile
 	if err := json.Unmarshal(data, &f); err != nil {
-		return nil, fmt.Errorf("tune: parsing snapshot: %w", err)
+		return f, fmt.Errorf("tune: parsing snapshot: %w", err)
 	}
 	if f.Kind != "" && f.Kind != snapshotKind {
-		return nil, fmt.Errorf("tune: snapshot kind %q is not %q", f.Kind, snapshotKind)
+		return f, fmt.Errorf("tune: snapshot kind %q is not %q", f.Kind, snapshotKind)
 	}
 	if f.Version < 1 || f.Version > SnapshotVersion {
-		return nil, fmt.Errorf("tune: snapshot version %d not supported (want 1..%d)", f.Version, SnapshotVersion)
+		return f, fmt.Errorf("tune: snapshot version %d not supported (want 1..%d)", f.Version, SnapshotVersion)
 	}
+	return f, nil
+}
+
+// restoreParts is snapshot+tail recovery: it rebuilds a session from a
+// base snapshot document plus the tail of events the Manager's
+// write-ahead log accumulated since that base was compacted. The base's
+// embedded state summary is verified at the base boundary, then the
+// tail replays through the same verification loop. It returns the
+// restored session and the number of events the base contributed (the
+// tail's starting index in the combined log).
+func restoreParts(base []byte, tail []event) (*Session, int, error) {
+	f, err := parseSnapshot(base)
+	if err != nil {
+		return nil, 0, err
+	}
+	s, err := restoreFile(f, tail)
+	return s, len(f.Events), err
+}
+
+// restoreFile replays a parsed base document plus a tail of
+// WAL-recovered events (the Manager's hydration path parses the base
+// itself so it can filter the tail by the base's event count first).
+func restoreFile(f snapshotFile, tail []event) (*Session, error) {
 	s, err := NewSession(f.Config)
 	if err != nil {
 		return nil, err
@@ -136,39 +175,53 @@ func Restore(data []byte) (*Session, error) {
 	// rollback events, which must line up one-to-one with the logged
 	// ones (verified is the cursor into the regenerated sequence).
 	verified := 0
-	for i, ev := range f.Events {
-		switch ev.Kind {
-		case eventSuggest:
-			s.suggestLocked()
-		case eventReport:
-			if ev.Outcome == nil {
-				return nil, fmt.Errorf("tune: snapshot event %d: report without outcome", i)
-			}
-			s.reportLocked(*ev.Outcome)
-		case rollout.EventPromote, rollout.EventRollback:
-			if verified >= len(s.events) || s.events[verified].Kind != ev.Kind {
-				return nil, fmt.Errorf("tune: snapshot event %d: replay did not reproduce the logged %s decision", i, ev.Kind)
-			}
-			if got := s.events[verified].Rollout; got != nil && ev.Rollout != nil && got.Iter != ev.Rollout.Iter {
-				return nil, fmt.Errorf("tune: snapshot event %d: replay made the %s decision at iter %d, snapshot logged iter %d",
-					i, ev.Kind, got.Iter, ev.Rollout.Iter)
-			}
-			verified++
-		default:
-			return nil, fmt.Errorf("tune: snapshot event %d: unknown kind %q", i, ev.Kind)
-		}
+	if err := s.replayEvents(f.Events, &verified); err != nil {
+		return nil, err
 	}
-	if verified != len(s.events) {
-		return nil, fmt.Errorf("tune: replay produced %d rollout decisions, snapshot logged %d", len(s.events), verified)
-	}
-	s.events = f.Events
+	// The base's iter and state summary describe the session at the
+	// base boundary — check them before replaying the tail on top.
 	if s.iter != f.Iter {
 		return nil, fmt.Errorf("tune: replay reached iter %d, snapshot recorded %d", s.iter, f.Iter)
 	}
 	if err := s.verifyState(f.State); err != nil {
 		return nil, err
 	}
+	if err := s.replayEvents(tail, &verified); err != nil {
+		return nil, err
+	}
+	if verified != len(s.events) {
+		return nil, fmt.Errorf("tune: replay produced %d rollout decisions, snapshot logged %d", len(s.events), verified)
+	}
+	s.events = append(append([]event(nil), f.Events...), tail...)
 	return s, nil
+}
+
+// replayEvents replays one stretch of logged events into s, advancing
+// the rollout-decision verification cursor.
+func (s *Session) replayEvents(events []event, verified *int) error {
+	for i, ev := range events {
+		switch ev.Kind {
+		case eventSuggest:
+			s.suggestLocked()
+		case eventReport:
+			if ev.Outcome == nil {
+				return fmt.Errorf("tune: snapshot event %d: report without outcome", i)
+			}
+			s.reportLocked(*ev.Outcome)
+		case rollout.EventPromote, rollout.EventRollback:
+			if *verified >= len(s.events) || s.events[*verified].Kind != ev.Kind {
+				return fmt.Errorf("tune: snapshot event %d: replay did not reproduce the logged %s decision", i, ev.Kind)
+			}
+			if got := s.events[*verified].Rollout; got != nil && ev.Rollout != nil && got.Iter != ev.Rollout.Iter {
+				return fmt.Errorf("tune: snapshot event %d: replay made the %s decision at iter %d, snapshot logged iter %d",
+					i, ev.Kind, got.Iter, ev.Rollout.Iter)
+			}
+			*verified++
+		default:
+			return fmt.Errorf("tune: snapshot event %d: unknown kind %q", i, ev.Kind)
+		}
+	}
+	return nil
 }
 
 // verifyState cross-checks the snapshot's derived state summary against
