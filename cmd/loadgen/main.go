@@ -16,6 +16,10 @@
 // With -assert-max-hydrated N, loadgen exits non-zero if the server's
 // /healthz reports more than N hydrated sessions after the run — the
 // CI check that LRU eviction actually bounds the working set.
+//
+// With -latency-json FILE, the run's percentiles, throughput and the
+// server's durability counters (fsyncs, group commits) are written as
+// JSON so CI and benchmarks assert on them without scraping stdout.
 package main
 
 import (
@@ -45,6 +49,7 @@ func main() {
 	prefix := flag.String("prefix", "load", "session id prefix")
 	resume := flag.Bool("resume", false, "reuse sessions that already exist (continue after a server restart)")
 	assertMaxHydrated := flag.Int("assert-max-hydrated", -1, "fail unless /healthz reports at most this many hydrated sessions after the run (-1 = no assertion)")
+	latencyJSON := flag.String("latency-json", "", "write machine-readable run results (latency percentiles, throughput, server durability counters) to this file")
 	flag.Parse()
 
 	g := &generator{
@@ -175,19 +180,70 @@ func main() {
 	fmt.Printf("  report  latency ms: p50 %.2f  p95 %.2f  p99 %.2f\n",
 		percentile(reportMs, 50), percentile(reportMs, 95), percentile(reportMs, 99))
 
-	var health struct {
-		Sessions        int   `json:"sessions"`
-		Hydrated        int   `json:"hydrated"`
-		Evicted         int   `json:"evicted"`
-		CheckpointBytes int64 `json:"checkpoint_bytes"`
-	}
+	var health healthCounters
 	if err := g.get("/healthz", &health); err != nil {
 		fatal("healthz: %v", err)
 	}
-	fmt.Printf("  server: %d sessions (%d hydrated, %d evicted), %d checkpoint bytes this run\n",
-		health.Sessions, health.Hydrated, health.Evicted, health.CheckpointBytes)
+	fmt.Printf("  server: %d sessions (%d hydrated, %d evicted), %d checkpoint bytes, %d fsyncs (%d group commits) this run\n",
+		health.Sessions, health.Hydrated, health.Evicted, health.CheckpointBytes, health.Fsyncs, health.GroupCommits)
+	if *latencyJSON != "" {
+		res := runResult{
+			Sessions:        *sessions,
+			Intervals:       ops,
+			ElapsedSec:      elapsed.Seconds(),
+			IntervalsPerSec: float64(ops) / math.Max(elapsed.Seconds(), 1e-9),
+			Suggest:         latencySummary(suggestMs),
+			Report:          latencySummary(reportMs),
+			Server:          health,
+		}
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fatal("encoding -latency-json: %v", err)
+		}
+		if err := os.WriteFile(*latencyJSON, append(data, '\n'), 0o644); err != nil {
+			fatal("writing %s: %v", *latencyJSON, err)
+		}
+		fmt.Printf("  results written to %s\n", *latencyJSON)
+	}
 	if *assertMaxHydrated >= 0 && health.Hydrated > *assertMaxHydrated {
 		fatal("residency bound violated: %d sessions hydrated, asserted at most %d", health.Hydrated, *assertMaxHydrated)
+	}
+}
+
+// healthCounters mirrors the /healthz fields loadgen consumes.
+type healthCounters struct {
+	Sessions        int   `json:"sessions"`
+	Hydrated        int   `json:"hydrated"`
+	Evicted         int   `json:"evicted"`
+	CheckpointBytes int64 `json:"checkpoint_bytes"`
+	Fsyncs          int64 `json:"fsyncs"`
+	GroupCommits    int64 `json:"group_commits"`
+	DegradedCommits int64 `json:"degraded_commits"`
+}
+
+// runResult is the -latency-json document: everything CI and ext7 need
+// to assert on a run without scraping stdout.
+type runResult struct {
+	Sessions        int            `json:"sessions"`
+	Intervals       int            `json:"intervals"`
+	ElapsedSec      float64        `json:"elapsed_sec"`
+	IntervalsPerSec float64        `json:"intervals_per_sec"`
+	Suggest         latencies      `json:"suggest_ms"`
+	Report          latencies      `json:"report_ms"`
+	Server          healthCounters `json:"server"`
+}
+
+type latencies struct {
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
+}
+
+func latencySummary(ms []float64) latencies {
+	return latencies{
+		P50: percentile(ms, 50),
+		P95: percentile(ms, 95),
+		P99: percentile(ms, 99),
 	}
 }
 

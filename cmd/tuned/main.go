@@ -8,9 +8,14 @@
 // session with recommendations identical to an uninterrupted run while
 // holding at most -max-resident sessions in memory.
 //
+// With -commit-interval the per-operation fsync is shared fleet-wide:
+// all sessions' WAL appends funnel into one group-commit journal that
+// syncs once per batch window, so checkpoint durability costs ~1 fsync
+// per window instead of one per operation per session.
+//
 // Usage:
 //
-//	tuned -addr :8080 -state /var/lib/tuned -max-resident 1024
+//	tuned -addr :8080 -state /var/lib/tuned -max-resident 1024 -commit-interval 2ms
 //
 // API (see tune.NewServer):
 //
@@ -19,7 +24,7 @@
 //	POST   /v1/sessions/db1/report     ← raw interval observation
 //	GET    /v1/sessions/db1/rollout    → canary rollout status
 //	GET    /v1/sessions/db1/snapshot   → durable session snapshot
-//	GET    /healthz                    → session/residency counters
+//	GET    /healthz                    → session/residency/fsync counters
 package main
 
 import (
@@ -27,7 +32,9 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"time"
 
 	"repro/tune"
 )
@@ -37,11 +44,16 @@ func main() {
 	state := flag.String("state", "", "state directory: persist sessions here and reload them on boot (created if missing)")
 	maxResident := flag.Int("max-resident", 0, "max sessions hydrated in memory before LRU eviction (0 = default, negative = unlimited)")
 	noFsync := flag.Bool("no-fsync", false, "skip fsyncs on checkpoint writes (benchmarks only: a power failure may lose committed intervals)")
+	commitInterval := flag.Duration("commit-interval", 0, "cross-session group-commit batch window (e.g. 2ms); 0 fsyncs each session's log per operation")
+	commitBatch := flag.Int("commit-batch", 0, "operations that force a group-commit batch before the window elapses (0 = default)")
+	pprofFlag := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ for hot-path profiling")
 	flag.Parse()
 
 	m, err := tune.NewManagerOpts(*state, tune.ManagerOptions{
-		MaxResident: *maxResident,
-		NoFsync:     *noFsync,
+		MaxResident:    *maxResident,
+		NoFsync:        *noFsync,
+		CommitInterval: *commitInterval,
+		CommitBatch:    *commitBatch,
 	})
 	if err != nil {
 		// A missing directory is created; reaching here means the path
@@ -53,10 +65,36 @@ func main() {
 		st := m.Stats()
 		log.Printf("tuned: state dir %s: %d session(s) registered (hydrated lazily), %d stale temp file(s) swept",
 			*state, st.Sessions, st.SweptTempFiles)
+		if st.JournalPatchedRecords > 0 {
+			log.Printf("tuned: recovered %d record(s) from the group-commit journal", st.JournalPatchedRecords)
+		}
+		if *commitInterval != 0 {
+			log.Printf("tuned: cross-session group commit on (window %s)", commitWindow(*commitInterval))
+		}
+	}
+	handler := tune.NewServer(m)
+	if *pprofFlag {
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		log.Printf("tuned: pprof exposed under /debug/pprof/")
 	}
 	log.Printf("tuned: listening on %s (backends: %v)", *addr, tune.Backends())
-	if err := http.ListenAndServe(*addr, tune.NewServer(m)); err != nil {
+	if err := http.ListenAndServe(*addr, handler); err != nil {
 		fmt.Fprintln(os.Stderr, "tuned:", err)
 		os.Exit(1)
 	}
+}
+
+// commitWindow renders the -commit-interval value for the boot log.
+func commitWindow(d time.Duration) string {
+	if d < 0 {
+		return "immediate"
+	}
+	return d.String()
 }

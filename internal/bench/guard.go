@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 )
 
 // Guard compares fresh BENCH_*.json artifacts against committed
@@ -119,6 +120,108 @@ func CompareArtifacts(base, fresh Artifact, tol Tolerances) []GuardFinding {
 	return out
 }
 
+// replicateStem maps a replicate artifact file name
+// (BENCH_<id>_s<seed>.json, written by benchrunner -replicates for every
+// replicate after the first) to its primary file name (BENCH_<id>.json).
+// ok is false for primary artifact names.
+func replicateStem(name string) (stem string, ok bool) {
+	base := strings.TrimSuffix(name, ".json")
+	if base == name {
+		return "", false
+	}
+	i := strings.LastIndex(base, "_s")
+	if i < 0 {
+		return "", false
+	}
+	digits := strings.TrimPrefix(base[i+2:], "-")
+	if digits == "" {
+		return "", false
+	}
+	for _, r := range digits {
+		if r < '0' || r > '9' {
+			return "", false
+		}
+	}
+	return base[:i] + ".json", true
+}
+
+// MedianArtifact collapses replicate runs of one experiment into a
+// synthetic artifact whose gated metrics — per-series final cumulative
+// objective, unsafe count, failure count — are the median across
+// replicates (lower median for even counts). The synthetic artifact
+// carries the primary replicate's Iters and Seed so CompareArtifacts'
+// run-config check still matches the committed baseline; seeds
+// necessarily differ across replicates, and the median is exactly the
+// mechanism that makes cross-seed comparison against a single-seed
+// baseline meaningful: one unlucky seed or slow machine cannot flip the
+// verdict.
+func MedianArtifact(primary Artifact, replicates []Artifact) Artifact {
+	runs := append([]Artifact{primary}, replicates...)
+	out := Artifact{ID: primary.ID, Title: primary.Title, Iters: primary.Iters, Seed: primary.Seed}
+	for _, ps := range primary.Series {
+		var cums []float64
+		var unsafes, fails []int
+		for _, a := range runs {
+			for _, s := range a.Series {
+				if s.Name == ps.Name {
+					cums = append(cums, s.CumFinal())
+					unsafes = append(unsafes, s.Unsafe)
+					fails = append(fails, s.Failures)
+					break
+				}
+			}
+		}
+		out.Series = append(out.Series, &Series{
+			Name:     ps.Name,
+			Cum:      []float64{lowerMedian(cums)},
+			Unsafe:   lowerMedianInt(unsafes),
+			Failures: lowerMedianInt(fails),
+		})
+	}
+	return out
+}
+
+func lowerMedian(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	return s[(len(s)-1)/2]
+}
+
+func lowerMedianInt(v []int) int {
+	if len(v) == 0 {
+		return 0
+	}
+	s := append([]int(nil), v...)
+	sort.Ints(s)
+	return s[(len(s)-1)/2]
+}
+
+// loadReplicates loads every BENCH_<id>_s<seed>.json replicate of the
+// named primary artifact from dir (sorted for determinism).
+func loadReplicates(dir, primaryName string) ([]Artifact, error) {
+	pattern := strings.TrimSuffix(primaryName, ".json") + "_s*.json"
+	paths, err := filepath.Glob(filepath.Join(dir, pattern))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	var out []Artifact
+	for _, p := range paths {
+		if stem, ok := replicateStem(filepath.Base(p)); !ok || stem != primaryName {
+			continue
+		}
+		a, err := LoadArtifact(p)
+		if err != nil {
+			return nil, fmt.Errorf("replicate %s: %w", filepath.Base(p), err)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
 // GuardResult aggregates a whole directory comparison.
 type GuardResult struct {
 	Findings []GuardFinding
@@ -142,6 +245,12 @@ func (r *GuardResult) Regressions() []GuardFinding {
 // its counterpart in freshDir. A baseline whose fresh counterpart is
 // missing is a regression (the experiment disappeared); a fresh artifact
 // without a baseline is reported in NewArtifacts but does not fail.
+//
+// When freshDir also holds BENCH_<id>_s<seed>.json replicates (from
+// benchrunner -replicates), the guard compares the baseline against the
+// replicates' median via MedianArtifact instead of the single primary
+// run, and the replicate files themselves are neither compared directly
+// nor reported as new.
 func GuardDirs(baselineDir, freshDir string, tol Tolerances) (GuardResult, error) {
 	var res GuardResult
 	basePaths, err := filepath.Glob(filepath.Join(baselineDir, "BENCH_*.json"))
@@ -154,6 +263,10 @@ func GuardDirs(baselineDir, freshDir string, tol Tolerances) (GuardResult, error
 	sort.Strings(basePaths)
 	for _, bp := range basePaths {
 		name := filepath.Base(bp)
+		if _, ok := replicateStem(name); ok {
+			// A stray committed replicate is not a baseline of its own.
+			continue
+		}
 		base, err := LoadArtifact(bp)
 		if err != nil {
 			return res, fmt.Errorf("baseline %s: %w", name, err)
@@ -170,6 +283,13 @@ func GuardDirs(baselineDir, freshDir string, tol Tolerances) (GuardResult, error
 		if err != nil {
 			return res, fmt.Errorf("fresh %s: %w", name, err)
 		}
+		reps, err := loadReplicates(freshDir, name)
+		if err != nil {
+			return res, err
+		}
+		if len(reps) > 0 {
+			freshArt = MedianArtifact(freshArt, reps)
+		}
 		res.Findings = append(res.Findings, CompareArtifacts(base, freshArt, tol)...)
 	}
 
@@ -183,8 +303,12 @@ func GuardDirs(baselineDir, freshDir string, tol Tolerances) (GuardResult, error
 		known[filepath.Base(bp)] = true
 	}
 	for _, fp := range freshPaths {
-		if !known[filepath.Base(fp)] {
-			res.NewArtifacts = append(res.NewArtifacts, filepath.Base(fp))
+		name := filepath.Base(fp)
+		if _, ok := replicateStem(name); ok {
+			continue // folded into its primary's median, never "new"
+		}
+		if !known[name] {
+			res.NewArtifacts = append(res.NewArtifacts, name)
 		}
 	}
 	return res, nil
@@ -192,7 +316,9 @@ func GuardDirs(baselineDir, freshDir string, tol Tolerances) (GuardResult, error
 
 // UpdateBaselines copies every fresh BENCH_*.json into baselineDir (the
 // documented baseline-update workflow after an intentional change) and
-// returns the copied file names.
+// returns the copied file names. Replicate files (BENCH_<id>_s<seed>.json)
+// are skipped: only primary artifacts are committed as baselines, and
+// replicates re-enter through the guard's median aggregation.
 func UpdateBaselines(baselineDir, freshDir string) ([]string, error) {
 	freshPaths, err := filepath.Glob(filepath.Join(freshDir, "BENCH_*.json"))
 	if err != nil {
@@ -207,11 +333,14 @@ func UpdateBaselines(baselineDir, freshDir string) ([]string, error) {
 	sort.Strings(freshPaths)
 	var copied []string
 	for _, fp := range freshPaths {
+		name := filepath.Base(fp)
+		if _, ok := replicateStem(name); ok {
+			continue
+		}
 		data, err := os.ReadFile(fp)
 		if err != nil {
 			return copied, err
 		}
-		name := filepath.Base(fp)
 		if err := os.WriteFile(filepath.Join(baselineDir, name), data, 0o644); err != nil {
 			return copied, err
 		}

@@ -150,6 +150,105 @@ func TestUpdateBaselines(t *testing.T) {
 	}
 }
 
+func TestReplicateStem(t *testing.T) {
+	cases := []struct {
+		name string
+		stem string
+		ok   bool
+	}{
+		{"BENCH_ext7_s2.json", "BENCH_ext7.json", true},
+		{"BENCH_ext7_s-3.json", "BENCH_ext7.json", true},
+		{"BENCH_ext7.json", "", false},
+		{"BENCH_ext7_s.json", "", false},
+		{"BENCH_ext7_sx.json", "", false},
+		{"BENCH_ext7_s2.txt", "", false},
+	}
+	for _, c := range cases {
+		stem, ok := replicateStem(c.name)
+		if stem != c.stem || ok != c.ok {
+			t.Errorf("replicateStem(%q) = %q, %v; want %q, %v", c.name, stem, ok, c.stem, c.ok)
+		}
+	}
+}
+
+func TestMedianArtifact(t *testing.T) {
+	primary := guardArtifact("ext7", 850, 0, 1)
+	r1, r2 := guardArtifact("ext7", 990, 2, 0), guardArtifact("ext7", 1000, 4, 0)
+	r1.Seed, r2.Seed = 2, 3
+	med := MedianArtifact(primary, []Artifact{r1, r2})
+	if med.ID != "ext7" || med.Iters != 20 || med.Seed != 1 {
+		t.Fatalf("median artifact config = %+v (must carry primary's Iters/Seed)", med)
+	}
+	s := med.Series[0]
+	if got := s.CumFinal(); got != 990 {
+		t.Errorf("median cum_final = %v, want 990", got)
+	}
+	if s.Unsafe != 2 || s.Failures != 0 {
+		t.Errorf("median unsafe/failures = %d/%d, want 2/0", s.Unsafe, s.Failures)
+	}
+}
+
+func TestGuardDirsMedianOfReplicates(t *testing.T) {
+	baseDir, freshDir := t.TempDir(), t.TempDir()
+	writeGuardArtifact(t, baseDir, guardArtifact("a", 1000, 0, 0))
+	// Primary run regressed on its own, but two of three replicates are
+	// healthy: the median rides over the outlier.
+	writeGuardArtifact(t, freshDir, guardArtifact("a", 700, 0, 0))
+	for seed, cum := range map[int64]float64{2: 990, 3: 1010} {
+		rep := guardArtifact("a", cum, 0, 0)
+		rep.Seed = seed
+		if _, err := WriteJSON(freshDir, rep, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := GuardDirs(baseDir, freshDir, DefaultTolerances())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs := res.Regressions(); len(regs) != 0 {
+		t.Fatalf("median of (700, 990, 1010) = 990 should pass, got %v", regs)
+	}
+	if len(res.NewArtifacts) != 0 {
+		t.Fatalf("replicates must not be reported as new artifacts: %v", res.NewArtifacts)
+	}
+
+	// Majority regressed → the median regresses even if one replicate is
+	// healthy.
+	for seed, cum := range map[int64]float64{2: 700, 3: 710} {
+		rep := guardArtifact("a", cum, 0, 0)
+		rep.Seed = seed
+		if _, err := WriteJSON(freshDir, rep, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeGuardArtifact(t, freshDir, guardArtifact("a", 1000, 0, 0))
+	res, err = GuardDirs(baseDir, freshDir, DefaultTolerances())
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := res.Regressions()
+	if len(regs) != 1 || regs[0].Metric != "cum_final" {
+		t.Fatalf("median of (1000, 700, 710) = 710 should regress, got %v", regs)
+	}
+}
+
+func TestUpdateBaselinesSkipsReplicates(t *testing.T) {
+	baseDir, freshDir := filepath.Join(t.TempDir(), "baseline"), t.TempDir()
+	writeGuardArtifact(t, freshDir, guardArtifact("a", 1000, 0, 0))
+	rep := guardArtifact("a", 990, 0, 0)
+	rep.Seed = 2
+	if _, err := WriteJSON(freshDir, rep, true); err != nil {
+		t.Fatal(err)
+	}
+	copied, err := UpdateBaselines(baseDir, freshDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(copied) != 1 || copied[0] != "BENCH_a.json" {
+		t.Fatalf("copied = %v, want only the primary artifact", copied)
+	}
+}
+
 func TestGuardFindingString(t *testing.T) {
 	f := GuardFinding{Artifact: "ext4", Series: "OnlineTune", Metric: "cum_final", Baseline: 1000, Fresh: 800, Regressed: true}
 	s := f.String()

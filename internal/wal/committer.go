@@ -1,0 +1,450 @@
+// Committer is the fleet-wide group-commit pipeline: per-session log
+// appends funnel into one background goroutine that makes a whole batch
+// of sessions durable with a single journal fsync per batch window,
+// instead of one fsync per session per operation.
+//
+// Protocol. Each operation (holding its session's op gate) appends its
+// records to the session log, flushes the log's buffer to the OS
+// (write, no fsync) and enqueues the same payloads with the committer.
+// The committer copies them into a shared journal file and, once per
+// batch window, flushes+fsyncs the journal ONCE — every waiter in the
+// batch is then durable (its records live in the fsynced journal even
+// if its own log's bytes are still only in the OS page cache) and is
+// released with a nil error.
+//
+// Degradation. If the journal cannot be written or synced, the batch
+// falls back to per-log fsyncs so that exactly the waiters whose OWN
+// log fails get the error — durability honesty is preserved, the
+// shared-fsync optimization is what degrades. The journal is reopened
+// on the next batch; a crash loses nothing because the journal file's
+// intact prefix survives (CRC framing, torn tail truncated on open).
+//
+// Rotation. The journal grows until MaxJournal, then the committer
+// fsyncs every log whose durability still leans on the journal and
+// truncates it. Compaction makes a session's journal records obsolete
+// earlier (the fsynced base snapshot supersedes them) — the owner calls
+// Forget so rotation skips that log.
+//
+// Recovery. Journal records carry (session id, payload); at boot the
+// owner replays them into the per-session logs (ReadJournal + the
+// owner's patching pass) and truncates the journal, so steady-state
+// recovery never consults it.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Committer defaults.
+const (
+	// DefaultCommitInterval is the batch window: the longest an enqueued
+	// operation waits before its batch's journal fsync is issued.
+	DefaultCommitInterval = 2 * time.Millisecond
+	// DefaultCommitBatch forces an early commit once this many waiters
+	// have enqueued, bounding batch latency under heavy load.
+	DefaultCommitBatch = 64
+	// DefaultMaxJournal is the journal size that triggers rotation.
+	DefaultMaxJournal = 4 << 20
+)
+
+// ErrCommitterClosed rejects enqueues after Close.
+var ErrCommitterClosed = errors.New("wal: committer closed")
+
+// errNoJournal marks a batch whose records never reached the journal.
+var errNoJournal = errors.New("wal: journal unavailable")
+
+// CommitterOptions configures a Committer. Zero values take the
+// defaults above.
+type CommitterOptions struct {
+	// Interval is the batch window (<0 disables the wait: each batch
+	// commits as soon as the loop picks it up — for tests).
+	Interval time.Duration
+	// Batch forces an early commit at this many waiters.
+	Batch int
+	// MaxJournal is the journal size that triggers rotation.
+	MaxJournal int64
+	// NoFsync and SyncCounter apply to the journal file exactly as
+	// Options do to a Log (syncs are counted even under NoFsync).
+	NoFsync     bool
+	SyncCounter *atomic.Int64
+}
+
+func (o CommitterOptions) interval() time.Duration {
+	if o.Interval == 0 {
+		return DefaultCommitInterval
+	}
+	if o.Interval < 0 {
+		return 0
+	}
+	return o.Interval
+}
+
+func (o CommitterOptions) batch() int {
+	if o.Batch <= 0 {
+		return DefaultCommitBatch
+	}
+	return o.Batch
+}
+
+func (o CommitterOptions) maxJournal() int64 {
+	if o.MaxJournal <= 0 {
+		return DefaultMaxJournal
+	}
+	return o.MaxJournal
+}
+
+// commitReq is one enqueued operation waiting for durability.
+type commitReq struct {
+	log *Log
+	// journaled reports that every payload of this request reached the
+	// journal buffer; only then can the shared fsync stand in for the
+	// request's own log fsync.
+	journaled bool
+	done      chan error
+}
+
+// Committer is the shared group-commit pipeline. Safe for concurrent
+// Enqueue from many sessions; one background goroutine owns batching.
+type Committer struct {
+	opts CommitterOptions
+
+	mu      sync.Mutex
+	journal *Log // nil while unusable; reopened on the next batch
+	jpath   string
+	reqs    []commitReq
+	// dirty tracks logs whose flushed records may have no durable copy
+	// outside the journal, keyed by path (handles change across drop/
+	// reopen). Rotation must fsync them before truncating the journal.
+	dirty  map[string]*Log
+	closed bool
+
+	wake chan struct{}
+	done chan struct{}
+	idle chan struct{} // closed when the loop exits
+
+	batches         atomic.Int64
+	degradedBatches atomic.Int64
+
+	// syncErr, when non-nil, is consulted before each journal fsync —
+	// the fault-injection seam for the race hammer tests.
+	syncErr func() error
+}
+
+// OpenCommitter opens (creating if missing) the journal at path and
+// starts the background commit loop. Existing intact journal records
+// are preserved — the owner is expected to have drained them through
+// ReadJournal before serving.
+func OpenCommitter(path string, opts CommitterOptions) (*Committer, error) {
+	j, _, err := Open(path, Options{NoFsync: opts.NoFsync, SyncCounter: opts.SyncCounter})
+	if err != nil {
+		return nil, err
+	}
+	c := &Committer{
+		opts:    opts,
+		journal: j,
+		jpath:   path,
+		dirty:   map[string]*Log{},
+		wake:    make(chan struct{}, 1),
+		done:    make(chan struct{}),
+		idle:    make(chan struct{}),
+	}
+	go c.loop()
+	return c, nil
+}
+
+// Enqueue registers one operation's freshly appended (and flushed)
+// records for the next batch commit and returns a wait function that
+// blocks until the batch is durable, yielding the fsync error exactly
+// as a direct Log.Commit would. The payloads are copied into the
+// journal buffer before Enqueue returns, so callers may recycle them
+// immediately; l must not be Reset or Closed until wait returns.
+func (c *Committer) Enqueue(id string, l *Log, payloads [][]byte) (wait func() error, err error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrCommitterClosed
+	}
+	req := commitReq{log: l, journaled: c.journal != nil, done: make(chan error, 1)}
+	if c.journal != nil {
+		for _, p := range payloads {
+			if err := c.journal.Append(EncodeJournalRecord(id, p)); err != nil {
+				// The journal buffer is in an unknown state: retire the
+				// handle (the file's intact prefix is preserved) and let
+				// this request — and the rest of the batch — fall back to
+				// per-log fsyncs.
+				c.dropJournalLocked()
+				req.journaled = false
+				break
+			}
+		}
+	}
+	c.dirty[l.Path()] = l
+	c.reqs = append(c.reqs, req)
+	n := len(c.reqs)
+	c.mu.Unlock()
+	if n == 1 || n >= c.opts.batch() {
+		select {
+		case c.wake <- struct{}{}:
+		default:
+		}
+	}
+	return func() error { return <-req.done }, nil
+}
+
+// Forget drops the log at path from the rotation set: its records in
+// the journal are superseded (typically by a freshly fsynced base
+// snapshot after compaction), so rotation no longer needs to fsync it.
+func (c *Committer) Forget(path string) {
+	c.mu.Lock()
+	delete(c.dirty, path)
+	c.mu.Unlock()
+}
+
+// Batches returns how many batch commits have run.
+func (c *Committer) Batches() int64 { return c.batches.Load() }
+
+// DegradedBatches returns how many batches fell back to per-log fsyncs
+// because the journal was unavailable.
+func (c *Committer) DegradedBatches() int64 { return c.degradedBatches.Load() }
+
+// Close drains any pending batch, fsyncs the logs still leaning on the
+// journal, truncates the journal (so the next boot recovers nothing)
+// and stops the loop. Enqueues after Close fail with ErrCommitterClosed.
+func (c *Committer) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	close(c.done)
+	<-c.idle
+
+	c.commitBatch() // release any waiters that raced Close
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var err error
+	for path, l := range c.dirty {
+		if serr := l.SyncFile(); serr != nil {
+			if err == nil {
+				err = serr
+			}
+			continue
+		}
+		delete(c.dirty, path)
+	}
+	if c.journal != nil {
+		if len(c.dirty) == 0 {
+			if rerr := c.journal.Reset(); rerr != nil && err == nil {
+				err = rerr
+			}
+		}
+		if cerr := c.journal.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		c.journal = nil
+	}
+	return err
+}
+
+// loop is the background committer: it sleeps until the first enqueue
+// of a batch, waits out the batch window (cut short when the batch
+// fills), then commits.
+func (c *Committer) loop() {
+	defer close(c.idle)
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-c.wake:
+		}
+		if iv := c.opts.interval(); iv > 0 {
+			timer.Reset(iv)
+		window:
+			for {
+				select {
+				case <-timer.C:
+					break window
+				case <-c.done:
+					if !timer.Stop() {
+						<-timer.C
+					}
+					return
+				case <-c.wake:
+					c.mu.Lock()
+					full := len(c.reqs) >= c.opts.batch()
+					c.mu.Unlock()
+					if full {
+						if !timer.Stop() {
+							<-timer.C
+						}
+						break window
+					}
+				}
+			}
+		}
+		c.commitBatch()
+	}
+}
+
+// commitBatch makes the current batch durable: one journal fsync for
+// every journaled request, per-log fsyncs for the rest (and for the
+// whole batch when the journal sync itself fails — in which case each
+// waiter gets ITS OWN log's fsync result, attributing the failure to
+// exactly the affected sessions).
+func (c *Committer) commitBatch() {
+	c.mu.Lock()
+	reqs := c.reqs
+	c.reqs = nil
+	if len(reqs) == 0 {
+		c.mu.Unlock()
+		return
+	}
+	c.batches.Add(1)
+	jerr := errNoJournal
+	if c.journal != nil {
+		if c.syncErr != nil {
+			jerr = c.syncErr()
+		} else {
+			jerr = nil
+		}
+		if jerr == nil {
+			jerr = c.journal.Commit()
+		}
+		if jerr != nil {
+			c.dropJournalLocked()
+		}
+	}
+	if jerr == nil {
+		c.maybeRotateLocked()
+	} else {
+		c.degradedBatches.Add(1)
+		c.reopenJournalLocked()
+	}
+	c.mu.Unlock()
+
+	// Deliver outside the lock: per-log fsyncs can be slow, and each
+	// log's owner is parked in wait, so nobody else appends to it.
+	for _, r := range reqs {
+		if r.journaled && jerr == nil {
+			r.done <- nil
+			continue
+		}
+		r.done <- r.log.SyncFile()
+	}
+}
+
+// maybeRotateLocked truncates an oversized journal once every log
+// leaning on it has been fsynced. Partial progress sticks: logs synced
+// before a failure leave the rotation set, so the next attempt is
+// smaller. A log that was dropped by its session (closed handle) stays
+// dirty until the session's compaction Forgets it — its journal records
+// are its only durable copy until the new base lands.
+func (c *Committer) maybeRotateLocked() {
+	if c.journal == nil || c.journal.Size() < c.opts.maxJournal() {
+		return
+	}
+	for path, l := range c.dirty {
+		if err := l.SyncFile(); err != nil {
+			continue
+		}
+		delete(c.dirty, path)
+	}
+	if len(c.dirty) > 0 {
+		return
+	}
+	if err := c.journal.Reset(); err != nil {
+		c.dropJournalLocked()
+	}
+}
+
+// dropJournalLocked retires the journal handle after an error left its
+// buffer state unknown. The file keeps its intact prefix — recovery
+// and the reopen path scan it with the usual torn-tail tolerance.
+func (c *Committer) dropJournalLocked() {
+	if c.journal != nil {
+		c.journal.Close()
+		c.journal = nil
+	}
+}
+
+// reopenJournalLocked tries to bring a dropped journal back. Records
+// enqueued while the journal was down were made durable per-log, so
+// reopening mid-stream is safe: the scan positions appends after the
+// intact prefix.
+func (c *Committer) reopenJournalLocked() {
+	if c.journal != nil || c.closed {
+		return
+	}
+	j, _, err := Open(c.jpath, Options{NoFsync: c.opts.NoFsync, SyncCounter: c.opts.SyncCounter})
+	if err != nil {
+		return // stay degraded; the next batch retries
+	}
+	c.journal = j
+}
+
+// Journal record framing: the journal reuses Log's length+CRC frames;
+// inside each frame the payload is [uint16 BE id length][id][payload].
+
+// EncodeJournalRecord wraps one session's record payload with its id
+// for the shared journal.
+func EncodeJournalRecord(id string, payload []byte) []byte {
+	out := make([]byte, 2+len(id)+len(payload))
+	binary.BigEndian.PutUint16(out[0:2], uint16(len(id)))
+	copy(out[2:], id)
+	copy(out[2+len(id):], payload)
+	return out
+}
+
+// DecodeJournalRecord splits a journal frame payload back into session
+// id and record payload.
+func DecodeJournalRecord(rec []byte) (id string, payload []byte, err error) {
+	if len(rec) < 2 {
+		return "", nil, fmt.Errorf("wal: journal record too short (%d bytes)", len(rec))
+	}
+	n := int(binary.BigEndian.Uint16(rec[0:2]))
+	if len(rec) < 2+n {
+		return "", nil, fmt.Errorf("wal: journal record id length %d exceeds record", n)
+	}
+	return string(rec[2 : 2+n]), rec[2+n:], nil
+}
+
+// ReadJournal reads every intact journal record at path (a missing file
+// is an empty journal) grouped by session id, preserving per-session
+// order. Boot uses it to patch records whose only durable copy was the
+// journal back into their session logs before serving.
+func ReadJournal(path string) (map[string][][]byte, error) {
+	count, _, err := Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if count == 0 {
+		return nil, nil
+	}
+	// Stat confirmed the file exists with intact records; scan them all
+	// through a read-only open that tolerates the torn tail.
+	l, recs, err := Open(path, Options{NoFsync: true})
+	if err != nil {
+		return nil, err
+	}
+	defer l.Close()
+	out := map[string][][]byte{}
+	for i, rec := range recs {
+		id, payload, err := DecodeJournalRecord(rec)
+		if err != nil {
+			return nil, fmt.Errorf("wal: journal record %d: %w", i, err)
+		}
+		out[id] = append(out[id], payload)
+	}
+	return out, nil
+}

@@ -1,0 +1,387 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestCommitterHammer is the -race hammer: many sessions append and
+// enqueue concurrently while journal fsyncs fail at random, and some
+// sessions compact (Reset+Forget) mid-stream. Afterwards every session
+// log must hold exactly the records appended since its last compaction,
+// in order — no loss, duplication, or reordering under any mix of
+// journaled, degraded, and rotated batches.
+func TestCommitterHammer(t *testing.T) {
+	dir := t.TempDir()
+	var syncs atomic.Int64
+	c, err := OpenCommitter(filepath.Join(dir, "fleet.journal"), CommitterOptions{
+		Interval:    100 * time.Microsecond,
+		Batch:       8,
+		MaxJournal:  8 << 10, // force frequent rotation
+		NoFsync:     true,
+		SyncCounter: &syncs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fail atomic.Int64
+	var failMu sync.Mutex
+	rng := rand.New(rand.NewSource(7))
+	c.syncErr = func() error {
+		failMu.Lock()
+		bad := rng.Intn(5) == 0 // ~20% of journal syncs fail
+		failMu.Unlock()
+		if bad {
+			fail.Add(1)
+			return errors.New("injected journal fsync failure")
+		}
+		return nil
+	}
+
+	const sessions, ops = 16, 120
+	var wg sync.WaitGroup
+	expect := make([][][]byte, sessions)
+	errs := make([]error, sessions)
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := fmt.Sprintf("s%02d", i)
+			l, _, err := Open(filepath.Join(dir, id+".wal"), Options{NoFsync: true})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer l.Close()
+			for op := 0; op < ops; op++ {
+				payload := []byte(fmt.Sprintf("%s-op%03d", id, op))
+				if err := l.Append(payload); err != nil {
+					errs[i] = err
+					return
+				}
+				if err := l.Flush(); err != nil {
+					errs[i] = err
+					return
+				}
+				wait, err := c.Enqueue(id, l, [][]byte{payload})
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				if err := wait(); err != nil {
+					// NoFsync logs cannot fail their own SyncFile, so
+					// injected journal failures must degrade to nil here.
+					errs[i] = fmt.Errorf("op %d: unexpected wait error: %w", op, err)
+					return
+				}
+				expect[i] = append(expect[i], payload)
+				if op%37 == 36 && i%3 == 0 {
+					// Compaction: the base snapshot (not modeled here)
+					// supersedes the log; journal records become stale.
+					if err := l.Reset(); err != nil {
+						errs[i] = err
+						return
+					}
+					c.Forget(l.Path())
+					expect[i] = nil
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("session %d: %v", i, err)
+		}
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if fail.Load() == 0 {
+		t.Fatal("fault injection never fired; hammer is not exercising degraded batches")
+	}
+	if c.DegradedBatches() == 0 {
+		t.Fatal("no degraded batches despite injected journal failures")
+	}
+
+	for i := 0; i < sessions; i++ {
+		id := fmt.Sprintf("s%02d", i)
+		_, recs, err := Open(filepath.Join(dir, id+".wal"), Options{NoFsync: true})
+		if err != nil {
+			t.Fatalf("reopen %s: %v", id, err)
+		}
+		if len(recs) != len(expect[i]) {
+			t.Fatalf("%s: %d records, want %d", id, len(recs), len(expect[i]))
+		}
+		for j, rec := range recs {
+			if !bytes.Equal(rec, expect[i][j]) {
+				t.Fatalf("%s record %d: %q, want %q", id, j, rec, expect[i][j])
+			}
+		}
+	}
+
+	// Clean Close rotates: the journal must be empty for the next boot.
+	n, _, err := Stat(filepath.Join(dir, "fleet.journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("journal holds %d records after clean Close, want 0", n)
+	}
+}
+
+// TestCommitterErrorAttribution verifies that when the shared journal
+// fsync fails, the degraded per-log fallback delivers an error to
+// exactly the waiters whose own log cannot sync — healthy sessions in
+// the same batch still commit cleanly.
+func TestCommitterErrorAttribution(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCommitter(filepath.Join(dir, "fleet.journal"), CommitterOptions{
+		Interval: 20 * time.Millisecond, // wide window so one batch holds all three
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var broken atomic.Bool
+	broken.Store(true)
+	c.syncErr = func() error {
+		if broken.Load() {
+			return errors.New("injected journal fsync failure")
+		}
+		return nil
+	}
+
+	open := func(id string) *Log {
+		l, _, err := Open(filepath.Join(dir, id+".wal"), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	la, lb, lc := open("a"), open("b"), open("c")
+	enq := func(id string, l *Log) func() error {
+		payload := []byte(id + "-rec")
+		if err := l.Append(payload); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		wait, err := c.Enqueue(id, l, [][]byte{payload})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return wait
+	}
+	wa, wb, wc := enq("a", la), enq("b", lb), enq("c", lc)
+	lb.f.Close() // b's own fsync now fails; a and c stay healthy
+
+	if err := wa(); err != nil {
+		t.Fatalf("healthy session a got error: %v", err)
+	}
+	if err := wb(); err == nil {
+		t.Fatal("session b with broken log got nil from degraded batch")
+	}
+	if err := wc(); err != nil {
+		t.Fatalf("healthy session c got error: %v", err)
+	}
+	if got := c.DegradedBatches(); got != 1 {
+		t.Fatalf("DegradedBatches = %d, want 1", got)
+	}
+
+	// The journal was dropped and reopened; once fsyncs heal, the next
+	// batch commits through the journal again.
+	broken.Store(false)
+	if err := enq("a", la)(); err != nil {
+		t.Fatalf("post-recovery commit: %v", err)
+	}
+	c.mu.Lock()
+	reopened := c.journal != nil
+	c.mu.Unlock()
+	if !reopened {
+		t.Fatal("journal not reopened after fsyncs healed")
+	}
+	la.Close()
+	lc.Close()
+}
+
+// TestCommitterJournalRecovery simulates a crash after journaled
+// commits: the session log's bytes may be lost (never fsynced), but
+// ReadJournal must yield every committed record in per-session order so
+// boot can patch the logs.
+func TestCommitterJournalRecovery(t *testing.T) {
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "fleet.journal")
+	c, err := OpenCommitter(jpath, CommitterOptions{Interval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, _, err := Open(filepath.Join(dir, "x.wal"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, _, err := Open(filepath.Join(dir, "y.wal"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want1, want2 [][]byte
+	for i := 0; i < 5; i++ {
+		p1 := []byte(fmt.Sprintf("x-%d", i))
+		p2 := []byte(fmt.Sprintf("y-%d", i))
+		for _, e := range []struct {
+			id string
+			l  *Log
+			p  []byte
+		}{{"x", l1, p1}, {"y", l2, p2}} {
+			if err := e.l.Append(e.p); err != nil {
+				t.Fatal(err)
+			}
+			if err := e.l.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			wait, err := c.Enqueue(e.id, e.l, [][]byte{e.p})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := wait(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want1 = append(want1, p1)
+		want2 = append(want2, p2)
+	}
+	// Crash: no Close, no rotation. Read the journal as boot would.
+	got, err := ReadJournal(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(id string, want [][]byte) {
+		recs := got[id]
+		if len(recs) != len(want) {
+			t.Fatalf("%s: %d journal records, want %d", id, len(recs), len(want))
+		}
+		for i := range want {
+			if !bytes.Equal(recs[i], want[i]) {
+				t.Fatalf("%s record %d: %q, want %q", id, i, recs[i], want[i])
+			}
+		}
+	}
+	check("x", want1)
+	check("y", want2)
+	c.Close()
+	l1.Close()
+	l2.Close()
+}
+
+// TestCommitterRotation verifies the journal stays bounded: once it
+// outgrows MaxJournal the committer fsyncs the leaning logs and
+// truncates it, and Forget removes a log from the rotation set.
+func TestCommitterRotation(t *testing.T) {
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "fleet.journal")
+	c, err := OpenCommitter(jpath, CommitterOptions{
+		Interval:   -1,
+		MaxJournal: 512,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var logSyncs atomic.Int64
+	l, _, err := Open(filepath.Join(dir, "s.wal"), Options{SyncCounter: &logSyncs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	payload := bytes.Repeat([]byte("r"), 64)
+	for i := 0; i < 64; i++ {
+		if err := l.Append(payload); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		wait, err := c.Enqueue("s", l, [][]byte{payload})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.mu.Lock()
+	jsize := c.journal.Size()
+	c.mu.Unlock()
+	if max := int64(512 + 2*(headerSize+2+1+len(payload))); jsize > max {
+		t.Fatalf("journal size %d never rotated (cap ~%d)", jsize, max)
+	}
+	if logSyncs.Load() == 0 {
+		t.Fatal("rotation never fsynced the leaning session log")
+	}
+
+	// Forget: after compaction the log leaves the rotation set until its
+	// next enqueue re-adds it — so a forgotten, idle log is never synced
+	// even while other sessions keep the journal rotating.
+	if err := l.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	c.Forget(l.Path())
+	logSyncs.Store(0)
+	other, _, err := Open(filepath.Join(dir, "t.wal"), Options{NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer other.Close()
+	for i := 0; i < 64; i++ {
+		if err := other.Append(payload); err != nil {
+			t.Fatal(err)
+		}
+		if err := other.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		wait, err := c.Enqueue("t", other, [][]byte{payload})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if logSyncs.Load() != 0 {
+		t.Fatalf("rotation synced a forgotten idle log %d times", logSyncs.Load())
+	}
+}
+
+// TestJournalRecordRoundTrip covers the id-tagged framing helpers.
+func TestJournalRecordRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		id      string
+		payload string
+	}{
+		{"s1", `{"idx":1}`},
+		{"", "payload-without-id"},
+		{"long-session-id-with-dashes", ""},
+	} {
+		id, payload, err := DecodeJournalRecord(EncodeJournalRecord(tc.id, []byte(tc.payload)))
+		if err != nil {
+			t.Fatalf("%q: %v", tc.id, err)
+		}
+		if id != tc.id || string(payload) != tc.payload {
+			t.Fatalf("round trip (%q,%q) -> (%q,%q)", tc.id, tc.payload, id, payload)
+		}
+	}
+	if _, _, err := DecodeJournalRecord([]byte{0}); err == nil {
+		t.Fatal("short record decoded without error")
+	}
+	if _, _, err := DecodeJournalRecord([]byte{0, 9, 'x'}); err == nil {
+		t.Fatal("overlong id length decoded without error")
+	}
+}

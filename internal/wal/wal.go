@@ -18,6 +18,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"sync/atomic"
 )
 
 // headerSize is the per-record framing overhead in bytes.
@@ -37,6 +38,12 @@ type Options struct {
 	// still flushed to the OS, but a power failure may lose committed
 	// records — acceptable for benchmarks and tests, not for serving.
 	NoFsync bool
+	// SyncCounter, when non-nil, is incremented once per logical sync
+	// point (Commit, SyncFile, Reset). It counts even under NoFsync —
+	// the counter measures how many fsyncs the durability protocol
+	// ISSUES, so benchmarks can compare commit strategies without
+	// paying for real disk flushes.
+	SyncCounter *atomic.Int64
 }
 
 // Log is an open append-only log positioned at its intact end.
@@ -154,16 +161,46 @@ func (l *Log) Commit() error {
 	if l.pending == 0 {
 		return nil
 	}
-	if err := l.w.Flush(); err != nil {
+	if err := l.Flush(); err != nil {
 		return err
 	}
-	if !l.opts.NoFsync {
-		if err := l.f.Sync(); err != nil {
-			return err
-		}
+	if err := l.syncNow(); err != nil {
+		return err
 	}
 	l.pending = 0
 	return nil
+}
+
+// Flush writes every buffered append to the OS without fsyncing. The
+// records become visible to readers of the file (same-process
+// re-hydration after an eviction reads them back), but are not durable
+// against power failure until a sync covers them — either the log's own
+// Commit/SyncFile or a Committer's journal fsync. Callers funneling
+// appends into a shared Committer flush BEFORE enqueueing, so the
+// committer's rotation fsync covers everything enqueued so far.
+func (l *Log) Flush() error {
+	return l.w.Flush()
+}
+
+// SyncFile fsyncs the log's file descriptor without touching the write
+// buffer. Unlike Commit it is safe to call concurrently with appends
+// from another goroutine (it only issues the syscall on the fd), which
+// is how the shared Committer makes flushed-but-unsynced logs durable
+// during journal rotation and degraded (journal-less) batches. It does
+// not clear the pending count — only Commit observes buffer state.
+func (l *Log) SyncFile() error {
+	return l.syncNow()
+}
+
+// syncNow issues (and counts) one fsync, honoring NoFsync.
+func (l *Log) syncNow() error {
+	if l.opts.SyncCounter != nil {
+		l.opts.SyncCounter.Add(1)
+	}
+	if l.opts.NoFsync {
+		return nil
+	}
+	return l.f.Sync()
 }
 
 // Reset empties the log (after compaction folded its records into a
@@ -180,10 +217,8 @@ func (l *Log) Reset() error {
 	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
 		return err
 	}
-	if !l.opts.NoFsync {
-		if err := l.f.Sync(); err != nil {
-			return err
-		}
+	if err := l.syncNow(); err != nil {
+		return err
 	}
 	l.w.Reset(l.f)
 	l.count, l.size, l.pending = 0, 0, 0

@@ -3,14 +3,17 @@ package tune
 import (
 	"container/list"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/fnv"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/fsutil"
 	"repro/internal/wal"
@@ -71,6 +74,19 @@ type ManagerOptions struct {
 	// the whole <id>.json snapshot on every operation). Ablation arm
 	// for the ext6 benchmark — not for serving.
 	FullSnapshots bool
+	// CommitInterval enables cross-session fsync group commit: every
+	// session's WAL appends funnel into a shared journal whose single
+	// fsync per batch window makes the whole batch durable, so a fleet
+	// of N chatty sessions pays ~1 fsync per window instead of N.
+	// 0 disables the committer (each operation fsyncs its own log — the
+	// pre-group-commit behavior and the ext7 ablation arm); > 0 is the
+	// batch window; < 0 enables the committer with no window (each
+	// batch commits as soon as the committer picks it up — for tests).
+	CommitInterval time.Duration
+	// CommitBatch caps a group-commit batch: once this many operations
+	// are waiting the batch commits without waiting out the window
+	// (0 = wal.DefaultCommitBatch). Only meaningful with CommitInterval.
+	CommitBatch int
 }
 
 // Manager multiplexes many concurrent tuning sessions behind sharded
@@ -81,7 +97,12 @@ type ManagerOptions struct {
 // write-ahead log (<id>.wal) with one group-commit fsync — O(1) I/O per
 // interval — and a periodic compaction folds the tail into an atomic
 // base snapshot (<id>.base.json), so lifetime checkpoint bytes stay
-// linear in session length instead of quadratic. Recovery loads the
+// linear in session length instead of quadratic. With CommitInterval
+// set, the fsync itself is shared fleet-wide: appends land in the
+// session log unsynced and in a shared journal (fleet.journal) whose
+// single fsync per batch window makes every session in the batch
+// durable at once; session logs settle their sync debt lazily at
+// journal rotation, compaction, eviction and shutdown. Recovery loads the
 // base and replays the tail through the snapshot verification
 // machinery; deterministic replay makes the recovered session
 // bitwise-identical to the one that crashed.
@@ -96,9 +117,13 @@ type Manager struct {
 	opts     ManagerOptions
 	shards   [managerShards]managerShard
 
+	// committer is the shared group-commit pipeline (nil when
+	// CommitInterval is 0 or the manager is in-memory only).
+	committer *wal.Committer
+
 	// lmu guards the LRU list of resident (hydrated) sessions and the
-	// resident count. Lock order: managedSession.mu → lmu; never the
-	// reverse.
+	// resident count. It never nests with a session's mu or op gate:
+	// LRU bookkeeping runs under the gate alone.
 	lmu      sync.Mutex
 	lru      *list.List // of *managedSession, front = most recent
 	resident int
@@ -108,7 +133,15 @@ type Manager struct {
 	compactions       atomic.Int64
 	checkpointBytes   atomic.Int64
 	durabilityRetries atomic.Int64
-	sweptTemps        int // set once at boot
+	// fsyncs counts every logical sync point issued for durability —
+	// WAL commits, journal batch syncs, rotation syncs and atomic base
+	// writes — even under NoFsync, so benchmarks can compare commit
+	// strategies without paying for real flushes.
+	fsyncs     atomic.Int64
+	sweptTemps int // set once at boot
+	// journalPatched is how many records boot recovered from the shared
+	// journal into session logs (set once at boot).
+	journalPatched int
 
 	// checkpointFailure, when non-nil, is consulted before every persist
 	// attempt. Test seam for injecting durability faults (tests often
@@ -122,12 +155,23 @@ type managerShard struct {
 }
 
 // managedSession is one registry entry. The entry outlives eviction:
-// s is nil while the session lives only on disk, and mu serializes
-// every operation, hydration and eviction on the session.
+// s is nil while the session lives only on disk.
+//
+// Concurrency: mu guards only the flags (busy, deleted) and is held for
+// microseconds. The heavyweight state — s, log, persisted, baseEvents,
+// legacy — is guarded by the op GATE (busy + cond): acquire claims it,
+// release hands it off, and both transitions happen under mu, so gate
+// holders access the state without any lock held. That keeps candidate
+// scoring, checkpoint serialization and the group-commit fsync wait off
+// every mutex while same-session operations still serialize (single
+// flight) and replay stays bitwise-deterministic. Methods with the
+// Locked suffix require the gate, not mu.
 type managedSession struct {
 	id string
 
 	mu      sync.Mutex
+	cond    *sync.Cond // lazily initialized under mu; signals gate release
+	busy    bool       // op gate: set while an operation owns the session
 	deleted bool
 	s       *Session // nil when evicted
 	log     *wal.Log // nil for legacy entries until first write
@@ -162,6 +206,36 @@ func (e *managedSession) setInfo(in SessionInfo) {
 	e.infoMu.Lock()
 	e.info = in
 	e.infoMu.Unlock()
+}
+
+// acquire claims the entry's op gate, blocking behind the current
+// holder. It returns false — without the gate — if the entry was
+// deleted, in which case the caller re-resolves the id (it may have
+// been recreated under a fresh entry).
+func (e *managedSession) acquire() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for e.busy && !e.deleted {
+		if e.cond == nil {
+			e.cond = sync.NewCond(&e.mu)
+		}
+		e.cond.Wait()
+	}
+	if e.deleted {
+		return false
+	}
+	e.busy = true
+	return true
+}
+
+// release hands the gate back and wakes waiters.
+func (e *managedSession) release() {
+	e.mu.Lock()
+	e.busy = false
+	if e.cond != nil {
+		e.cond.Broadcast()
+	}
+	e.mu.Unlock()
 }
 
 // dropLogLocked closes and forgets the WAL handle after a write error
@@ -204,6 +278,19 @@ type ManagerStats struct {
 	DurabilityRetries int64 `json:"durability_retries"`
 	// SweptTempFiles is how many stale checkpoint temps boot removed.
 	SweptTempFiles int `json:"swept_temp_files"`
+	// Fsyncs counts every logical durability sync point issued (WAL
+	// commits, journal batch syncs, rotation syncs, atomic base writes);
+	// counted even under NoFsync so ablations stay comparable.
+	Fsyncs int64 `json:"fsyncs"`
+	// GroupCommits is how many cross-session batches the shared
+	// committer has flushed (0 when group commit is off).
+	GroupCommits int64 `json:"group_commits"`
+	// DegradedCommits is how many of those batches fell back to
+	// per-session fsyncs because the shared journal failed.
+	DegradedCommits int64 `json:"degraded_commits"`
+	// JournalPatchedRecords is how many WAL records boot recovered from
+	// the shared journal into session logs.
+	JournalPatchedRecords int `json:"journal_patched_records,omitempty"`
 }
 
 // NewManager returns a manager with default options. A non-empty
@@ -225,6 +312,14 @@ func NewManagerOpts(stateDir string, opts ManagerOptions) (*Manager, error) {
 	}
 	if err := fsutil.EnsureWritableDir(stateDir); err != nil {
 		return nil, fmt.Errorf("tune: state dir: %w", err)
+	}
+	// Recover the shared group-commit journal BEFORE scanning sessions:
+	// records whose only durable copy is the journal are patched back
+	// into their session logs, so the scan (and every later hydration)
+	// sees complete tails. Runs regardless of this boot's CommitInterval
+	// — the previous process may have crashed with the committer on.
+	if err := m.recoverJournal(); err != nil {
+		return nil, fmt.Errorf("tune: recovering group-commit journal: %w", err)
 	}
 	entries, err := os.ReadDir(stateDir)
 	if err != nil {
@@ -286,7 +381,121 @@ func NewManagerOpts(stateDir string, opts ManagerOptions) (*Manager, error) {
 		}
 		m.shard(id).sessions[id] = e
 	}
+	if opts.CommitInterval != 0 {
+		c, err := wal.OpenCommitter(m.journalPath(), wal.CommitterOptions{
+			Interval:    opts.CommitInterval,
+			Batch:       opts.CommitBatch,
+			NoFsync:     opts.NoFsync,
+			SyncCounter: &m.fsyncs,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("tune: opening group-commit journal: %w", err)
+		}
+		m.committer = c
+	}
 	return m, nil
+}
+
+// journalPath is the shared group-commit journal's location. The name
+// carries none of the session-file suffixes, so the boot scan never
+// mistakes it for a session.
+func (m *Manager) journalPath() string {
+	return filepath.Join(m.stateDir, "fleet.journal")
+}
+
+// recoverJournal patches session WALs from the shared journal at boot.
+// A crash can leave records whose only durable copy is the journal (the
+// per-session log was flushed but its fsync deferred to rotation), so
+// each session's journal records that contiguously extend its log's
+// intact tail are appended — and fsynced — before the journal is
+// truncated. Records for sessions with no on-disk files (deleted before
+// the crash) and records out of sequence (a deleted-then-recreated id's
+// stale leftovers) are dropped: a genuine tail is always contiguous,
+// because rotation fsyncs every log before the journal truncates.
+func (m *Manager) recoverJournal() error {
+	recovered, err := wal.ReadJournal(m.journalPath())
+	if err != nil {
+		return err
+	}
+	for id, payloads := range recovered {
+		if validID(id) != nil {
+			continue
+		}
+		if _, err := os.Stat(m.basePath(id)); err != nil {
+			continue // no base to anchor a replay: deleted or never durable
+		}
+		patched, err := m.patchSessionLog(id, payloads)
+		if err != nil {
+			return fmt.Errorf("session %q: %w", id, err)
+		}
+		m.journalPatched += patched
+	}
+	if len(recovered) == 0 {
+		return nil
+	}
+	// Every journaled record now lives in a fsynced session log (or was
+	// stale); empty the journal so the next boot starts clean.
+	f, err := os.OpenFile(m.journalPath(), os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := f.Truncate(0); err != nil {
+		return err
+	}
+	m.fsyncs.Add(1)
+	if !m.opts.NoFsync {
+		return f.Sync()
+	}
+	return nil
+}
+
+// patchSessionLog appends the journal payloads that contiguously extend
+// the session's log and fsyncs the result.
+func (m *Manager) patchSessionLog(id string, payloads [][]byte) (int, error) {
+	lg, recs, err := wal.Open(m.walPath(id), m.walOptions())
+	if err != nil {
+		return 0, err
+	}
+	defer lg.Close()
+	var next int
+	if len(recs) > 0 {
+		var last walRecord
+		if err := json.Unmarshal(recs[len(recs)-1], &last); err != nil {
+			return 0, fmt.Errorf("final wal record: %w", err)
+		}
+		next = last.Idx + 1
+	} else {
+		// An empty log anchors at the base snapshot's event count.
+		data, err := os.ReadFile(m.basePath(id))
+		if err != nil {
+			return 0, err
+		}
+		f, err := parseSnapshot(data)
+		if err != nil {
+			return 0, err
+		}
+		next = len(f.Events)
+	}
+	patched := 0
+	for _, p := range payloads {
+		var rec walRecord
+		if err := json.Unmarshal(p, &rec); err != nil {
+			return patched, fmt.Errorf("journal payload: %w", err)
+		}
+		if rec.Idx != next {
+			continue // already in the log, pre-base stale, or a recreated id's leftovers
+		}
+		if err := lg.Append(p); err != nil {
+			return patched, err
+		}
+		next++
+		patched++
+	}
+	if patched == 0 {
+		return 0, nil
+	}
+	return patched, lg.Commit()
 }
 
 // validID restricts session ids to filesystem- and URL-safe names.
@@ -319,8 +528,8 @@ func (m *Manager) shard(id string) *managerShard {
 	return &m.shards[h.Sum32()%managerShards]
 }
 
-// entry looks up the session entry under id and returns it with its
-// lock HELD. A concurrently deleted entry is retried: the id may have
+// entry looks up the session entry under id and claims its op gate. An
+// entry deleted while waiting for the gate is retried: the id may have
 // been recreated under a fresh entry.
 func (m *Manager) entry(id string) (*managedSession, error) {
 	for {
@@ -331,18 +540,19 @@ func (m *Manager) entry(id string) (*managedSession, error) {
 		if !ok {
 			return nil, fmt.Errorf("tune: %w: %q", ErrNotFound, id)
 		}
-		e.mu.Lock()
-		if !e.deleted {
+		if e.acquire() {
 			return e, nil
 		}
-		e.mu.Unlock()
 	}
 }
 
-// withSession runs fn on the hydrated session entry under id with the
-// entry lock held, then evicts whatever the hydration displaced past
-// the residency bound. Victims are processed strictly after the acting
-// entry's lock is released — the evictor never holds two entry locks.
+// withSession runs fn on the hydrated session entry under id holding
+// its op gate — no mutex: same-session requests single-flight behind
+// the gate while hydration replay, candidate scoring and the checkpoint
+// fsync wait proceed without blocking List, Stats, eviction or any
+// other session. Afterwards, whatever the hydration displaced past the
+// residency bound is evicted; the evictor try-acquires, so it never
+// stalls behind a long-running operation.
 func (m *Manager) withSession(id string, fn func(e *managedSession) error) error {
 	e, err := m.entry(id)
 	if err != nil {
@@ -350,7 +560,7 @@ func (m *Manager) withSession(id string, fn func(e *managedSession) error) error
 	}
 	var victims []*managedSession
 	err = func() error {
-		defer e.mu.Unlock()
+		defer e.release()
 		if err := m.hydrateLocked(e); err != nil {
 			return err
 		}
@@ -374,7 +584,8 @@ func (m *Manager) maxResident() int {
 
 // noteResident marks e as the most recently used resident session and
 // pops everything past the residency bound off the LRU tail. Callers
-// hold e.mu; the returned victims must be evicted AFTER releasing it.
+// hold e's op gate; the returned victims must be evicted AFTER
+// releasing it.
 func (m *Manager) noteResident(e *managedSession) []*managedSession {
 	m.lmu.Lock()
 	defer m.lmu.Unlock()
@@ -414,17 +625,23 @@ func (m *Manager) evict(victims []*managedSession) {
 
 func (m *Manager) evictOne(v *managedSession) {
 	v.mu.Lock()
-	defer v.mu.Unlock()
-	if v.deleted || v.s == nil || v.elem != nil {
+	if v.deleted {
+		v.mu.Unlock()
 		return
 	}
-	reinsert := func() {
-		m.lmu.Lock()
-		if v.elem == nil {
-			v.elem = m.lru.PushBack(v)
-			m.resident++
-		}
-		m.lmu.Unlock()
+	if v.busy {
+		v.mu.Unlock()
+		// An operation re-touched the victim after it was popped; its own
+		// noteResident ran before the pop, so nothing re-inserts it — put
+		// it back ourselves rather than leaking a resident session.
+		m.reinsert(v)
+		return
+	}
+	v.busy = true
+	v.mu.Unlock()
+	defer v.release()
+	if v.deleted || v.s == nil || v.elem != nil {
+		return
 	}
 	// Flushing the pending tail is enough: hydration replays base+tail,
 	// so eviction must NOT force a compaction — under LRU churn that
@@ -432,12 +649,32 @@ func (m *Manager) evictOne(v *managedSession) {
 	// the quadratic lifetime I/O the WAL exists to avoid. Compaction
 	// stays on its geometric schedule inside tryPersistLocked.
 	if err := m.tryPersistLocked(v); err != nil {
-		reinsert()
+		m.reinsert(v)
 		return
+	}
+	if m.committer != nil && v.log != nil {
+		// The flushed tail's durability may lean on the shared journal;
+		// an evicted log's handle closes, so settle the debt now — one
+		// fsync — and release the journal's rotation hold on it.
+		if err := v.log.SyncFile(); err != nil {
+			m.reinsert(v)
+			return
+		}
+		m.committer.Forget(v.log.Path())
 	}
 	v.dropLogLocked()
 	v.s = nil
 	m.evictions.Add(1)
+}
+
+// reinsert puts a victim that could not be evicted back on the LRU.
+func (m *Manager) reinsert(v *managedSession) {
+	m.lmu.Lock()
+	if v.elem == nil {
+		v.elem = m.lru.PushBack(v)
+		m.resident++
+	}
+	m.lmu.Unlock()
 }
 
 // persistLocked makes the entry's pending events durable, retrying once
@@ -472,7 +709,9 @@ func (m *Manager) Create(id string, cfg Config) (*Session, error) {
 	if err != nil {
 		return nil, fmt.Errorf("tune: %w: %w", ErrInvalid, err)
 	}
-	e := &managedSession{id: id, s: s, legacy: m.opts.FullSnapshots}
+	// The entry is born holding its own op gate, so concurrent requests
+	// for the id queue behind the initial persist.
+	e := &managedSession{id: id, s: s, legacy: m.opts.FullSnapshots, busy: true}
 	sh := m.shard(id)
 	sh.mu.Lock()
 	if _, ok := sh.sessions[id]; ok {
@@ -482,17 +721,18 @@ func (m *Manager) Create(id string, cfg Config) (*Session, error) {
 	sh.sessions[id] = e
 	sh.mu.Unlock()
 
-	e.mu.Lock()
 	var victims []*managedSession
 	err = func() error {
-		defer e.mu.Unlock()
+		defer e.release()
 		if m.stateDir != "" {
 			if perr := m.tryPersistLocked(e); perr != nil {
 				// Roll the registration back: a session that could not be
 				// made durable must not exist in memory only, or a client
 				// retry hits "already exists" for a session that would
 				// vanish on restart.
+				e.mu.Lock()
 				e.deleted = true
+				e.mu.Unlock()
 				e.dropLogLocked()
 				sh.mu.Lock()
 				if sh.sessions[id] == e {
@@ -523,16 +763,18 @@ func (m *Manager) Get(id string) (*Session, error) {
 	return s, err
 }
 
-// Delete removes the session under id and its durable files. The entry
-// lock is held across the removal, so an in-flight operation's persist
+// Delete removes the session under id and its durable files. The op
+// gate is held across the removal, so an in-flight operation's persist
 // cannot resurrect the files afterwards.
 func (m *Manager) Delete(id string) error {
 	e, err := m.entry(id)
 	if err != nil {
 		return err
 	}
-	defer e.mu.Unlock()
+	defer e.release()
+	e.mu.Lock()
 	e.deleted = true
+	e.mu.Unlock()
 	sh := m.shard(id)
 	sh.mu.Lock()
 	if sh.sessions[id] == e {
@@ -546,6 +788,11 @@ func (m *Manager) Delete(id string) error {
 		m.resident--
 	}
 	m.lmu.Unlock()
+	if m.committer != nil && e.log != nil {
+		// Journal records for a deleted session are moot; release the
+		// rotation hold so the handle's close cannot stall truncation.
+		m.committer.Forget(e.log.Path())
+	}
 	e.dropLogLocked()
 	e.s = nil
 	if m.stateDir != "" {
@@ -597,6 +844,12 @@ func (m *Manager) Stats() ManagerStats {
 	st.CheckpointBytes = m.checkpointBytes.Load()
 	st.DurabilityRetries = m.durabilityRetries.Load()
 	st.SweptTempFiles = m.sweptTemps
+	st.Fsyncs = m.fsyncs.Load()
+	if m.committer != nil {
+		st.GroupCommits = m.committer.Batches()
+		st.DegradedCommits = m.committer.DegradedBatches()
+	}
+	st.JournalPatchedRecords = m.journalPatched
 	return st
 }
 
@@ -651,10 +904,20 @@ func (m *Manager) Rollout(id string) (RolloutStatus, error) {
 	return st, err
 }
 
-// Close flushes and closes every resident session's log. The manager
-// must not be used afterwards.
+// Close flushes and closes every resident session's log. The shared
+// committer shuts down first — its final rotation fsyncs every log the
+// journal still covers and truncates the journal, so a clean shutdown
+// leaves nothing for the next boot's recovery — then each session's log
+// is closed under its op gate. The manager must not be used afterwards
+// (a request racing Close degrades to a per-session fsync and stays
+// durable; it is not lost).
 func (m *Manager) Close() error {
 	var first error
+	if m.committer != nil {
+		if err := m.committer.Close(); err != nil {
+			first = err
+		}
+	}
 	for i := range m.shards {
 		sh := &m.shards[i]
 		sh.mu.RLock()
@@ -664,14 +927,16 @@ func (m *Manager) Close() error {
 		}
 		sh.mu.RUnlock()
 		for _, e := range es {
-			e.mu.Lock()
+			if !e.acquire() {
+				continue // deleted concurrently
+			}
 			if e.log != nil {
 				if err := e.log.Close(); err != nil && first == nil {
 					first = err
 				}
 				e.log = nil
 			}
-			e.mu.Unlock()
+			e.release()
 		}
 	}
 	return first

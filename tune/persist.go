@@ -2,10 +2,12 @@ package tune
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"repro/internal/wal"
 )
@@ -33,6 +35,12 @@ func (m *Manager) walPath(id string) string {
 
 func (m *Manager) legacyPath(id string) string {
 	return filepath.Join(m.stateDir, id+".json")
+}
+
+// walOptions are the Options every session log opens with: the manager
+// fsync policy plus the fleet-wide sync counter.
+func (m *Manager) walOptions() wal.Options {
+	return wal.Options{NoFsync: m.opts.NoFsync, SyncCounter: &m.fsyncs}
 }
 
 // walRecord is the JSON payload of one WAL frame: a single session
@@ -74,13 +82,56 @@ func decodeTail(recs [][]byte, baseEvents int) ([]event, error) {
 	return tail, nil
 }
 
+// walEncoder is pooled scratch for marshaling walRecords: every record
+// of one persist encodes into a single reused buffer, so the hot path
+// allocates nothing for checkpoint framing at steady state. The encoder
+// produces byte-for-byte what json.Marshal would (Encode is Marshal
+// plus a newline, stripped here), keeping WAL contents — and therefore
+// replay — bitwise identical to the unpooled path.
+type walEncoder struct {
+	buf      bytes.Buffer
+	enc      *json.Encoder
+	ends     []int
+	payloads [][]byte
+}
+
+var walEncoders = sync.Pool{New: func() any { return new(walEncoder) }}
+
+// encode marshals one walRecord per event and returns per-record
+// payload views into the shared buffer — valid until the encoder is
+// reused. Offsets are recorded during encoding and sliced only at the
+// end, because the buffer may reallocate as it grows.
+func (w *walEncoder) encode(evs []event, start, iter int, phase string) ([][]byte, error) {
+	if w.enc == nil {
+		w.enc = json.NewEncoder(&w.buf)
+	}
+	w.buf.Reset()
+	w.ends = w.ends[:0]
+	for i, ev := range evs {
+		if err := w.enc.Encode(walRecord{Idx: start + i, Iter: iter, Phase: phase, Event: ev}); err != nil {
+			return nil, err
+		}
+		w.ends = append(w.ends, w.buf.Len())
+	}
+	data := w.buf.Bytes()
+	w.payloads = w.payloads[:0]
+	prev := 0
+	for _, end := range w.ends {
+		w.payloads = append(w.payloads, data[prev:end-1]) // strip Encode's trailing newline
+		prev = end
+	}
+	return w.payloads, nil
+}
+
 // tryPersistLocked makes the session's state durable once (the caller
 // handles retries and ErrDurability wrapping). Normal path: append the
 // events since the persisted cursor to the WAL and group-commit them —
-// O(1) I/O per operation. The full base snapshot is rewritten only on
-// the first write (creation or legacy migration), after a WAL write
-// error (the log is dropped so the next attempt re-bases atomically),
-// or when the tail has grown past the compaction threshold.
+// O(1) I/O per operation, with the fsync itself shared fleet-wide when
+// the manager's committer is on. The full base snapshot is rewritten
+// only on the first write (creation or legacy migration), after a WAL
+// write error (the log is dropped so the next attempt re-bases
+// atomically), or when the tail has grown past the compaction
+// threshold.
 func (m *Manager) tryPersistLocked(e *managedSession) error {
 	if m.stateDir == "" || e.s == nil {
 		return nil
@@ -103,17 +154,19 @@ func (m *Manager) tryPersistLocked(e *managedSession) error {
 	}
 	iter, phase := e.s.Iter(), e.s.RolloutPhase()
 	before := e.log.Size()
-	for i, ev := range evs {
-		data, err := json.Marshal(walRecord{Idx: e.persisted + i, Iter: iter, Phase: phase, Event: ev})
-		if err != nil {
-			return err
-		}
+	wenc := walEncoders.Get().(*walEncoder)
+	defer walEncoders.Put(wenc)
+	payloads, err := wenc.encode(evs, e.persisted, iter, phase)
+	if err != nil {
+		return err
+	}
+	for _, data := range payloads {
 		if err := e.log.Append(data); err != nil {
 			e.dropLogLocked()
 			return err
 		}
 	}
-	if err := e.log.Commit(); err != nil {
+	if err := m.commitTail(e, payloads); err != nil {
 		// The buffered frames may have hit disk partially; appending after
 		// an unknown flush state could tear the middle of the log. Drop
 		// the handle — the retry path rewrites an atomic base instead.
@@ -126,6 +179,29 @@ func (m *Manager) tryPersistLocked(e *managedSession) error {
 		return m.compactLocked(e)
 	}
 	return nil
+}
+
+// commitTail makes the records just appended to e.log durable. Without
+// a committer this is the log's own flush+fsync. With one, the log is
+// flushed to the OS and the payloads enqueue with the shared committer:
+// the wait returns when the journal's batch fsync (or, degraded, this
+// log's own fsync) covers them — same durability contract, ~1/batch the
+// fsyncs. Enqueue copies the payloads before returning, so the pooled
+// encoder backing them can be reused as soon as this returns.
+func (m *Manager) commitTail(e *managedSession, payloads [][]byte) error {
+	if m.committer == nil {
+		return e.log.Commit()
+	}
+	if err := e.log.Flush(); err != nil {
+		return err
+	}
+	wait, err := m.committer.Enqueue(e.id, e.log, payloads)
+	if err != nil {
+		// Committer already shut down (a request racing Close): degrade
+		// to a per-session fsync rather than failing the operation.
+		return e.log.Commit()
+	}
+	return wait()
 }
 
 // compactThreshold is the tail length that triggers folding the log
@@ -161,7 +237,7 @@ func (m *Manager) compactLocked(e *managedSession) error {
 	}
 	m.checkpointBytes.Add(int64(len(data)))
 	if e.log == nil {
-		lg, _, err := wal.Open(m.walPath(e.id), wal.Options{NoFsync: m.opts.NoFsync})
+		lg, _, err := wal.Open(m.walPath(e.id), m.walOptions())
 		if err != nil {
 			return err
 		}
@@ -170,6 +246,11 @@ func (m *Manager) compactLocked(e *managedSession) error {
 	if err := e.log.Reset(); err != nil {
 		e.dropLogLocked()
 		return err
+	}
+	if m.committer != nil {
+		// The fsynced base now supersedes every journal record for this
+		// session: release the rotation hold on its log.
+		m.committer.Forget(e.log.Path())
 	}
 	e.baseEvents = e.s.EventCount()
 	e.persisted = e.baseEvents
@@ -220,6 +301,7 @@ func (m *Manager) writeAtomic(path, id string, data []byte) error {
 		cleanup()
 		return err
 	}
+	m.fsyncs.Add(1) // logical sync point, counted even under NoFsync
 	if !m.opts.NoFsync {
 		if err := tmp.Sync(); err != nil {
 			cleanup()
@@ -266,7 +348,7 @@ func (m *Manager) hydrateLocked(e *managedSession) error {
 	if err != nil {
 		return fmt.Errorf("tune: restoring session %q: %w", e.id, err)
 	}
-	lg, recs, err := wal.Open(m.walPath(e.id), wal.Options{NoFsync: m.opts.NoFsync})
+	lg, recs, err := wal.Open(m.walPath(e.id), m.walOptions())
 	if err != nil {
 		return fmt.Errorf("tune: opening wal for session %q: %w", e.id, err)
 	}

@@ -36,6 +36,9 @@ func NewServer(m *Manager) http.Handler {
 			"hydrated":         st.Hydrated,
 			"evicted":          st.Evicted,
 			"checkpoint_bytes": st.CheckpointBytes,
+			"fsyncs":           st.Fsyncs,
+			"group_commits":    st.GroupCommits,
+			"degraded_commits": st.DegradedCommits,
 		})
 	})
 
@@ -174,6 +177,15 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v)
 }
 
+// durabilityRetryAfter is the backoff hint on 503 responses. A
+// durability failure needs operator attention (disk full, I/O errors) —
+// a few seconds keeps honest clients from hammering a degraded store
+// while staying short enough that recovery is noticed quickly.
+const durabilityRetryAfter = "5"
+
 func writeError(w http.ResponseWriter, status int, err error) {
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", durabilityRetryAfter)
+	}
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
