@@ -186,6 +186,10 @@ func main() {
 	}
 	fmt.Printf("  server: %d sessions (%d hydrated, %d evicted), %d checkpoint bytes, %d fsyncs (%d group commits) this run\n",
 		health.Sessions, health.Hydrated, health.Evicted, health.CheckpointBytes, health.Fsyncs, health.GroupCommits)
+	if health.KnowledgeContributions > 0 || health.KnowledgeEntries > 0 {
+		fmt.Printf("  knowledge: %d entries, %d contributions, %d warm starts, %d bytes\n",
+			health.KnowledgeEntries, health.KnowledgeContributions, health.KnowledgeWarmStarts, health.KnowledgeBytes)
+	}
 	if *latencyJSON != "" {
 		res := runResult{
 			Sessions:        *sessions,
@@ -210,15 +214,20 @@ func main() {
 	}
 }
 
-// healthCounters mirrors the /healthz fields loadgen consumes.
+// healthCounters mirrors the /healthz fields loadgen consumes. The
+// knowledge_* fields are present only when the server runs -knowledge.
 type healthCounters struct {
-	Sessions        int   `json:"sessions"`
-	Hydrated        int   `json:"hydrated"`
-	Evicted         int   `json:"evicted"`
-	CheckpointBytes int64 `json:"checkpoint_bytes"`
-	Fsyncs          int64 `json:"fsyncs"`
-	GroupCommits    int64 `json:"group_commits"`
-	DegradedCommits int64 `json:"degraded_commits"`
+	Sessions               int   `json:"sessions"`
+	Hydrated               int   `json:"hydrated"`
+	Evicted                int   `json:"evicted"`
+	CheckpointBytes        int64 `json:"checkpoint_bytes"`
+	Fsyncs                 int64 `json:"fsyncs"`
+	GroupCommits           int64 `json:"group_commits"`
+	DegradedCommits        int64 `json:"degraded_commits"`
+	KnowledgeEntries       int64 `json:"knowledge_entries,omitempty"`
+	KnowledgeContributions int64 `json:"knowledge_contributions,omitempty"`
+	KnowledgeWarmStarts    int64 `json:"knowledge_warm_starts,omitempty"`
+	KnowledgeBytes         int64 `json:"knowledge_bytes,omitempty"`
 }
 
 // runResult is the -latency-json document: everything CI and ext7 need

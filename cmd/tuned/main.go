@@ -46,6 +46,7 @@ func main() {
 	noFsync := flag.Bool("no-fsync", false, "skip fsyncs on checkpoint writes (benchmarks only: a power failure may lose committed intervals)")
 	commitInterval := flag.Duration("commit-interval", 0, "cross-session group-commit batch window (e.g. 2ms); 0 fsyncs each session's log per operation")
 	commitBatch := flag.Int("commit-batch", 0, "operations that force a group-commit batch before the window elapses (0 = default)")
+	knowledgeFlag := flag.Bool("knowledge", false, "enable the fleet knowledge base: sessions share safe configurations and GP hyperparameters for cross-session warm-starting")
 	pprofFlag := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ for hot-path profiling")
 	flag.Parse()
 
@@ -54,6 +55,7 @@ func main() {
 		NoFsync:        *noFsync,
 		CommitInterval: *commitInterval,
 		CommitBatch:    *commitBatch,
+		Knowledge:      *knowledgeFlag,
 	})
 	if err != nil {
 		// A missing directory is created; reaching here means the path
@@ -71,6 +73,10 @@ func main() {
 		if *commitInterval != 0 {
 			log.Printf("tuned: cross-session group commit on (window %s)", commitWindow(*commitInterval))
 		}
+	}
+	if st, ok := m.KnowledgeStats(); ok {
+		log.Printf("tuned: fleet knowledge base on: %d entr(ies) across %d cluster(s), %d lifetime contribution(s)",
+			st.Entries, st.Clusters, st.Contributions)
 	}
 	handler := tune.NewServer(m)
 	if *pprofFlag {

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"repro/internal/knowledge"
+	"repro/internal/mathx"
+	"repro/internal/whitebox"
+)
+
+// Knowledge is the tuner's hook into a fleet knowledge base. The tuner
+// queries it when a cluster model is cold (and again after a drift
+// rollback) and contributes every safe observation and canary promotion.
+// Implementations stamp the engine and space identity; the tuner only
+// supplies the context. Calls happen under the tuner mutex and must not
+// call back into the tuner.
+//
+// Transferred configurations are advisory, never trusted blindly: they
+// enter the regular candidate pool where safety.Assess and the white-box
+// rules judge them like any locally generated candidate, and the only
+// path by which one can reach the primary ahead of an assessed round is
+// the staged canary rollout, which measures it on the shadow replica
+// first.
+type Knowledge interface {
+	Query(ctx []float64) *knowledge.Advice
+	Contribute(ctx []float64, cfg knowledge.SafeConfig, hyper []float64)
+}
+
+// applyAdvice folds fleet advice into a cluster model: transferred
+// configurations join the model's pending-transfer pool (quantized,
+// dimension-checked, already-evaluated ones dropped), and on a cold
+// model the fleet-median GP hyperparameters seed the kernel and the
+// best transferred configuration becomes the subspace warm center.
+// Consumes no randomness, so replayed sessions stay deterministic.
+func (o *OnlineTune) applyAdvice(m *model, adv *knowledge.Advice, cold bool) {
+	for _, sc := range adv.Configs {
+		if len(sc.Unit) != o.Space.Dim() {
+			continue
+		}
+		u := o.Space.Quantize(mathx.VecClone(sc.Unit))
+		if m.evaluated[key(u)] {
+			continue
+		}
+		dup := false
+		for _, t := range m.transfer {
+			if key(t) == key(u) {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		m.transfer = append(m.transfer, u)
+		if cold && (m.warmCenter == nil || m.evaluated[key(m.warmCenter)]) {
+			// Advice configs arrive best-first (promoted, then score). A
+			// warm center the model has since measured (e.g. one picked by
+			// the contextless first query and rolled back) yields to a
+			// fresh transfer.
+			m.warmCenter = mathx.VecClone(u)
+		}
+	}
+	if len(adv.Hyper) > 0 && !m.hyperTuned {
+		// Fleet-median hyperparameters replace the generic priors until
+		// the model optimizes its own — a model that already ran
+		// hyperopt keeps what it fit.
+		_ = m.gp.SetHyperparams(adv.Hyper)
+	}
+}
+
+// warmQueryMaxObs bounds how late a cluster model may still fire its
+// fleet warm-start query: with more observations than this, local data
+// outweighs anything a transfer could seed.
+const warmQueryMaxObs = 3
+
+// warmApply returns the best not-yet-evaluated transferred configuration
+// to propose (the warm center first, then the pending pool in arrival
+// order), or nil to stay at the model's own best. A transfer is only
+// proposed when the canary rollout is enabled — finishRecommend then
+// stages it on the shadow replica, so the primary cannot run it before a
+// clean comparison window — and when the white-box rules accept it under
+// the current environment. Transfers the model has already measured
+// (promoted or rolled back) are never re-proposed.
+func (o *OnlineTune) warmApply(m *model, env whitebox.Env) []float64 {
+	if o.roll == nil {
+		return nil
+	}
+	admissible := func(u []float64) bool {
+		if u == nil || m.evaluated[key(u)] {
+			return false
+		}
+		if o.Opts.UseSafety && o.Opts.UseWhiteBox {
+			if v := o.White.Check(o.Space.Decode(u), env); !v.OK {
+				return false
+			}
+		}
+		return true
+	}
+	if admissible(m.warmCenter) {
+		return mathx.VecClone(m.warmCenter)
+	}
+	for _, t := range m.transfer {
+		if admissible(t) {
+			return mathx.VecClone(t)
+		}
+	}
+	return nil
+}
+
+// appendTransfers injects the model's pending transferred configurations
+// into an assessed candidate round. Transfers the model has since
+// evaluated are retired; the rest ride along through safety.Assess and
+// the white-box rules exactly like locally sampled candidates.
+func (o *OnlineTune) appendTransfers(m *model, candidates [][]float64) [][]float64 {
+	if len(m.transfer) == 0 {
+		return candidates
+	}
+	kept := m.transfer[:0]
+	for _, t := range m.transfer {
+		if m.evaluated[key(t)] {
+			continue
+		}
+		kept = append(kept, t)
+		candidates = append(candidates, mathx.VecClone(t))
+	}
+	m.transfer = kept
+	return candidates
+}
+
+// contribute reports a safe observation (or a promotion) to the fleet
+// store, attaching the model's GP hyperparameters once the model has
+// actually optimized them — prior hyperparameters carry no fleet signal.
+func (o *OnlineTune) contribute(m *model, ctx, unit []float64, perf, tau float64, promoted bool) {
+	if o.Opts.Knowledge == nil {
+		return
+	}
+	var hyper []float64
+	if m.hyperTuned {
+		hyper = m.gp.Hyperparams()
+	}
+	o.Opts.Knowledge.Contribute(ctx, knowledge.SafeConfig{
+		Unit: mathx.VecClone(unit), Perf: perf, Tau: tau, Promoted: promoted,
+	}, hyper)
+}

@@ -70,6 +70,15 @@ type Options struct {
 	// value keeps direct apply — the pre-rollout behavior and the ext5
 	// ablation switch.
 	Rollout rollout.Policy
+
+	// RepoCap bounds the data repository's resident observations
+	// (oldest evicted first); 0 keeps it unbounded.
+	RepoCap int
+
+	// Knowledge connects the tuner to a fleet knowledge base for
+	// cross-session transfer (nil = isolated session). Excluded from
+	// serialized snapshots; the owner re-injects it on restore.
+	Knowledge Knowledge `json:"-"`
 }
 
 // DefaultOptions mirrors the paper's settings.
@@ -89,6 +98,7 @@ func DefaultOptions() Options {
 		UseClustering:  true,
 		UseSafety:      true,
 		HyperoptEvery:  25,
+		RepoCap:        4096,
 	}
 }
 
@@ -107,6 +117,15 @@ type model struct {
 	// coolDown > 0 forces conservative fallback recommendations after an
 	// unsafe evaluation (the paper's immediate tightening reaction).
 	coolDown int
+
+	// Fleet-transfer state: transfer holds advised configurations not
+	// yet evaluated locally (injected into assessed candidate rounds),
+	// warmCenter centers the subspace until a measured incumbent exists,
+	// and hyperTuned marks that this model has optimized its own GP
+	// hyperparameters (the gate for contributing them to the fleet).
+	transfer   [][]float64
+	warmCenter []float64
+	hyperTuned bool
 }
 
 // Recommendation describes one recommended configuration and the
@@ -167,6 +186,12 @@ type OnlineTune struct {
 	rng        *rand.Rand
 	seed       int64
 
+	// reseed is armed by a steady-phase drift rollback: the next
+	// Recommend re-queries the fleet store so a workload that drifted
+	// away from the promoted configuration can pick up transfers from
+	// sessions that already tuned the new regime.
+	reseed bool
+
 	// reclusterIdx caches pairwise context distances across re-cluster
 	// checks; contexts are append-only, so each check only computes the
 	// rows for contexts observed since the previous one. Kept resident
@@ -190,7 +215,7 @@ func New(space *knobs.Space, ctxDim int, initialSafe []float64, seed int64, opts
 		Space:        space,
 		Opts:         opts,
 		White:        whitebox.NewEngineFor(space.Engine),
-		Repo:         repo.New(),
+		Repo:         repo.NewBounded(opts.RepoCap),
 		ctxDim:       ctxDim,
 		rng:          rand.New(rand.NewSource(seed)),
 		seed:         seed,
@@ -302,10 +327,47 @@ func (o *OnlineTune) Recommend(ctx []float64, env whitebox.Env, tau float64) Rec
 		return rec
 	}
 
-	// Cold model: stay at the initial safety set.
+	// Drift rollback re-seed: refresh the transfer pool from the fleet
+	// store (hyperparameters and incumbent are left alone — the model's
+	// own data stays authoritative). Runs before the cold branch so the
+	// flag cannot linger; consumes no randomness.
+	if o.reseed {
+		o.reseed = false
+		if o.Opts.Knowledge != nil {
+			if adv := o.Opts.Knowledge.Query(ctx); adv != nil {
+				o.applyAdvice(m, adv, false)
+			}
+		}
+	}
+
+	// Fleet warm-start query: while the cluster model is young, keep
+	// syncing with the fleet store. Re-querying matters because the very
+	// first propose runs before any observation — its featurized context
+	// carries no workload signal and can match a cluster arbitrarily —
+	// whereas the next few proposes carry real contexts; applyAdvice
+	// dedups, so repeat hits are cheap, and a degenerate early warm
+	// center is superseded once it has been evaluated.
+	if o.Opts.Knowledge != nil && m.gp.Len() <= warmQueryMaxObs {
+		if adv := o.Opts.Knowledge.Query(ctx); adv != nil {
+			o.applyAdvice(m, adv, math.IsInf(m.bestPerf, -1))
+		}
+	}
+
+	// Cold model: stay at the initial safety set — unless the fleet
+	// store knows this context, in which case the best transferred
+	// configuration is proposed instead. finishRecommend stages it on
+	// the canary shadow (warmApply requires the rollout), so the primary
+	// keeps the initial safe configuration until the comparison window
+	// clears the transfer.
 	if m.gp.Len() == 0 {
-		u := mathx.VecClone(o.bestCenter(m))
-		rec := Recommendation{Unit: u, Config: o.Space.Decode(u), Fallback: true, ModelIndex: mi, RegionKind: "init"}
+		kind := "init"
+		u := o.warmApply(m, env)
+		if u != nil {
+			kind = "warm"
+		} else {
+			u = mathx.VecClone(o.bestCenter(m))
+		}
+		rec := Recommendation{Unit: u, Config: o.Space.Decode(u), Fallback: true, ModelIndex: mi, RegionKind: kind}
 		return o.finishRecommend(rec)
 	}
 
@@ -338,7 +400,7 @@ func (o *OnlineTune) Recommend(ctx []float64, env whitebox.Env, tau float64) Rec
 		if region != nil {
 			noUneval = o.unevaluatedSafeExhausted(m, ctx, region, tau+o.Opts.SafetyMargin*math.Abs(tau))
 		}
-		region = m.adapter.Adapt(o.bestCenter(m), noUneval)
+		region = m.adapter.Adapt(o.regionCenter(m), noUneval)
 		candidates = region.Candidates(o.Opts.Candidates, o.rng)
 		if region.Kind == subspace.Hypercube {
 			regionKind = "hypercube"
@@ -351,6 +413,8 @@ func (o *OnlineTune) Recommend(ctx []float64, env whitebox.Env, tau float64) Rec
 	for i := range candidates {
 		candidates[i] = o.Space.Quantize(candidates[i])
 	}
+	// Fleet transfers ride the same assessment as local candidates.
+	candidates = o.appendTransfers(m, candidates)
 	o.times.SubspaceAdapt += time.Since(t0)
 
 	// ④ Safety assessment: black box...
@@ -386,10 +450,19 @@ func (o *OnlineTune) Recommend(ctx []float64, env whitebox.Env, tau float64) Rec
 	}
 	rec := Recommendation{ModelIndex: mi, SafetySetSize: assess.NumSafe, Boundary: boundary, RegionKind: regionKind, WhiteBoxVetoes: vetoes}
 	if pick < 0 {
-		// Empty safe set: conservative fallback to the best known
-		// configuration (the paper's "recommend conservative
+		// Empty safe set: stage the best pending fleet transfer on the
+		// canary shadow when one is available — the model has nothing of
+		// its own to propose, and the shadow measurement is exactly how
+		// an unvalidated transfer earns (or loses) trust without ever
+		// touching the primary. Otherwise conservative fallback to the
+		// best known configuration (the paper's "recommend conservative
 		// configurations near the evaluated-best ones").
-		rec.Unit = mathx.VecClone(o.bestCenter(m))
+		if u := o.warmApply(m, env); u != nil {
+			rec.Unit = u
+			rec.RegionKind = "warm"
+		} else {
+			rec.Unit = mathx.VecClone(o.bestCenter(m))
+		}
 		rec.Fallback = true
 	} else {
 		rec.Unit = mathx.VecClone(assess.Candidates[pick])
@@ -434,6 +507,18 @@ func (o *OnlineTune) bestCenter(m *model) []float64 {
 		return o.initialUnit
 	}
 	return m.bestUnit
+}
+
+// regionCenter is the subspace anchor: the measured incumbent when one
+// exists, else the best transferred configuration from the fleet store
+// (warm-starting exploration near a region other sessions found good),
+// else the initial safe configuration. Only the region center — what is
+// *applied* still goes through bestCenter and the assessed candidates.
+func (o *OnlineTune) regionCenter(m *model) []float64 {
+	if math.IsInf(m.bestPerf, -1) && m.warmCenter != nil {
+		return m.warmCenter
+	}
+	return o.bestCenter(m)
 }
 
 // contextNovel reports whether ctx is far from every context the model
@@ -591,7 +676,11 @@ func (o *OnlineTune) ObservePair(iter int, ctx []float64, primaryPerf, shadowPer
 	}
 	cand := mathx.VecClone(o.roll.Candidate())
 	o.observeLocked(iter, ctx, cand, shadowPerf, tau, shadowFailed, true)
-	o.roll.ObservePair(iter, primaryPerf, shadowPerf, tau, primaryFailed, shadowFailed)
+	if ev := o.roll.ObservePair(iter, primaryPerf, shadowPerf, tau, primaryFailed, shadowFailed); ev == rollout.EventPromote {
+		// A promotion is the strongest fleet signal: the candidate beat
+		// the incumbent over a full comparison window.
+		o.contribute(o.models[o.selectModel(ctx)], ctx, cand, shadowPerf, tau, true)
+	}
 }
 
 // RolloutPhase returns the rollout phase alone — PhaseDirect when the
@@ -635,7 +724,12 @@ func (o *OnlineTune) observeLocked(iter int, ctx, unit []float64, perf, tau floa
 	// last-good, e.g. the pre-promotion config still serving in the
 	// one-interval gap after a promote.)
 	if o.roll != nil {
-		o.roll.ObserveSteady(iter, unit, perf, tau, failed)
+		if ev := o.roll.ObserveSteady(iter, unit, perf, tau, failed); ev == rollout.EventRollback {
+			// The promoted configuration decayed under drift: arm a fleet
+			// re-query so the next Recommend can pick up transfers from
+			// sessions that already tuned the drifted regime.
+			o.reseed = o.Opts.Knowledge != nil
+		}
 	}
 	mi := o.selectModel(ctx)
 	m := o.models[mi]
@@ -652,6 +746,7 @@ func (o *OnlineTune) observeLocked(iter int, ctx, unit []float64, perf, tau floa
 	m.obsCount++
 	if o.Opts.HyperoptEvery > 0 && m.obsCount%o.Opts.HyperoptEvery == 0 {
 		m.gp.OptimizeHyperparams(60)
+		m.hyperTuned = true
 	}
 
 	// Subspace success/failure accounting.
@@ -678,11 +773,21 @@ func (o *OnlineTune) observeLocked(iter int, ctx, unit []float64, perf, tau floa
 		o.pendingRule = nil
 	}
 
-	// Data repository + clustering bookkeeping.
-	o.Repo.Add(repo.Observation{
+	// Fleet contribution: every safe measurement becomes transferable
+	// knowledge (promotions are contributed separately by ObservePair).
+	if safe {
+		o.contribute(m, ctx, unit, perf, tau, false)
+	}
+
+	// Data repository + clustering bookkeeping. An eviction from the
+	// bounded repository shifts every resident observation down one, so
+	// the label ledger shifts with it.
+	if ev := o.Repo.Add(repo.Observation{
 		Iter: iter, Context: mathx.VecClone(ctx), Unit: mathx.VecClone(unit),
 		Perf: perf, Tau: tau, Safe: safe, Failed: failed,
-	})
+	}); ev > 0 {
+		o.labels = append(o.labels[:0], o.labels[ev:]...)
+	}
 	o.labels = append(o.labels, mi)
 	if o.Opts.UseClustering {
 		o.maybeRecluster()
@@ -717,13 +822,17 @@ func (o *OnlineTune) appendCapped(m *model, unit, ctx []float64, perf float64) {
 // and noise assignment all reuse cached distances instead of rebuilding
 // the O(n²) pairwise work from scratch each period.
 func (o *OnlineTune) maybeRecluster() {
-	n := o.Repo.Len()
+	st := o.Repo.Stats()
+	// The schedule runs on lifetime observations so a bounded repository
+	// (whose resident count pins at the cap) keeps re-clustering.
+	n := int(st.Added)
 	if n < o.Opts.MinRecluster || n%o.Opts.ReclusterEvery != 0 {
 		return
 	}
 	ctxs := o.Repo.Contexts()
 	m := o.reclusterIdx
-	if len(ctxs) <= reclusterMatrixCap {
+	if st.Evicted == 0 && len(ctxs) <= reclusterMatrixCap {
+		// Extend assumes append-only contexts, which eviction breaks.
 		m.Extend(ctxs)
 	} else {
 		// Beyond the cap a resident matrix would hold O(n²/2) floats for

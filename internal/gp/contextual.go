@@ -130,6 +130,12 @@ func (c *ContextualGP) Sigma(config, ctx []float64) float64 {
 // OptimizeHyperparams delegates to the underlying GP.
 func (c *ContextualGP) OptimizeHyperparams(maxEvals int) { c.gp.OptimizeHyperparams(maxEvals) }
 
+// Hyperparams delegates to the underlying GP.
+func (c *ContextualGP) Hyperparams() []float64 { return c.gp.Hyperparams() }
+
+// SetHyperparams delegates to the underlying GP.
+func (c *ContextualGP) SetHyperparams(p []float64) error { return c.gp.SetHyperparams(p) }
+
 // LogMarginalLikelihood delegates to the underlying GP.
 func (c *ContextualGP) LogMarginalLikelihood() float64 { return c.gp.LogMarginalLikelihood() }
 

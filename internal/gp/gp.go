@@ -2,6 +2,7 @@ package gp
 
 import (
 	"errors"
+	"fmt"
 	"math"
 
 	"repro/internal/mathx"
@@ -277,6 +278,41 @@ func (g *GP) LogMarginalLikelihood() float64 {
 	return -0.5*mathx.Dot(g.y, g.alpha) -
 		0.5*mathx.LogDetFromCholesky(g.chol) -
 		0.5*n*math.Log(2*math.Pi)
+}
+
+// Hyperparams returns the model's hyperparameters in a flat log-space
+// vector: the kernel parameters followed by log noise variance. The
+// layout matches OptimizeHyperparams' search space, so a vector from one
+// model can seed another with the same kernel shape.
+func (g *GP) Hyperparams() []float64 {
+	return append(g.Kern.Params(), math.Log(g.Noise))
+}
+
+// SetHyperparams installs a hyperparameter vector in the Hyperparams
+// layout and refits any existing data. Vectors of the wrong length or
+// with non-finite entries are rejected.
+func (g *GP) SetHyperparams(p []float64) error {
+	cur := g.Hyperparams()
+	if len(p) != len(cur) {
+		return fmt.Errorf("gp: hyperparam length %d, want %d", len(p), len(cur))
+	}
+	for _, v := range p {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("gp: non-finite hyperparam %v", v)
+		}
+	}
+	g.Kern.SetParams(p[:len(p)-1])
+	g.Noise = math.Exp(p[len(p)-1])
+	if len(g.x) > 0 {
+		if err := g.refit(); err != nil {
+			// Roll back so a bad transfer cannot brick a fitted model.
+			g.Kern.SetParams(cur[:len(cur)-1])
+			g.Noise = math.Exp(cur[len(cur)-1])
+			_ = g.refit()
+			return fmt.Errorf("gp: refit with transferred hyperparams: %w", err)
+		}
+	}
+	return nil
 }
 
 // OptimizeHyperparams maximizes the log marginal likelihood over the

@@ -22,20 +22,61 @@ type Observation struct {
 	Failed  bool      `json:"failed"`
 }
 
-// Repo stores observations. Safe for concurrent use.
+// Repo stores observations. Safe for concurrent use. A positive cap
+// bounds memory: once full, Add evicts the oldest observations first.
 type Repo struct {
-	mu  sync.RWMutex
-	obs []Observation
+	mu      sync.RWMutex
+	obs     []Observation
+	cap     int // 0 = unbounded
+	added   int64
+	evicted int64
 }
 
-// New returns an empty repository.
+// Stats reports lifetime counters alongside the current size.
+type Stats struct {
+	Len     int   `json:"len"`
+	Cap     int   `json:"cap"`
+	Added   int64 `json:"added"`
+	Evicted int64 `json:"evicted"`
+}
+
+// New returns an empty unbounded repository.
 func New() *Repo { return &Repo{} }
 
-// Add appends one observation.
-func (r *Repo) Add(o Observation) {
+// NewBounded returns an empty repository holding at most cap
+// observations; cap <= 0 means unbounded.
+func NewBounded(cap int) *Repo {
+	if cap < 0 {
+		cap = 0
+	}
+	return &Repo{cap: cap}
+}
+
+// Add appends one observation, evicting the oldest if the repository is
+// at capacity. It returns how many observations were evicted (0 or 1)
+// so callers keeping parallel per-observation state can trim it.
+func (r *Repo) Add(o Observation) int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.added++
+	ev := 0
+	if r.cap > 0 && len(r.obs) >= r.cap {
+		// Shift in place: the slice never grows past cap, so the copy
+		// is bounded and the backing array is reused.
+		n := copy(r.obs, r.obs[1:])
+		r.obs = r.obs[:n]
+		ev = 1
+		r.evicted++
+	}
 	r.obs = append(r.obs, o)
+	return ev
+}
+
+// Stats returns the repository's size and lifetime counters.
+func (r *Repo) Stats() Stats {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return Stats{Len: len(r.obs), Cap: r.cap, Added: r.added, Evicted: r.evicted}
 }
 
 // Len returns the number of stored observations.

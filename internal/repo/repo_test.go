@@ -81,6 +81,40 @@ func TestLoadMissingFile(t *testing.T) {
 	}
 }
 
+func TestBoundedEvictsOldestFirst(t *testing.T) {
+	r := NewBounded(3)
+	for i := 0; i < 5; i++ {
+		ev := r.Add(Observation{Iter: i})
+		if want := i >= 3; (ev == 1) != want {
+			t.Fatalf("Add #%d evicted %d", i, ev)
+		}
+	}
+	all := r.All()
+	if len(all) != 3 || all[0].Iter != 2 || all[2].Iter != 4 {
+		t.Fatalf("want iters [2 3 4], got %+v", all)
+	}
+	st := r.Stats()
+	if st.Len != 3 || st.Cap != 3 || st.Added != 5 || st.Evicted != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// All still copies under a bounded repo.
+	all[0].Perf = 99
+	if r.All()[0].Perf != 0 {
+		t.Fatal("All aliases internal storage")
+	}
+}
+
+func TestUnboundedStats(t *testing.T) {
+	r := New()
+	r.Add(Observation{})
+	if st := r.Stats(); st.Cap != 0 || st.Evicted != 0 || st.Added != 1 || st.Len != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if NewBounded(-5).Stats().Cap != 0 {
+		t.Fatal("negative cap should mean unbounded")
+	}
+}
+
 func TestConcurrentAccess(t *testing.T) {
 	r := New()
 	var wg sync.WaitGroup

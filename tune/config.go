@@ -76,6 +76,22 @@ type Config struct {
 	// Hardware overrides the instance description the white-box rules
 	// reason about; defaults to the paper's 8 vCPU / 16 GB instance.
 	Hardware *Hardware `json:"hardware,omitempty"`
+	// Knowledge opts the session into the fleet knowledge base: its
+	// tuner queries for warm-start advice when cold (and after a drift
+	// rollback) and contributes every safe observation and canary
+	// promotion. The Manager sets it on sessions it creates while its own
+	// knowledge base is enabled; it round-trips through snapshots so a
+	// restored session replays its logged advice even with no store
+	// attached.
+	Knowledge bool `json:"knowledge,omitempty"`
+
+	// fleet is the Manager-owned store backing the session's knowledge
+	// adapter; nil outside a knowledge-enabled Manager (queries miss,
+	// contributions drop, replay still works from the event log).
+	fleet *fleetKnowledge
+	// know is the session's adapter, built by NewSession when Knowledge
+	// is set; options() hands it to the core tuner.
+	know *knowAdapter
 }
 
 // Spaces lists the knob-space names Config.Space accepts.
@@ -139,6 +155,9 @@ func (c Config) options() core.Options {
 			Window:              c.Rollout.Window,
 			RegressionThreshold: c.Rollout.RegressionThreshold,
 		}
+	}
+	if c.know != nil {
+		opts.Knowledge = c.know
 	}
 	return opts
 }

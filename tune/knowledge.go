@@ -1,0 +1,327 @@
+package tune
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/knowledge"
+	"repro/internal/wal"
+)
+
+// knowledgeEvent is the logged payload of one fleet-knowledge query: the
+// advice the store returned at that point in the session's history (nil
+// records a miss). Replay feeds the logged advice back to the tuner
+// instead of re-querying the live store — the store evolves as other
+// sessions contribute, so only the log can reproduce what THIS session
+// saw, keeping restored sessions bitwise-identical to uninterrupted
+// ones.
+type knowledgeEvent struct {
+	Advice *knowledge.Advice `json:"advice,omitempty"`
+}
+
+// knowAdapter connects one session's tuner to the fleet knowledge base.
+// It stamps the session's (engine, space) identity onto queries and
+// contributions, and logs every query result into the session's event
+// log so replay is self-sufficient (a snapshot restores without any
+// store attached). It is called from the tuner under the session mutex,
+// on the session's own goroutine — it must not take s.mu itself.
+type knowAdapter struct {
+	fleet  *fleetKnowledge // nil: every query misses, contributions drop
+	engine string
+	space  string
+	sess   *Session
+
+	// replaying routes queries to the logged-advice queue and suppresses
+	// contributions (the fleet store already absorbed them live).
+	replaying bool
+	queue     []*knowledge.Advice
+}
+
+// Query implements core.Knowledge. Live: ask the fleet store and log the
+// result. Replay: pop the next logged result and regenerate its event,
+// which the restore cursor then verifies against the log.
+func (k *knowAdapter) Query(ctx []float64) *knowledge.Advice {
+	var adv *knowledge.Advice
+	if k.replaying {
+		if len(k.queue) > 0 {
+			adv = k.queue[0]
+			k.queue = k.queue[1:]
+		}
+	} else if k.fleet != nil {
+		adv = k.fleet.Query(k.engine, k.space, ctx)
+	}
+	k.sess.events = append(k.sess.events, event{Kind: eventKnowledge, Knowledge: &knowledgeEvent{Advice: adv}})
+	return adv
+}
+
+// Contribute implements core.Knowledge: deposit one safe observation or
+// promotion into the fleet store. Suppressed during replay — the store's
+// own durability already holds everything contributed live.
+func (k *knowAdapter) Contribute(ctx []float64, cfg knowledge.SafeConfig, hyper []float64) {
+	if k.replaying || k.fleet == nil {
+		return
+	}
+	k.fleet.Contribute(knowledge.Contribution{
+		Engine:  k.engine,
+		Space:   k.space,
+		Context: append([]float64(nil), ctx...),
+		Config:  cfg,
+		Hyper:   hyper,
+	})
+}
+
+// beginReplay arms the adapter with the logged advice sequence before
+// the event log replays; endReplay disarms it. A count mismatch between
+// replayed queries and logged advice surfaces through the restore
+// cursor, not here.
+func (k *knowAdapter) beginReplay(queue []*knowledge.Advice) {
+	k.replaying = true
+	k.queue = queue
+}
+
+func (k *knowAdapter) endReplay() {
+	k.replaying = false
+	k.queue = nil
+}
+
+// knowledgeQueue extracts the logged advice sequence (including misses)
+// from stretches of the event log, in query order.
+func knowledgeQueue(stretches ...[]event) []*knowledge.Advice {
+	var q []*knowledge.Advice
+	for _, evs := range stretches {
+		for _, ev := range evs {
+			if ev.Kind != eventKnowledge {
+				continue
+			}
+			var adv *knowledge.Advice
+			if ev.Knowledge != nil {
+				adv = ev.Knowledge.Advice
+			}
+			q = append(q, adv)
+		}
+	}
+	return q
+}
+
+// On-disk layout of the durable fleet knowledge base under the
+// Manager's state directory:
+//
+//	fleet.knowledge      base snapshot (knowledge.Snapshot JSON, written
+//	                     atomically)
+//	fleet.knowledge-wal  append-only tail: one contribution per record
+//	                     since the base was compacted
+//
+// Neither name matches a session-file suffix (".base.json", ".wal",
+// ".json"), so the boot scan never mistakes them for a session. Recovery
+// restores the base and replays the tail's contributions; each record
+// carries the store's lifetime contribution count, so records already
+// folded into the base (a crash between the base rename and the log
+// reset) are skipped instead of double-counted. A torn final record —
+// the mid-contribution crash — is dropped by the WAL's own tail
+// truncation, losing at most that one advisory deposit.
+const (
+	knowledgeBaseFile = "fleet.knowledge"
+	knowledgeWALFile  = "fleet.knowledge-wal"
+	// knowledgeCompactMin is the WAL tail length that triggers folding it
+	// into a fresh base. The store's caps bound the base snapshot, so a
+	// fixed threshold bounds both per-contribution amortized I/O and boot
+	// replay length.
+	knowledgeCompactMin = 256
+)
+
+func (m *Manager) knowledgeBasePath() string {
+	return filepath.Join(m.stateDir, knowledgeBaseFile)
+}
+
+func (m *Manager) knowledgeWALPath() string {
+	return filepath.Join(m.stateDir, knowledgeWALFile)
+}
+
+// knowRecord frames one contribution in the knowledge WAL. Seq is the
+// store's lifetime contribution count after applying it; recovery skips
+// records with Seq at or below the base snapshot's count.
+type knowRecord struct {
+	Seq int64                  `json:"seq"`
+	C   knowledge.Contribution `json:"c"`
+}
+
+// fleetKnowledge is the Manager-owned fleet knowledge base: one shared
+// knowledge.Store plus base+WAL durability riding the Manager's
+// atomic-write and fsync machinery. The store itself is concurrency-safe;
+// mu serializes WAL appends and compaction across sessions.
+type fleetKnowledge struct {
+	store *knowledge.Store
+	m     *Manager // nil for in-memory stores (no durability)
+
+	mu      sync.Mutex
+	log     *wal.Log // nil when in-memory or after an unrecoverable write error
+	baseSeq int64    // lifetime contribution count folded into the base
+}
+
+// openKnowledge builds the manager's fleet knowledge base, restoring the
+// base snapshot and replaying the contribution WAL when a state
+// directory is configured.
+func (m *Manager) openKnowledge() (*fleetKnowledge, error) {
+	k := &fleetKnowledge{store: knowledge.NewStore(knowledge.Params{}), m: m}
+	if m.stateDir == "" {
+		return k, nil
+	}
+	data, err := os.ReadFile(m.knowledgeBasePath())
+	switch {
+	case err == nil:
+		var snap knowledge.Snapshot
+		if err := json.Unmarshal(data, &snap); err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", knowledgeBaseFile, err)
+		}
+		if err := k.store.Restore(snap); err != nil {
+			return nil, err
+		}
+		k.baseSeq = snap.Contributions
+	case os.IsNotExist(err):
+	default:
+		return nil, err
+	}
+	lg, recs, err := wal.Open(m.knowledgeWALPath(), m.walOptions())
+	if err != nil {
+		return nil, err
+	}
+	for i, rec := range recs {
+		var r knowRecord
+		if err := json.Unmarshal(rec, &r); err != nil {
+			lg.Close()
+			return nil, fmt.Errorf("knowledge wal record %d: %w", i, err)
+		}
+		if r.Seq <= k.baseSeq {
+			continue // already folded into the base
+		}
+		k.store.Contribute(r.C)
+	}
+	k.log = lg
+	return k, nil
+}
+
+// Query answers from the shared store.
+func (f *fleetKnowledge) Query(engine, space string, ctx []float64) *knowledge.Advice {
+	return f.store.Query(engine, space, ctx)
+}
+
+// Contribute deposits into the store and makes the deposit durable. The
+// store is advisory, so durability failures never propagate to the
+// tuning operation: a failed append falls back to rewriting the base
+// atomically, and if that also fails the store degrades to in-memory.
+func (f *fleetKnowledge) Contribute(c knowledge.Contribution) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	before := f.store.Stats().Contributions
+	f.store.Contribute(c)
+	seq := f.store.Stats().Contributions
+	if seq == before || f.log == nil {
+		return // rejected as invalid, or nothing to persist to
+	}
+	data, err := json.Marshal(knowRecord{Seq: seq, C: c})
+	if err != nil {
+		return
+	}
+	if err := f.log.Append(data); err != nil {
+		f.recoverLogLocked()
+		return
+	}
+	if err := f.log.Commit(); err != nil {
+		f.recoverLogLocked()
+		return
+	}
+	if f.m != nil {
+		f.m.checkpointBytes.Add(int64(len(data)))
+	}
+	if f.log.Count() >= knowledgeCompactMin {
+		f.rebaseLocked()
+	}
+}
+
+// recoverLogLocked handles a WAL write error: the log's flush state is
+// unknown, so fold everything into a fresh atomic base and reset it. If
+// even that fails, drop the handle — the store keeps serving from
+// memory.
+func (f *fleetKnowledge) recoverLogLocked() {
+	if f.rebaseLocked() != nil && f.log != nil {
+		f.log.Close()
+		f.log = nil
+	}
+}
+
+// rebaseLocked folds the store into a fresh base snapshot and resets the
+// WAL. Ordering mirrors session compaction: the base is fsynced and
+// renamed into place before the log resets, so a crash in between leaves
+// stale tail records that recovery skips by sequence number.
+func (f *fleetKnowledge) rebaseLocked() error {
+	if f.m == nil || f.m.stateDir == "" {
+		return nil
+	}
+	snap := f.store.Snapshot()
+	data, err := json.MarshalIndent(snap, "", " ")
+	if err != nil {
+		return err
+	}
+	if err := f.m.writeAtomic(f.m.knowledgeBasePath(), knowledgeBaseFile, data); err != nil {
+		return err
+	}
+	f.m.checkpointBytes.Add(int64(len(data)))
+	f.baseSeq = snap.Contributions
+	if f.log != nil {
+		if err := f.log.Reset(); err != nil {
+			f.log.Close()
+			f.log = nil
+			return err
+		}
+	}
+	f.m.compactions.Add(1)
+	return nil
+}
+
+// stats returns the store's counters.
+func (f *fleetKnowledge) stats() knowledge.Stats {
+	return f.store.Stats()
+}
+
+// export serializes the store's full snapshot.
+func (f *fleetKnowledge) export() ([]byte, error) {
+	data, err := json.MarshalIndent(f.store.Snapshot(), "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// importSnapshot merges a snapshot produced by another fleet's export
+// into the store, then rebases so the merged knowledge is durable.
+func (f *fleetKnowledge) importSnapshot(data []byte) (int, error) {
+	var snap knowledge.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return 0, fmt.Errorf("tune: %w: parsing knowledge snapshot: %w", ErrInvalid, err)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n, err := f.store.Merge(snap)
+	if err != nil {
+		return 0, fmt.Errorf("tune: %w: %w", ErrInvalid, err)
+	}
+	if err := f.rebaseLocked(); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// Close flushes and closes the contribution WAL.
+func (f *fleetKnowledge) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.log == nil {
+		return nil
+	}
+	err := f.log.Close()
+	f.log = nil
+	return err
+}

@@ -1,0 +1,330 @@
+package tune
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/knowledge"
+)
+
+// knowOutcome builds a deterministic safe outcome (perf above baseline).
+func knowOutcome(i int, perf float64) Outcome {
+	return Outcome{
+		Workload: Workload{
+			Statements: []Statement{
+				{SQL: "SELECT c_balance FROM customer WHERE c_id = 7", Weight: 2},
+				{SQL: "UPDATE warehouse SET w_ytd = w_ytd + 1 WHERE w_id = 3", Weight: 1},
+			},
+			Unlimited: true,
+			ReadFrac:  0.7,
+			Skew:      0.4,
+			DataGB:    12,
+		},
+		Metrics:     Metrics{BufferPoolHitRate: 0.95, QPS: perf},
+		Performance: perf,
+		Baseline:    100,
+	}
+}
+
+// driveInterval runs one suggest/report pair, attaching a winning shadow
+// measurement whenever the session's rollout stages a canary.
+func driveInterval(t *testing.T, suggest func() (Advice, error), report func(Outcome) error, i int) Advice {
+	t.Helper()
+	adv, err := suggest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := knowOutcome(i, 115+float64(i%4))
+	if adv.RolloutPhase == RolloutCanary {
+		o.Shadow = &ShadowOutcome{Performance: 125 + float64(i%3)}
+	}
+	if err := report(o); err != nil {
+		t.Fatal(err)
+	}
+	return adv
+}
+
+// TestManagerFleetWarmStart: a session served by a knowledge-enabled
+// manager contributes its safe observations, and the next session's
+// first (cold) suggestion queries the fleet store and logs the advice
+// into its event log.
+func TestManagerFleetWarmStart(t *testing.T) {
+	m, err := NewManagerOpts(t.TempDir(), ManagerOptions{Knowledge: true, NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if _, err := m.Create("donor", Config{Space: "case5", Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 8; i++ {
+		driveInterval(t,
+			func() (Advice, error) { return m.Suggest(ctx, "donor") },
+			func(o Outcome) error { _, err := m.Report("donor", o); return err }, i)
+	}
+	st, ok := m.KnowledgeStats()
+	if !ok {
+		t.Fatal("knowledge stats unavailable on a knowledge-enabled manager")
+	}
+	if st.Contributions == 0 || st.Entries == 0 {
+		t.Fatalf("donor contributed nothing: %+v", st)
+	}
+
+	if _, err := m.Create("warm", Config{Space: "case5", Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Suggest(ctx, "warm"); err != nil {
+		t.Fatal(err)
+	}
+	st, _ = m.KnowledgeStats()
+	if st.Queries == 0 || st.WarmStarts == 0 {
+		t.Fatalf("cold session did not warm-start from the fleet store: %+v", st)
+	}
+	data, err := m.Snapshot("warm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(data, []byte(`"kind": "knowledge"`)) {
+		t.Fatal("warm session's event log holds no knowledge event")
+	}
+	if mgr := m.Stats(); mgr.Knowledge == nil || mgr.Knowledge.WarmStarts == 0 {
+		t.Fatalf("ManagerStats.Knowledge missing warm starts: %+v", mgr.Knowledge)
+	}
+}
+
+// TestManagerKnowledgeRestartEquivalence is the restart-equivalence
+// property: a manager killed without shutdown — including a torn
+// (mid-contribution) final record in the knowledge WAL — must reopen to
+// a store whose export is bitwise identical to the pre-crash one, and
+// its hydrated sessions must keep producing advice bitwise identical to
+// a manager that never restarted.
+func TestManagerKnowledgeRestartEquivalence(t *testing.T) {
+	opts := ManagerOptions{Knowledge: true, NoFsync: true}
+	crashDir, controlDir := t.TempDir(), t.TempDir()
+	m1, err := NewManagerOpts(crashDir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := NewManagerOpts(controlDir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mc.Close()
+
+	ctx := context.Background()
+	ids := []string{"s1", "s2"}
+	for _, id := range ids {
+		cfg := Config{Space: "case5", Seed: int64(len(id)), Rollout: &RolloutConfig{Window: 2}}
+		if _, err := m1.Create(id, cfg); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := mc.Create(id, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drive := func(m *Manager, id string, i int) Advice {
+		return driveInterval(t,
+			func() (Advice, error) { return m.Suggest(ctx, id) },
+			func(o Outcome) error { _, err := m.Report(id, o); return err }, i)
+	}
+	for i := 0; i < 12; i++ {
+		for _, id := range ids {
+			a1, ac := drive(m1, id, i), drive(mc, id, i)
+			if !reflect.DeepEqual(a1, ac) {
+				t.Fatalf("pre-crash arms diverged at iter %d session %s", i, id)
+			}
+		}
+	}
+	export1, err := m1.KnowledgeExport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := m1.KnowledgeStats(); st.Contributions == 0 {
+		t.Fatal("nothing contributed; the restart property would be vacuous")
+	}
+
+	// Crash: no Close. A torn final record simulates dying mid-append of
+	// a contribution; recovery must truncate it, not fail or double-apply.
+	f, err := os.OpenFile(m1.knowledgeWALPath(), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x7f, 0x01, 0xab}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	m2, err := NewManagerOpts(crashDir, opts)
+	if err != nil {
+		t.Fatalf("reopening after simulated crash: %v", err)
+	}
+	defer m2.Close()
+	export2, err := m2.KnowledgeExport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(export1, export2) {
+		t.Fatalf("restarted store diverged from pre-crash export:\n%s\nvs\n%s", export1, export2)
+	}
+	st2, _ := m2.KnowledgeStats()
+	stc, _ := mc.KnowledgeStats()
+	if st2.Contributions != stc.Contributions || st2.Entries != stc.Entries {
+		t.Fatalf("restarted store %+v does not match never-restarted control %+v", st2, stc)
+	}
+	for i := 12; i < 20; i++ {
+		for _, id := range ids {
+			a2, ac := drive(m2, id, i), drive(mc, id, i)
+			if !reflect.DeepEqual(a2, ac) {
+				t.Fatalf("post-restart advice diverged at iter %d session %s:\n%+v\nvs\n%+v", i, id, a2, ac)
+			}
+		}
+	}
+}
+
+// TestKnowledgeSessionRestoreWithoutStore: a knowledge-enabled session's
+// snapshot restores through the public Restore — no fleet store attached
+// — because replay consumes the logged advice, and the restored session
+// continues bitwise-identically as long as no new query fires.
+func TestKnowledgeSessionRestoreWithoutStore(t *testing.T) {
+	fk := &fleetKnowledge{store: knowledge.NewStore(knowledge.Params{})}
+	donor, err := NewSession(Config{Space: "case5", Seed: 3, Knowledge: true, fleet: fk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 6; i++ {
+		driveInterval(t,
+			func() (Advice, error) { return donor.Suggest(ctx) }, donor.Report, i)
+	}
+	if st := fk.stats(); st.Contributions == 0 {
+		t.Fatal("donor session contributed nothing")
+	}
+
+	cfg := Config{Space: "case5", Seed: 4, Knowledge: true, fleet: fk, Rollout: &RolloutConfig{Window: 2}}
+	live, err := NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		driveInterval(t,
+			func() (Advice, error) { return live.Suggest(ctx) }, live.Report, i)
+	}
+	if st := fk.stats(); st.WarmStarts == 0 {
+		t.Fatal("second session never warm-started; the restore test would be vacuous")
+	}
+	snap, err := live.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Restore(snap)
+	if err != nil {
+		t.Fatalf("restoring a knowledge session without a store: %v", err)
+	}
+	for i := 10; i < 15; i++ {
+		a := driveInterval(t, func() (Advice, error) { return live.Suggest(ctx) }, live.Report, i)
+		b := driveInterval(t, func() (Advice, error) { return restored.Suggest(ctx) }, restored.Report, i)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("restored session diverged at iter %d:\n%+v\nvs\n%+v", i, a, b)
+		}
+	}
+}
+
+// TestManagerKnowledgeConcurrent hammers one shared store from many
+// concurrent sessions (run with -race). Every session both contributes
+// and cold-queries.
+func TestManagerKnowledgeConcurrent(t *testing.T) {
+	m, err := NewManagerOpts(t.TempDir(), ManagerOptions{Knowledge: true, NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			id := fmt.Sprintf("sess-%d", g)
+			if _, err := m.Create(id, Config{Space: "case5", Seed: int64(g)}); err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < 6; i++ {
+				adv, err := m.Suggest(ctx, id)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				_ = adv
+				if _, err := m.Report(id, knowOutcome(i, 115+float64(i%4))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st, _ := m.KnowledgeStats()
+	if st.Contributions == 0 || st.Queries == 0 {
+		t.Fatalf("concurrent fleet produced no knowledge traffic: %+v", st)
+	}
+}
+
+// TestKnowledgeExportImport round-trips the store across two managers.
+func TestKnowledgeExportImport(t *testing.T) {
+	src, err := NewManagerOpts(t.TempDir(), ManagerOptions{Knowledge: true, NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	if _, err := src.Create("a", Config{Space: "case5", Seed: 5}); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 6; i++ {
+		driveInterval(t,
+			func() (Advice, error) { return src.Suggest(ctx, "a") },
+			func(o Outcome) error { _, err := src.Report("a", o); return err }, i)
+	}
+	data, err := src.KnowledgeExport()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dst, err := NewManagerOpts(t.TempDir(), ManagerOptions{Knowledge: true, NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+	n, err := dst.KnowledgeImport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("import merged nothing")
+	}
+	got, err := dst.KnowledgeExport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("import of an export is not identity:\n%s\nvs\n%s", got, data)
+	}
+	if _, err := dst.KnowledgeImport([]byte("{bad json")); err == nil {
+		t.Fatal("corrupt import should fail")
+	}
+
+	plain, err := NewManager("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plain.KnowledgeExport(); err == nil {
+		t.Fatal("export on a knowledge-less manager should fail")
+	}
+}

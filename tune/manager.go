@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/fsutil"
+	"repro/internal/knowledge"
 	"repro/internal/wal"
 )
 
@@ -87,6 +88,12 @@ type ManagerOptions struct {
 	// are waiting the batch commits without waiting out the window
 	// (0 = wal.DefaultCommitBatch). Only meaningful with CommitInterval.
 	CommitBatch int
+	// Knowledge enables the fleet knowledge base: a shared cross-session
+	// store of safe configurations and GP hyperparameters that every
+	// session created by this manager contributes to and warm-starts
+	// from. With a state directory it persists as fleet.knowledge (base)
+	// plus fleet.knowledge-wal (contribution tail) and survives restarts.
+	Knowledge bool
 }
 
 // Manager multiplexes many concurrent tuning sessions behind sharded
@@ -120,6 +127,9 @@ type Manager struct {
 	// committer is the shared group-commit pipeline (nil when
 	// CommitInterval is 0 or the manager is in-memory only).
 	committer *wal.Committer
+
+	// know is the fleet knowledge base (nil unless ManagerOptions.Knowledge).
+	know *fleetKnowledge
 
 	// lmu guards the LRU list of resident (hydrated) sessions and the
 	// resident count. It never nests with a session's mu or op gate:
@@ -291,6 +301,10 @@ type ManagerStats struct {
 	// JournalPatchedRecords is how many WAL records boot recovered from
 	// the shared journal into session logs.
 	JournalPatchedRecords int `json:"journal_patched_records,omitempty"`
+	// Knowledge summarizes the fleet knowledge base (nil when disabled):
+	// entries, lifetime contributions, queries/warm-starts this process,
+	// and approximate resident bytes.
+	Knowledge *knowledge.Stats `json:"knowledge,omitempty"`
 }
 
 // NewManager returns a manager with default options. A non-empty
@@ -308,6 +322,13 @@ func NewManagerOpts(stateDir string, opts ManagerOptions) (*Manager, error) {
 		m.shards[i].sessions = map[string]*managedSession{}
 	}
 	if stateDir == "" {
+		if opts.Knowledge {
+			k, err := m.openKnowledge()
+			if err != nil {
+				return nil, fmt.Errorf("tune: opening fleet knowledge base: %w", err)
+			}
+			m.know = k
+		}
 		return m, nil
 	}
 	if err := fsutil.EnsureWritableDir(stateDir); err != nil {
@@ -380,6 +401,13 @@ func NewManagerOpts(stateDir string, opts ManagerOptions) (*Manager, error) {
 			return nil, fmt.Errorf("tune: scanning session %q: %w", id, err)
 		}
 		m.shard(id).sessions[id] = e
+	}
+	if opts.Knowledge {
+		k, err := m.openKnowledge()
+		if err != nil {
+			return nil, fmt.Errorf("tune: opening fleet knowledge base: %w", err)
+		}
+		m.know = k
 	}
 	if opts.CommitInterval != 0 {
 		c, err := wal.OpenCommitter(m.journalPath(), wal.CommitterOptions{
@@ -703,6 +731,13 @@ func (m *Manager) Create(id string, cfg Config) (*Session, error) {
 	if err := validID(id); err != nil {
 		return nil, err
 	}
+	if m.know != nil {
+		// Fleet knowledge is manager-wide: every session it creates joins
+		// the shared store. The flag round-trips through the snapshot, so a
+		// later boot without the store still replays the logged advice.
+		cfg.Knowledge = true
+		cfg.fleet = m.know
+	}
 	// Build outside all locks: construction pre-trains the featurizer,
 	// and concurrent creates must not serialize behind it.
 	s, err := NewSession(cfg)
@@ -850,7 +885,39 @@ func (m *Manager) Stats() ManagerStats {
 		st.DegradedCommits = m.committer.DegradedBatches()
 	}
 	st.JournalPatchedRecords = m.journalPatched
+	if m.know != nil {
+		kst := m.know.stats()
+		st.Knowledge = &kst
+	}
 	return st
+}
+
+// KnowledgeStats returns the fleet knowledge base's counters; ok is
+// false when the manager runs without one.
+func (m *Manager) KnowledgeStats() (knowledge.Stats, bool) {
+	if m.know == nil {
+		return knowledge.Stats{}, false
+	}
+	return m.know.stats(), true
+}
+
+// KnowledgeExport serializes the fleet knowledge base as versioned JSON
+// suitable for KnowledgeImport on another fleet.
+func (m *Manager) KnowledgeExport() ([]byte, error) {
+	if m.know == nil {
+		return nil, fmt.Errorf("tune: %w: fleet knowledge base disabled", ErrNotFound)
+	}
+	return m.know.export()
+}
+
+// KnowledgeImport merges an exported knowledge snapshot into the fleet
+// store (and makes the result durable). It returns how many records were
+// merged.
+func (m *Manager) KnowledgeImport(data []byte) (int, error) {
+	if m.know == nil {
+		return 0, fmt.Errorf("tune: %w: fleet knowledge base disabled", ErrNotFound)
+	}
+	return m.know.importSnapshot(data)
 }
 
 // Suggest runs Session.Suggest on the named session and persists the
@@ -915,6 +982,11 @@ func (m *Manager) Close() error {
 	var first error
 	if m.committer != nil {
 		if err := m.committer.Close(); err != nil {
+			first = err
+		}
+	}
+	if m.know != nil {
+		if err := m.know.Close(); err != nil && first == nil {
 			first = err
 		}
 	}

@@ -332,7 +332,7 @@ func (m *Manager) hydrateLocked(e *managedSession) error {
 		if err != nil {
 			return fmt.Errorf("tune: reading session %q: %w", e.id, err)
 		}
-		s, n, err := restoreParts(data, nil)
+		s, n, err := restorePartsWith(data, nil, m.know)
 		if err != nil {
 			return fmt.Errorf("tune: restoring session %q: %w", e.id, err)
 		}
@@ -357,6 +357,7 @@ func (m *Manager) hydrateLocked(e *managedSession) error {
 		lg.Close()
 		return fmt.Errorf("tune: session %q: %w", e.id, err)
 	}
+	f.Config.fleet = m.know
 	s, err := restoreFile(f, tail)
 	if err != nil {
 		lg.Close()

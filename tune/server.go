@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 )
 
@@ -18,6 +19,9 @@ import (
 //	GET    /v1/sessions/{id}/rollout   → canary rollout status
 //	GET    /v1/sessions/{id}/snapshot  → versioned snapshot JSON
 //	GET    /v1/backends                registered backend names
+//	GET    /v1/knowledge/stats         fleet knowledge base counters
+//	GET    /v1/knowledge/export        fleet knowledge snapshot JSON
+//	POST   /v1/knowledge/import        ← knowledge snapshot, → {"merged": n}
 //	GET    /healthz                    readiness probe
 //
 // Errors are returned as {"error": "..."} with a 4xx/5xx status.
@@ -30,7 +34,7 @@ func NewServer(m *Manager) http.Handler {
 	// instead of sleeping; loadgen asserts on the residency counters.
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		st := m.Stats()
-		writeJSON(w, http.StatusOK, map[string]any{
+		resp := map[string]any{
 			"status":           "ok",
 			"sessions":         st.Sessions,
 			"hydrated":         st.Hydrated,
@@ -39,7 +43,14 @@ func NewServer(m *Manager) http.Handler {
 			"fsyncs":           st.Fsyncs,
 			"group_commits":    st.GroupCommits,
 			"degraded_commits": st.DegradedCommits,
-		})
+		}
+		if st.Knowledge != nil {
+			resp["knowledge_entries"] = st.Knowledge.Entries
+			resp["knowledge_contributions"] = st.Knowledge.Contributions
+			resp["knowledge_warm_starts"] = st.Knowledge.WarmStarts
+			resp["knowledge_bytes"] = st.Knowledge.Bytes
+		}
+		writeJSON(w, http.StatusOK, resp)
 	})
 
 	mux.HandleFunc("GET /v1/backends", func(w http.ResponseWriter, r *http.Request) {
@@ -128,8 +139,46 @@ func NewServer(m *Manager) http.Handler {
 		w.Write(data)
 	})
 
+	mux.HandleFunc("GET /v1/knowledge/stats", func(w http.ResponseWriter, r *http.Request) {
+		st, ok := m.KnowledgeStats()
+		if !ok {
+			writeError(w, http.StatusNotFound, errors.New("fleet knowledge base disabled"))
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+
+	mux.HandleFunc("GET /v1/knowledge/export", func(w http.ResponseWriter, r *http.Request) {
+		data, err := m.KnowledgeExport()
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(data)
+	})
+
+	mux.HandleFunc("POST /v1/knowledge/import", func(w http.ResponseWriter, r *http.Request) {
+		data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxImportBytes))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		n, err := m.KnowledgeImport(data)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"merged": n})
+	})
+
 	return mux
 }
+
+// maxImportBytes bounds a knowledge-import body; the store's caps keep
+// any honest export far below this.
+const maxImportBytes = 64 << 20
 
 // decodeBody parses a JSON request body, rejecting unknown fields so
 // typos in knob or option names fail loudly.

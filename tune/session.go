@@ -211,6 +211,11 @@ type Session struct {
 	tuner Tuner
 	hw    Hardware
 
+	// know is the session's fleet-knowledge adapter (nil unless
+	// cfg.Knowledge); it appends query events to s.events from inside
+	// tuner calls, which always run under mu.
+	know *knowAdapter
+
 	iter     int
 	lastSnap workload.Snapshot
 	lastCtx  []float64
@@ -237,6 +242,15 @@ func NewSession(cfg Config) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Knowledge {
+		// Built before Open so cfg.options() can hand it to the tuner; the
+		// engine+space pair is the fleet store's transfer-compatibility key.
+		cfg.know = &knowAdapter{
+			fleet:  cfg.fleet,
+			engine: string(space.Engine.OrMySQL()),
+			space:  cfg.Space,
+		}
+	}
 	tuner, err := Open(cfg.Backend, cfg)
 	if err != nil {
 		return nil, err
@@ -247,8 +261,12 @@ func NewSession(cfg Config) (*Session, error) {
 		feat:     featurize.NewPretrained(cfg.Seed),
 		tuner:    tuner,
 		hw:       cfg.hardware(),
+		know:     cfg.know,
 		lastCfg:  initial,
 		lastUnit: space.Encode(initial),
+	}
+	if s.know != nil {
+		s.know.sess = s
 	}
 	s.lastCtx = make([]float64, s.feat.Dim())
 	return s, nil

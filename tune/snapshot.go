@@ -16,9 +16,11 @@ import (
 // header field (emitted before the event log so the Manager's boot scan
 // can summarize a session by reading only the head of its base
 // snapshot) and is the format WAL compaction writes as a session's base
-// snapshot. Version 1 and 2 snapshots restore unchanged, with the
-// rollout defaulted to direct apply for v1.
-const SnapshotVersion = 3
+// snapshot. Version 4 added fleet-knowledge events: each query's advice
+// is logged so replay reproduces the session without the fleet store
+// (which other sessions keep mutating). Version 1–3 snapshots restore
+// unchanged, with the rollout defaulted to direct apply for v1.
+const SnapshotVersion = 4
 
 // snapshotKind tags the document so unrelated JSON is rejected early.
 const snapshotKind = "tune.Session"
@@ -30,6 +32,11 @@ const snapshotKind = "tune.Session"
 const (
 	eventSuggest = "suggest"
 	eventReport  = "report"
+	// eventKnowledge records one fleet-knowledge query and the advice it
+	// returned. Derived like promote/rollback — a replayed suggest
+	// regenerates it — but it also CARRIES state: replay feeds the logged
+	// advice back to the tuner instead of re-querying the live store.
+	eventKnowledge = "knowledge"
 )
 
 // event is one logged session operation. The tuner's evolution is a
@@ -44,6 +51,8 @@ type event struct {
 	Outcome *Outcome `json:"outcome,omitempty"`
 	// Rollout carries a promote/rollback decision's provenance.
 	Rollout *RolloutEvent `json:"rollout,omitempty"`
+	// Knowledge carries a fleet-knowledge query's result.
+	Knowledge *knowledgeEvent `json:"knowledge,omitempty"`
 }
 
 // sessionState is the derived, human-inspectable state summary embedded
@@ -154,10 +163,19 @@ func parseSnapshot(data []byte) (snapshotFile, error) {
 // restored session and the number of events the base contributed (the
 // tail's starting index in the combined log).
 func restoreParts(base []byte, tail []event) (*Session, int, error) {
+	return restorePartsWith(base, tail, nil)
+}
+
+// restorePartsWith is restoreParts with the Manager's fleet knowledge
+// store injected, so a hydrated session resumes contributing to (and
+// querying) the live store once replay finishes. Replay itself never
+// touches the store — it consumes the logged advice.
+func restorePartsWith(base []byte, tail []event, fleet *fleetKnowledge) (*Session, int, error) {
 	f, err := parseSnapshot(base)
 	if err != nil {
 		return nil, 0, err
 	}
+	f.Config.fleet = fleet
 	s, err := restoreFile(f, tail)
 	return s, len(f.Events), err
 }
@@ -169,6 +187,12 @@ func restoreFile(f snapshotFile, tail []event) (*Session, error) {
 	s, err := NewSession(f.Config)
 	if err != nil {
 		return nil, err
+	}
+	if s.know != nil {
+		// Feed the logged advice sequence to the adapter: replayed queries
+		// pop it in order, so the tuner sees exactly what it saw live.
+		s.know.beginReplay(knowledgeQueue(f.Events, tail))
+		defer s.know.endReplay()
 	}
 	// Rollout decisions are derived from the replayed reports — during
 	// replay s.events accumulates exactly the regenerated promote/
@@ -215,6 +239,15 @@ func (s *Session) replayEvents(events []event, verified *int) error {
 			if got := s.events[*verified].Rollout; got != nil && ev.Rollout != nil && got.Iter != ev.Rollout.Iter {
 				return fmt.Errorf("tune: snapshot event %d: replay made the %s decision at iter %d, snapshot logged iter %d",
 					i, ev.Kind, got.Iter, ev.Rollout.Iter)
+			}
+			*verified++
+		case eventKnowledge:
+			if *verified >= len(s.events) || s.events[*verified].Kind != ev.Kind {
+				return fmt.Errorf("tune: snapshot event %d: replay did not reproduce the logged knowledge query", i)
+			}
+			got, want := s.events[*verified].Knowledge, ev.Knowledge
+			if (got == nil || got.Advice == nil) != (want == nil || want.Advice == nil) {
+				return fmt.Errorf("tune: snapshot event %d: replayed knowledge query diverged from the logged advice", i)
 			}
 			*verified++
 		default:
