@@ -33,7 +33,7 @@ func ExperimentIDs() []string {
 		"fig5tpcc", "fig5twitter", "fig5job", "fig6", "fig7", "fig8",
 		"fig9", "fig10", "fig11", "fig12", "fig13",
 		"fig14", "fig15", "fig16", "fig17", "table1", "tableA1", "ext1",
-		"ext2", "ext3", "ext4", "ext5", "ext6", "ext7", "ext8",
+		"ext2", "ext3", "ext4", "ext5", "ext6", "ext7", "ext8", "ext9",
 	}
 }
 
@@ -110,6 +110,8 @@ func Experiment(id string, iters int, seed int64) (Report, error) {
 		// ext8Sessions sessions per arm, run sequentially on the 40-knob
 		// space, so 40 intervals is already 320 durable tuning steps.
 		return Ext8FleetWarmStart(orDefault(iters, 40), seed), nil
+	case "ext9":
+		return Ext9BlueGreenRollout(orDefault(iters, 300), seed), nil
 	default:
 		return Report{}, fmt.Errorf("unknown experiment %q (known: %s)", id, strings.Join(ExperimentIDs(), ", "))
 	}

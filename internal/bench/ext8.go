@@ -215,7 +215,7 @@ func ext8RunArm(name string, iters int, seed int64, warm bool) *ext8Arm {
 			if adv.SafetySetSize > 0 && ar.firstSafe[j] > iters {
 				ar.firstSafe[j] = i + 1
 			}
-			inCanary := adv.RolloutPhase == tune.RolloutCanary
+			inCanary := adv.RolloutPhase == tune.RolloutCanary || adv.RolloutPhase == tune.RolloutRevalidate
 
 			res := in.Eval(adv.Config, w, dbsim.EvalOptions{IntervalSec: 30})
 			perf := res.Objective(false)

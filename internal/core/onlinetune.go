@@ -311,20 +311,27 @@ func (o *OnlineTune) Recommend(ctx []float64, env whitebox.Env, tau float64) Rec
 	m := o.models[mi]
 	o.times.ModelSelect += time.Since(t0)
 
-	// An in-flight canary holds the staged state: the primary keeps the
-	// last-good configuration and the shadow keeps the candidate until
-	// the comparison window decides. No acquisition computation (and no
-	// randomness) is consumed, so held iterations replay exactly.
-	if o.roll != nil && o.roll.CanaryActive() {
-		pu := mathx.VecClone(o.roll.LastGood())
-		su := mathx.VecClone(o.roll.Candidate())
-		rec := Recommendation{
-			Unit: pu, Config: o.Space.Decode(pu), Fallback: true, ModelIndex: mi,
-			RegionKind: "hold", RolloutPhase: string(rollout.PhaseCanary),
-			ShadowUnit: su, ShadowConfig: o.Space.Decode(su),
+	// A holding rollout state pins the recommendation: an in-flight
+	// canary/tuning window keeps the primary on last-good and the
+	// staged replica on the candidate until the comparison window
+	// decides; a bluegreen switchover and a chain-target revalidation
+	// keep the primary on last-good with nothing staged. No acquisition
+	// computation (and no randomness) is consumed in any held
+	// iteration, so replay stays exact.
+	if o.roll != nil {
+		if pu, su, phase, hold := o.roll.Hold(); hold {
+			pu = mathx.VecClone(pu)
+			rec := Recommendation{
+				Unit: pu, Config: o.Space.Decode(pu), Fallback: true, ModelIndex: mi,
+				RegionKind: "hold", RolloutPhase: string(phase),
+			}
+			if su != nil {
+				rec.ShadowUnit = mathx.VecClone(su)
+				rec.ShadowConfig = o.Space.Decode(rec.ShadowUnit)
+			}
+			o.lastRec = &rec
+			return rec
 		}
-		o.lastRec = &rec
-		return rec
 	}
 
 	// Drift rollback re-seed: refresh the transfer pool from the fleet
@@ -485,12 +492,10 @@ func (o *OnlineTune) Recommend(ctx []float64, env whitebox.Env, tau float64) Rec
 // configuration that was never promoted.
 func (o *OnlineTune) finishRecommend(rec Recommendation) Recommendation {
 	if o.roll != nil {
-		primary, shadow := o.roll.Submit(rec.Unit)
-		if shadow == nil {
-			rec.RolloutPhase = string(rollout.PhaseSteady)
-		} else {
-			rec.RolloutPhase = string(rollout.PhaseCanary)
-			rec.ShadowUnit = mathx.VecClone(shadow)
+		primary, staged := o.roll.Submit(rec.Unit)
+		rec.RolloutPhase = string(o.roll.Phase())
+		if staged != nil {
+			rec.ShadowUnit = mathx.VecClone(staged)
 			rec.ShadowConfig = o.Space.Decode(rec.ShadowUnit)
 			rec.Unit = mathx.VecClone(primary)
 			rec.Config = o.Space.Decode(rec.Unit)
@@ -639,6 +644,16 @@ func (o *OnlineTune) Observe(iter int, ctx, unit []float64, perf, tau float64, f
 	defer o.mu.Unlock()
 	t0 := time.Now()
 	defer func() { o.times.ModelUpdate += time.Since(t0) }()
+	// A switchover interval measures the newly serving replica during
+	// its expected cache-cold dip: the measurement feeds the rollout
+	// controller's cost accounting (downtime, in-flight failures) but
+	// NOT the model — the cold sample says nothing about the promoted
+	// configuration's warm performance and would poison the GP against
+	// a config that just won a full comparison window.
+	if o.roll != nil && o.roll.Phase() == rollout.PhaseSwitchover {
+		o.roll.ObserveSteady(iter, unit, perf, tau, failed)
+		return
+	}
 	// A plain observation during an active canary measures the primary's
 	// last-good configuration, not the staged candidate a bypassed rule
 	// would be attached to.

@@ -147,10 +147,21 @@ func (in *Instance) val(cfg knobs.Config, name string) float64 {
 	return k.Default
 }
 
+// DefaultSwitchoverColdSec is the cache-cold time a blue/green
+// switchover leaves the newly serving replica with: connections drain
+// and re-establish, and the buffer pool serves a burst of misses while
+// the working set re-warms under live traffic.
+const DefaultSwitchoverColdSec = 45
+
 // EvalOptions controls one evaluation.
 type EvalOptions struct {
 	IntervalSec float64 // tuning interval length; 0 means 180 s
 	NoNoise     bool    // disable measurement noise (used for ground truth)
+	// SwitchoverColdSec models a replica-role switchover landing in this
+	// interval: for that many seconds (capped at the interval length) the
+	// instance runs cache-cold, dropping throughput by up to half and
+	// inflating tail latency proportionally.
+	SwitchoverColdSec float64
 }
 
 // Eval applies cfg, runs the workload snapshot for one interval, and
@@ -174,6 +185,18 @@ func (in *Instance) Eval(cfg knobs.Config, w workload.Snapshot, opt EvalOptions)
 	tput := m.throughput
 	lat := m.p99Ms
 	exec := m.execTimeSec
+
+	if opt.SwitchoverColdSec > 0 {
+		// The interval-average cost of serving cache-cold for the first
+		// SwitchoverColdSec seconds: misses roughly halve throughput
+		// while they last, so the dip scales with the cold fraction of
+		// the interval. Deterministic — the ground-truth (NoNoise) path
+		// pays it too, because the dip is real, not measurement noise.
+		cold := math.Min(1, opt.SwitchoverColdSec/opt.IntervalSec)
+		tput *= 1 - 0.5*cold
+		lat *= 1 + cold
+		exec *= 1 + 0.5*cold
+	}
 
 	if !opt.NoNoise {
 		// Shorter intervals measure noisier numbers (§7.3.3).

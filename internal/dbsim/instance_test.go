@@ -318,3 +318,36 @@ func TestRandomConfigsOftenUnsafe(t *testing.T) {
 		t.Fatal("random exploration should occasionally hang the instance")
 	}
 }
+
+// TestSwitchoverPenalty pins the blue/green switchover model: an
+// interval flagged with a cold-cache window measures a real throughput
+// dip and latency inflation, scaled by the cold fraction, on the
+// noise-free path too (the dip is physical, not measurement noise).
+func TestSwitchoverPenalty(t *testing.T) {
+	in := newInst()
+	cfg := in.Space.DBADefault()
+	w := tpccSnap()
+	warm := in.Eval(cfg, w, EvalOptions{IntervalSec: 60, NoNoise: true})
+	cold := in.Eval(cfg, w, EvalOptions{IntervalSec: 60, NoNoise: true, SwitchoverColdSec: DefaultSwitchoverColdSec})
+	if cold.Failed || warm.Failed {
+		t.Fatal("switchover penalty must not fail the instance")
+	}
+	frac := math.Min(1, DefaultSwitchoverColdSec/60.0)
+	wantTput := warm.Throughput * (1 - 0.5*frac)
+	if math.Abs(cold.Throughput-wantTput) > 1e-9*warm.Throughput {
+		t.Fatalf("cold throughput = %.2f, want %.2f (%.0f%% cold)", cold.Throughput, wantTput, 100*frac)
+	}
+	if cold.P99LatencyMs <= warm.P99LatencyMs {
+		t.Fatalf("cold p99 %.2f not above warm %.2f", cold.P99LatencyMs, warm.P99LatencyMs)
+	}
+	// The cold window saturates at the interval length.
+	saturated := in.Eval(cfg, w, EvalOptions{IntervalSec: 60, NoNoise: true, SwitchoverColdSec: 600})
+	if got, want := saturated.Throughput, warm.Throughput*0.5; math.Abs(got-want) > 1e-9*warm.Throughput {
+		t.Fatalf("saturated cold throughput = %.2f, want half of warm %.2f", got, want)
+	}
+	// And a zero window is exactly the warm result.
+	again := in.Eval(cfg, w, EvalOptions{IntervalSec: 60, NoNoise: true})
+	if again.Throughput != warm.Throughput {
+		t.Fatal("zero-cold eval must be untouched")
+	}
+}

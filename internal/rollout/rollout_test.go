@@ -169,3 +169,304 @@ func TestStatusIsACopy(t *testing.T) {
 		t.Fatal("Status must not alias controller state")
 	}
 }
+
+// promote drives one full clean canary window for cand, starting pair
+// iters at base. The shadow clears both the primary mean and τ.
+func promote(t *testing.T, c *Controller, cand []float64, base int) {
+	t.Helper()
+	c.Submit(cand)
+	for i := 0; ; i++ {
+		d := c.ObservePair(base+i, 100, 120, 98, false, false)
+		if d == EventPromote {
+			return
+		}
+		if d != "" {
+			t.Fatalf("unexpected decision %q while promoting", d)
+		}
+		if i > 10 {
+			t.Fatal("promotion window never decided")
+		}
+	}
+}
+
+// TestDriftRollbackStepsBackThroughChain is the regression pin for the
+// previous-good chain bugfix: with two promoted configurations behind
+// it, a drift rollback must step back to the most recently validated
+// config — strictly better than the stale initial anchor — instead of
+// jumping to the anchor for good. The target is never applied to the
+// serving primary unvalidated: it fills a shortened paired window on
+// the staged replica (the primary holds the anchor meanwhile) and only
+// sticks once the window clears.
+func TestDriftRollbackStepsBackThroughChain(t *testing.T) {
+	c := newC()
+	a, b := []float64{0.6, 0.6}, []float64{0.7, 0.7}
+	initial := []float64{0.5, 0.5}
+	promote(t, c, a, 0)
+	promote(t, c, b, 10)
+	if got := c.ChainDepth(); got != 1 {
+		t.Fatalf("chain depth after two promotes = %d, want 1 (initial anchor is never pushed)", got)
+	}
+	// Three consecutive below-τ intervals on the promoted config: the
+	// old controller reverted to the initial anchor here and stayed.
+	var d string
+	for i := 0; i < 3; i++ {
+		d = c.ObserveSteady(20+i, b, 80, 98, false)
+	}
+	if d != EventChainRollback {
+		t.Fatalf("drift decision = %q, want chain_rollback", d)
+	}
+	if !slices.Equal(c.Candidate(), a) {
+		t.Fatalf("revalidation target = %v, want the previously promoted %v", c.Candidate(), a)
+	}
+	if !slices.Equal(c.LastGood(), initial) {
+		t.Fatalf("primary during probation = %v, want the anchor %v (the target must not serve unvalidated)", c.LastGood(), initial)
+	}
+	st := c.Status()
+	if st.Phase != PhaseRevalidate || st.ChainDepth != 0 {
+		t.Fatalf("status after chain rollback: phase %q depth %d", st.Phase, st.ChainDepth)
+	}
+	if st.LastEvent == nil || st.LastEvent.Kind != EventChainRollback || st.LastEvent.ChainDepth != 1 {
+		t.Fatalf("chain rollback provenance: %+v", st.LastEvent)
+	}
+	primary, staged, phase, ok := c.Hold()
+	if !ok || phase != PhaseRevalidate || !slices.Equal(primary, initial) || !slices.Equal(staged, a) {
+		t.Fatalf("hold during revalidation: primary %v staged %v phase %q ok %v", primary, staged, phase, ok)
+	}
+	// The target re-validates over a paired (Window+1)/2 = 2 window.
+	if d := c.ObservePair(23, 98, 105, 98, false, false); d != "" {
+		t.Fatalf("revalidation pair decided %q", d)
+	}
+	if c.Phase() != PhaseRevalidate {
+		t.Fatal("one clean pair must not finish revalidation")
+	}
+	if d := c.ObservePair(24, 98, 105, 98, false, false); d != EventPromote {
+		t.Fatalf("clean revalidation window decided %q, want promote", d)
+	}
+	if c.Phase() != PhaseSteady {
+		t.Fatalf("phase after clean revalidation = %q, want steady", c.Phase())
+	}
+	if !slices.Equal(c.LastGood(), a) {
+		t.Fatal("revalidated target must stick")
+	}
+	if c.ChainDepth() != 0 {
+		t.Fatalf("re-promoting from the anchor must not grow the chain, depth = %d", c.ChainDepth())
+	}
+}
+
+// TestDriftRollbackChainExhaustedRevertsToInitial pins the pre-chain
+// behavior as the chain's base case: with nothing promoted behind the
+// decayed config, the drift rollback reverts to the initial anchor with
+// the classic rollback event.
+func TestDriftRollbackChainExhaustedRevertsToInitial(t *testing.T) {
+	c := newC()
+	promote(t, c, []float64{0.6, 0.6}, 0)
+	var d string
+	for i := 0; i < 3; i++ {
+		d = c.ObserveSteady(10+i, []float64{0.6, 0.6}, 80, 98, false)
+	}
+	if d != EventRollback {
+		t.Fatalf("drift decision = %q, want rollback (chain empty)", d)
+	}
+	if !slices.Equal(c.LastGood(), []float64{0.5, 0.5}) {
+		t.Fatalf("exhausted chain must revert to the initial anchor, got %v", c.LastGood())
+	}
+	if c.Phase() != PhaseSteady {
+		t.Fatalf("the trusted anchor needs no revalidation, phase = %q", c.Phase())
+	}
+}
+
+// TestRevalidationFailurePopsChainAgain: a chain target that cannot
+// clear its paired probation window is discarded and the next chain
+// entry staged in its place, down to the anchor once the chain runs
+// dry — the serving primary holds the anchor throughout the walk.
+func TestRevalidationFailurePopsChainAgain(t *testing.T) {
+	c := newC()
+	a, b, cc := []float64{0.6, 0.6}, []float64{0.7, 0.7}, []float64{0.8, 0.8}
+	initial := []float64{0.5, 0.5}
+	promote(t, c, a, 0)
+	promote(t, c, b, 10)
+	promote(t, c, cc, 20)
+	if c.ChainDepth() != 2 {
+		t.Fatalf("chain depth = %d, want 2", c.ChainDepth())
+	}
+	var d string
+	for i := 0; i < 3; i++ {
+		d = c.ObserveSteady(30+i, cc, 80, 98, false)
+	}
+	if d != EventChainRollback || !slices.Equal(c.Candidate(), b) {
+		t.Fatalf("first drift: %q staging %v", d, c.Candidate())
+	}
+	// B regresses through its paired probation window: pop to A.
+	if d := c.ObservePair(33, 98, 90, 98, false, false); d != "" {
+		t.Fatalf("first probation pair decided %q", d)
+	}
+	if d := c.ObservePair(34, 98, 90, 98, false, false); d != EventChainRollback {
+		t.Fatalf("failed probation window decision = %q, want chain_rollback", d)
+	}
+	if !slices.Equal(c.Candidate(), a) || !slices.Equal(c.LastGood(), initial) {
+		t.Fatalf("second target = %v (primary %v), want %v staged over the anchor", c.Candidate(), c.LastGood(), a)
+	}
+	if ev := c.Status().LastEvent; ev == nil || ev.ChainDepth != 1 {
+		t.Fatalf("probation-failure provenance: %+v", ev)
+	}
+	// A outright fails on the staged replica: the chain is exhausted,
+	// classic rollback — the primary stays at the initial anchor.
+	if d := c.ObservePair(35, 98, 90, 98, false, true); d != EventRollback {
+		t.Fatalf("exhausted-chain decision = %q, want rollback", d)
+	}
+	if !slices.Equal(c.LastGood(), initial) || c.Candidate() != nil || c.Phase() != PhaseSteady {
+		t.Fatalf("final state: %v candidate %v phase %q", c.LastGood(), c.Candidate(), c.Phase())
+	}
+	if got := c.Status().Rollbacks; got != 3 {
+		t.Fatalf("rollbacks = %d, want 3", got)
+	}
+}
+
+// TestChainBounded: the chain keeps at most MaxChain entries, dropping
+// the oldest.
+func TestChainBounded(t *testing.T) {
+	c := NewController(Policy{Enabled: true, Window: 1, MaxChain: 2}, []float64{0.5})
+	for i := 0; i < 5; i++ {
+		promote(t, c, []float64{0.5 + 0.01*float64(i+1)}, i*10)
+	}
+	if c.ChainDepth() != 2 {
+		t.Fatalf("chain depth = %d, want MaxChain=2", c.ChainDepth())
+	}
+}
+
+// TestBlueGreenSwitchover drives the bluegreen mode end to end: tuning
+// phase on the green replica, promotion triggering an explicit
+// switchover with the roles swapping, the cost (downtime, in-flight
+// failures) recorded into the metrics, and post-switch recovery time
+// measured until throughput re-clears τ.
+func TestBlueGreenSwitchover(t *testing.T) {
+	c := NewController(Policy{Enabled: true, Mode: ModeBlueGreen, Window: 2}, []float64{0.5, 0.5})
+	cand := []float64{0.7, 0.7}
+	c.Submit(cand)
+	if c.Phase() != PhaseTuning {
+		t.Fatalf("bluegreen staged phase = %q, want tuning", c.Phase())
+	}
+	st := c.Status()
+	if st.Mode != ModeBlueGreen || len(st.Replicas) != 2 {
+		t.Fatalf("status: mode %q replicas %+v", st.Mode, st.Replicas)
+	}
+	if st.Replicas[0].Name != "blue" || st.Replicas[0].Role != RoleServing ||
+		st.Replicas[1].Name != "green" || st.Replicas[1].Role != RoleStaged {
+		t.Fatalf("replica roles before switchover: %+v", st.Replicas)
+	}
+	c.ObservePair(0, 100, 120, 98, false, false)
+	if d := c.ObservePair(1, 100, 120, 98, false, false); d != EventPromote {
+		t.Fatalf("decision = %q, want promote", d)
+	}
+	if c.Phase() != PhaseSwitchover {
+		t.Fatalf("phase after bluegreen promote = %q, want switchover", c.Phase())
+	}
+	if !slices.Equal(c.LastGood(), cand) {
+		t.Fatal("promoted candidate must be the serving configuration")
+	}
+	if got := c.Status().Replicas[0].Name; got != "green" {
+		t.Fatalf("serving replica after swap = %q, want green", got)
+	}
+	// The switchover interval dips below τ (cache-cold): downtime 1.
+	if d := c.ObserveSteady(2, cand, 60, 98, false); d != EventSwitchover {
+		t.Fatalf("switchover completion decision = %q", d)
+	}
+	m := c.Status().Metrics
+	if m.Switchovers != 1 || m.SwitchoverDowntime.Count != 1 || m.SwitchoverDowntime.Sum != 1 {
+		t.Fatalf("switchover metrics: %+v", m)
+	}
+	ev := c.Status().LastEvent
+	if ev.Kind != EventSwitchover || ev.Downtime != 1 || ev.InFlightFailures != 0 {
+		t.Fatalf("switchover event: %+v", ev)
+	}
+	// Still cold one more interval, then recovered: recovery time 1.
+	c.ObserveSteady(3, cand, 90, 98, false)
+	c.ObserveSteady(4, cand, 110, 98, false)
+	m = c.Status().Metrics
+	if m.SwitchoverRecovery.Count != 1 || m.SwitchoverRecovery.Sum != 1 {
+		t.Fatalf("recovery metrics: %+v", m.SwitchoverRecovery)
+	}
+	if c.Phase() != PhaseSteady {
+		t.Fatalf("phase after recovery = %q", c.Phase())
+	}
+	// Promote latency was recorded for the 2-pair window.
+	if m.PromoteLatency.Count != 1 || m.PromoteLatency.Sum != 2 {
+		t.Fatalf("promote latency: %+v", m.PromoteLatency)
+	}
+}
+
+// TestBlueGreenInFlightFailure counts failed intervals during the
+// switchover window into the in-flight metric.
+func TestBlueGreenInFlightFailure(t *testing.T) {
+	c := NewController(Policy{Enabled: true, Mode: ModeBlueGreen, Window: 1, SwitchoverIntervals: 2}, []float64{0.5})
+	c.Submit([]float64{0.7})
+	if d := c.ObservePair(0, 100, 120, 98, false, false); d != EventPromote {
+		t.Fatal("setup: promote")
+	}
+	if d := c.ObserveSteady(1, []float64{0.7}, 0, 98, true); d != "" {
+		t.Fatalf("mid-switchover interval decided %q", d)
+	}
+	if d := c.ObserveSteady(2, []float64{0.7}, 110, 98, false); d != EventSwitchover {
+		t.Fatalf("completion = %q", d)
+	}
+	m := c.Status().Metrics
+	if m.InFlightFailures != 1 {
+		t.Fatalf("in-flight failures = %d, want 1", m.InFlightFailures)
+	}
+	ev := c.Status().LastEvent
+	if ev.Downtime != 1 || ev.InFlightFailures != 1 {
+		t.Fatalf("switchover event cost: %+v", ev)
+	}
+	// The final interval cleared τ, so recovery closes at 0 intervals.
+	c.ObserveSteady(3, []float64{0.7}, 110, 98, false)
+	if m := c.Status().Metrics; m.SwitchoverRecovery.Count != 1 || m.SwitchoverRecovery.Sum != 0 {
+		t.Fatalf("recovery: %+v", m.SwitchoverRecovery)
+	}
+}
+
+// TestHistogramBuckets pins the bucket edges and counters.
+func TestHistogramBuckets(t *testing.T) {
+	h := newHistogram()
+	for _, v := range []int{1, 4, 100} {
+		h.Observe(v)
+	}
+	if h.Count != 3 || h.Sum != 105 || h.Max != 100 {
+		t.Fatalf("histogram counters: %+v", h)
+	}
+	// 1 → bucket ≤1 (index 0); 4 → ≤5 (index 3); 100 → overflow (last).
+	if h.Counts[0] != 1 || h.Counts[3] != 1 || h.Counts[len(h.Counts)-1] != 1 {
+		t.Fatalf("histogram buckets: %+v", h.Counts)
+	}
+}
+
+// TestPolicyModeDefaults covers the new policy defaults.
+func TestPolicyModeDefaults(t *testing.T) {
+	p := Policy{Enabled: true}.WithDefaults()
+	if p.Mode != ModeCanary || p.MaxChain != DefaultMaxChain || p.SwitchoverIntervals != DefaultSwitchoverIntervals {
+		t.Fatalf("defaults not applied: %+v", p)
+	}
+}
+
+// TestPromoteMarginHoldsBorderlineCandidate: with a PromoteMargin the
+// staged mean must clear τ by the margin, not merely touch it — the
+// borderline candidate is discarded; without the margin it promotes.
+func TestPromoteMarginHoldsBorderlineCandidate(t *testing.T) {
+	mk := func(margin float64) *Controller {
+		return NewController(Policy{Enabled: true, Window: 1, PromoteMargin: margin}, []float64{0.5})
+	}
+	c := mk(0.02)
+	c.Submit([]float64{0.7})
+	// sm=99 touches τ=98 (and the primary mean) but misses 98·1.02.
+	if d := c.ObservePair(0, 100, 99, 98, false, false); d != EventRollback {
+		t.Fatalf("borderline candidate with margin decided %q, want rollback", d)
+	}
+	c.Submit([]float64{0.7})
+	if d := c.ObservePair(1, 100, 101, 98, false, false); d != EventPromote {
+		t.Fatalf("clearing candidate with margin decided %q, want promote", d)
+	}
+	c = mk(0)
+	c.Submit([]float64{0.7})
+	if d := c.ObservePair(0, 100, 99, 98, false, false); d != EventPromote {
+		t.Fatalf("margin-free borderline candidate decided %q, want promote (legacy behavior)", d)
+	}
+}

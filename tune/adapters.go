@@ -80,9 +80,13 @@ func (a *OnlineTuner) Last() *core.Recommendation { return a.T.LastRecommendatio
 // Core exposes the underlying tuner for state export.
 func (a *OnlineTuner) Core() *core.OnlineTune { return a.T }
 
-// CanaryActive reports whether a candidate is staged on the shadow.
+// CanaryActive reports whether a candidate is staged on the non-serving
+// replica — the canary phase in canary mode, the tuning phase in
+// bluegreen mode, and the revalidate phase in both (a chain-rollback
+// target filling its paired probation window).
 func (a *OnlineTuner) CanaryActive() bool {
-	return a.T.RolloutPhase() == rollout.PhaseCanary
+	ph := a.T.RolloutPhase()
+	return ph == rollout.PhaseCanary || ph == rollout.PhaseTuning || ph == rollout.PhaseRevalidate
 }
 
 // FeedbackStaged consumes one paired canary observation: the primary

@@ -16,19 +16,59 @@ type TunerOptions = core.Options
 // DefaultTunerOptions mirrors the paper's settings.
 func DefaultTunerOptions() TunerOptions { return core.DefaultOptions() }
 
-// RolloutConfig enables the staged canary rollout for OnlineTune-based
+// RolloutConfig enables the staged rollout for OnlineTune-based
 // backends: recommendations that differ from the primary's last-good
-// configuration are staged on a shadow replica and promoted only after
-// a clean comparison window (see the README's "Canary rollout"
-// section). Zero fields take the rollout defaults (window 3, threshold
-// 2%).
+// configuration are staged on a second replica and promoted only after
+// a clean comparison window (see the README's "Blue/green rollout"
+// section). Zero fields take the rollout defaults (canary mode,
+// window 3, threshold 2%).
 type RolloutConfig struct {
-	// Window is the number of paired primary/shadow observations a
+	// Mode selects the rollout mode: "canary" (default) stages
+	// candidates on a non-serving shadow replica; "bluegreen" keeps two
+	// live replicas (blue serves while green is tuned) and swaps them
+	// with an explicit, cost-measured switchover on promotion.
+	Mode string `json:"mode,omitempty"`
+	// Window is the number of paired primary/staged observations a
 	// promotion decision requires.
 	Window int `json:"window,omitempty"`
-	// RegressionThreshold is the relative shadow-vs-primary regression
+	// RegressionThreshold is the relative staged-vs-primary regression
 	// beyond which a candidate is rolled back.
 	RegressionThreshold float64 `json:"regression_threshold,omitempty"`
+	// MaxChain bounds the previous-good rollback chain depth (0 = 8).
+	MaxChain int `json:"max_chain,omitempty"`
+	// SwitchoverIntervals is how many intervals a bluegreen switchover
+	// occupies (0 = 1); canary mode ignores it.
+	SwitchoverIntervals int `json:"switchover_intervals,omitempty"`
+	// PromoteMargin is the fraction of τ a staged mean must clear ABOVE
+	// the safety threshold before promotion (0 = promote on touching τ,
+	// the default). Set it to the regression threshold for a promote
+	// gate symmetric with the drift rollback.
+	PromoteMargin float64 `json:"promote_margin,omitempty"`
+}
+
+// validate rejects unknown rollout modes at session creation.
+func (rc *RolloutConfig) validate() error {
+	if rc == nil {
+		return nil
+	}
+	switch rc.Mode {
+	case "", rollout.ModeCanary, rollout.ModeBlueGreen:
+		return nil
+	default:
+		return fmt.Errorf("tune: unknown rollout mode %q (want %q or %q)", rc.Mode, rollout.ModeCanary, rollout.ModeBlueGreen)
+	}
+}
+
+// rolloutMode resolves the configured rollout mode ("" when the rollout
+// is disabled).
+func (c Config) rolloutMode() string {
+	if c.Rollout == nil {
+		return ""
+	}
+	if c.Rollout.Mode == "" {
+		return rollout.ModeCanary
+	}
+	return c.Rollout.Mode
 }
 
 // StoppingConfig tunes the stopping-and-triggering backend: pause
@@ -152,8 +192,12 @@ func (c Config) options() core.Options {
 	if c.Rollout != nil {
 		opts.Rollout = rollout.Policy{
 			Enabled:             true,
+			Mode:                c.Rollout.Mode,
 			Window:              c.Rollout.Window,
 			RegressionThreshold: c.Rollout.RegressionThreshold,
+			MaxChain:            c.Rollout.MaxChain,
+			SwitchoverIntervals: c.Rollout.SwitchoverIntervals,
+			PromoteMargin:       c.Rollout.PromoteMargin,
 		}
 	}
 	if c.know != nil {

@@ -258,15 +258,41 @@ func (e *managedSession) dropLogLocked() {
 	}
 }
 
+// SessionRollout is the rollout summary nested in SessionInfo: the
+// configured mode ("canary" or "bluegreen"; empty for direct apply) and
+// the current phase.
+type SessionRollout struct {
+	Mode  string `json:"mode,omitempty"`
+	Phase string `json:"phase"`
+}
+
 // SessionInfo summarizes one managed session.
 type SessionInfo struct {
 	ID      string `json:"id"`
 	Backend string `json:"backend"`
 	Space   string `json:"space"`
 	Iter    int    `json:"iter"`
-	// RolloutPhase is the session's canary rollout state ("direct",
-	// "steady" or "canary").
+	// Rollout is the session's rollout mode and phase.
+	Rollout *SessionRollout `json:"rollout,omitempty"`
+	// RolloutPhase is the deprecated flat form of Rollout.Phase, still
+	// emitted alongside it.
+	//
+	// Deprecated: use Rollout.Phase.
 	RolloutPhase string `json:"rollout_phase,omitempty"`
+}
+
+// withRollout fills the nested rollout summary (and its deprecated flat
+// alias) from a phase and the session's configured mode.
+func (in SessionInfo) withRollout(mode, phase string) SessionInfo {
+	in.RolloutPhase = phase
+	if phase == "" {
+		return in
+	}
+	if phase == RolloutDirect {
+		mode = ""
+	}
+	in.Rollout = &SessionRollout{Mode: mode, Phase: phase}
+	return in
 }
 
 // ManagerStats counts the manager's serving and durability activity.

@@ -455,14 +455,14 @@ func (m *Manager) peekInfo(e *managedSession) error {
 	}
 	cfg := h.Config.withDefaults()
 	info := SessionInfo{
-		ID: e.id, Backend: cfg.Backend, Space: cfg.Space,
-		Iter: h.Iter, RolloutPhase: h.RolloutPhase,
+		ID: e.id, Backend: cfg.Backend, Space: cfg.Space, Iter: h.Iter,
 	}
-	if info.RolloutPhase == "" && cfg.Rollout == nil {
+	phase := h.RolloutPhase
+	if phase == "" && cfg.Rollout == nil {
 		// v1/v2 headers carry no phase; direct-apply sessions are always
 		// "direct". Rollout-enabled legacy sessions stay blank until
 		// hydrated.
-		info.RolloutPhase = RolloutDirect
+		phase = RolloutDirect
 	}
 	if !e.legacy {
 		_, last, err := wal.Stat(m.walPath(e.id))
@@ -474,11 +474,11 @@ func (m *Manager) peekInfo(e *managedSession) error {
 			if err := json.Unmarshal(last, &rec); err == nil {
 				info.Iter = rec.Iter
 				if rec.Phase != "" {
-					info.RolloutPhase = rec.Phase
+					phase = rec.Phase
 				}
 			}
 		}
 	}
-	e.setInfo(info)
+	e.setInfo(info.withRollout(cfg.rolloutMode(), phase))
 	return nil
 }

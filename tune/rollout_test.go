@@ -37,9 +37,9 @@ func rolloutStep(t *testing.T, s *Session, primary, shadow *dbsim.Instance, gen 
 		Baseline:    dba.Objective(w.OLAP),
 		Failed:      res.Failed,
 	}
-	if adv.RolloutPhase == RolloutCanary {
+	if adv.RolloutPhase == RolloutCanary || adv.RolloutPhase == RolloutRevalidate {
 		if adv.ShadowConfig == nil || adv.ShadowUnit == nil {
-			t.Fatalf("iter %d: canary advice without a staged shadow configuration: %+v", i, adv)
+			t.Fatalf("iter %d: %s advice without a staged shadow configuration: %+v", i, adv.RolloutPhase, adv)
 		}
 		sres := shadow.Eval(adv.ShadowConfig, w, dbsim.EvalOptions{})
 		o.Shadow = &ShadowOutcome{Performance: sres.Objective(w.OLAP), Failed: sres.Failed}
@@ -243,7 +243,7 @@ func TestRolloutOverHTTP(t *testing.T) {
 			var adv Advice
 			doJSON(t, srv, "POST", "/v1/sessions/canary/suggest", nil, http.StatusOK, &adv)
 			var sh *ShadowOutcome
-			if adv.RolloutPhase == RolloutCanary {
+			if adv.RolloutPhase == RolloutCanary || adv.RolloutPhase == RolloutRevalidate {
 				sh = &ShadowOutcome{Performance: shadowPerf, Failed: shadowFailed}
 			}
 			doJSON(t, srv, "POST", "/v1/sessions/canary/report", outcome(i, sh), http.StatusOK, nil)

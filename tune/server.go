@@ -212,10 +212,8 @@ func statusFor(err error) int {
 
 func sessionInfo(id string, s *Session) SessionInfo {
 	cfg := s.Config()
-	return SessionInfo{
-		ID: id, Backend: cfg.Backend, Space: cfg.Space, Iter: s.Iter(),
-		RolloutPhase: s.RolloutPhase(),
-	}
+	info := SessionInfo{ID: id, Backend: cfg.Backend, Space: cfg.Space, Iter: s.Iter()}
+	return info.withRollout(cfg.rolloutMode(), s.RolloutPhase())
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

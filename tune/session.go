@@ -83,6 +83,39 @@ func (w Workload) snapshot(iter int) workload.Snapshot {
 	return s
 }
 
+// Role identifies a rollout replica target in the wire API: RolePrimary
+// is the serving replica, RoleStaged the replica evaluating a candidate
+// (the canary shadow, or the bluegreen green replica while tuning).
+type Role string
+
+// Replica roles used as keys in Advice.Targets and
+// Outcome.Measurements.
+const (
+	RolePrimary Role = "primary"
+	RoleStaged  Role = "staged"
+)
+
+// ConfigRef is one replica's configuration assignment: the raw knob
+// values plus the unit-hypercube encoding.
+type ConfigRef struct {
+	Config KnobConfig `json:"config"`
+	Unit   []float64  `json:"unit"`
+}
+
+// ReplicaPerf is one replica's measurement for an interval.
+type ReplicaPerf struct {
+	// Performance is the objective the replica achieved.
+	Performance float64 `json:"performance"`
+	// Failed marks a replica failure (hang, crash, OOM).
+	Failed bool `json:"failed,omitempty"`
+}
+
+// ShadowOutcome is the deprecated name for ReplicaPerf, kept so
+// pre-role-keyed callers (and the `shadow` wire field) keep working.
+//
+// Deprecated: use Outcome.Measurements[RoleStaged].
+type ShadowOutcome = ReplicaPerf
+
 // Outcome reports the measured result of running the last suggested
 // configuration (or the initial configuration before any suggestion)
 // for one interval.
@@ -103,24 +136,31 @@ type Outcome struct {
 	P99LatencyMs float64 `json:"p99_latency_ms,omitempty"`
 	// Failed marks an instance failure (hang, crash, OOM).
 	Failed bool `json:"failed,omitempty"`
-	// Shadow reports the canary replica's measurement of the staged
-	// candidate configuration. Required for the comparison window to
-	// advance while the session's rollout is in the canary phase;
-	// ignored otherwise. A report without it during a canary still
-	// teaches the model the primary's measurement, but defers the
-	// promotion decision.
+	// Measurements reports per-replica measurements keyed by role. A
+	// RoleStaged entry carries the staged replica's measurement of the
+	// candidate configuration — required for the comparison window to
+	// advance while the session's rollout is in the canary/tuning phase,
+	// ignored otherwise (a report without it still teaches the model the
+	// primary's measurement, but defers the promotion decision). A
+	// RolePrimary entry, when present, overrides the flat
+	// Performance/Failed fields.
+	Measurements map[Role]ReplicaPerf `json:"measurements,omitempty"`
+	// Shadow is the deprecated flat form of Measurements[RoleStaged],
+	// still accepted on input. When both are present the role-keyed form
+	// wins.
+	//
+	// Deprecated: use Measurements[RoleStaged].
 	Shadow *ShadowOutcome `json:"shadow,omitempty"`
 }
 
-// ShadowOutcome is the canary replica's measurement during one interval
-// of a comparison window.
-type ShadowOutcome struct {
-	// Performance is the objective the staged candidate achieved on the
-	// shadow replica.
-	Performance float64 `json:"performance"`
-	// Failed marks a shadow failure (hang, crash, OOM) — an immediate
-	// rollback.
-	Failed bool `json:"failed,omitempty"`
+// stagedMeasurement resolves the staged replica's measurement: the
+// role-keyed form first, the deprecated Shadow alias second, nil when
+// neither was reported.
+func (o Outcome) stagedMeasurement() *ReplicaPerf {
+	if m, ok := o.Measurements[RoleStaged]; ok {
+		return &m
+	}
+	return o.Shadow
 }
 
 // clone deep-copies the outcome's reference fields, so a logged outcome
@@ -131,6 +171,12 @@ func (o Outcome) clone() Outcome {
 	if o.Shadow != nil {
 		sh := *o.Shadow
 		oc.Shadow = &sh
+	}
+	if o.Measurements != nil {
+		oc.Measurements = make(map[Role]ReplicaPerf, len(o.Measurements))
+		for r, m := range o.Measurements {
+			oc.Measurements[r] = m
+		}
 	}
 	return oc
 }
@@ -181,14 +227,25 @@ type Advice struct {
 	// Paused reports that the stopping backend is holding the applied
 	// configuration.
 	Paused bool `json:"paused,omitempty"`
-	// RolloutPhase is the canary rollout state this advice was routed
-	// through: empty (rollout disabled — Config goes straight to the
-	// primary), "steady" (no candidate in flight), or "canary"
-	// (Config/Unit carry the primary's last-good configuration while
-	// ShadowConfig/ShadowUnit carry the candidate to run on the shadow
-	// replica; report the paired measurement via Outcome.Shadow).
+	// RolloutPhase is the rollout state this advice was routed through:
+	// empty (rollout disabled — Config goes straight to the primary),
+	// "steady" (no candidate in flight), "canary"/"tuning" (Config/Unit
+	// carry the primary's last-good configuration while
+	// Targets[RoleStaged] carries the candidate to run on the staged
+	// replica; report the paired measurement via
+	// Outcome.Measurements[RoleStaged]), "switchover" (a bluegreen
+	// promotion is swapping the replica roles; the advice holds the
+	// newly promoted configuration), or "revalidate" (a previous-good
+	// chain target is on probation after a drift rollback).
 	RolloutPhase string `json:"rollout_phase,omitempty"`
-	// ShadowConfig/ShadowUnit are the staged candidate during a canary.
+	// Targets is the per-replica assignment keyed by role: RolePrimary
+	// mirrors Config/Unit, RoleStaged (canary/tuning phase only) is the
+	// candidate to evaluate on the staged replica.
+	Targets map[Role]ConfigRef `json:"targets,omitempty"`
+	// ShadowConfig/ShadowUnit are the deprecated flat form of
+	// Targets[RoleStaged], still emitted alongside it.
+	//
+	// Deprecated: use Targets[RoleStaged].
 	ShadowConfig KnobConfig `json:"shadow_config,omitempty"`
 	ShadowUnit   []float64  `json:"shadow_unit,omitempty"`
 	// EI is the model's Expected Improvement of this configuration over
@@ -231,6 +288,9 @@ type Session struct {
 // NewSession creates a session from a declarative Config.
 func NewSession(cfg Config) (*Session, error) {
 	cfg = cfg.withDefaults()
+	if err := cfg.Rollout.validate(); err != nil {
+		return nil, err
+	}
 	if cfg.Initial != nil {
 		cfg.Initial = cfg.Initial.Clone() // detach from the caller's map
 	}
@@ -349,6 +409,16 @@ func (s *Session) suggestLocked() Advice {
 				adv.ShadowUnit = append([]float64(nil), rec.ShadowUnit...)
 				adv.ShadowConfig = rec.ShadowConfig.Clone()
 			}
+			if adv.RolloutPhase != "" {
+				// Role-keyed targets supersede the flat shadow fields; both
+				// forms are emitted during the deprecation window.
+				adv.Targets = map[Role]ConfigRef{
+					RolePrimary: {Config: adv.Config.Clone(), Unit: append([]float64(nil), adv.Unit...)},
+				}
+				if adv.ShadowUnit != nil {
+					adv.Targets[RoleStaged] = ConfigRef{Config: adv.ShadowConfig.Clone(), Unit: append([]float64(nil), adv.ShadowUnit...)}
+				}
+			}
 		}
 	}
 	if st, ok := s.tuner.(*StoppingTuner); ok {
@@ -385,6 +455,14 @@ func (s *Session) Report(o Outcome) error {
 // event log here, so a replayed log regenerates the identical decision
 // sequence for Restore to verify.
 func (s *Session) reportLocked(o Outcome) {
+	// Normalize the role-keyed wire form onto the flat fields: a
+	// RolePrimary measurement overrides Performance/Failed, and the
+	// staged measurement resolves through either form. Replay runs the
+	// same normalization, so logged outcomes replay identically
+	// whichever form the client used.
+	if m, ok := o.Measurements[RolePrimary]; ok {
+		o.Performance, o.Failed = m.Performance, m.Failed
+	}
 	snap := o.Workload.snapshot(s.iter)
 	ctx := s.feat.ContextInto(nil, snap, o.Stats)
 	env := Env{
@@ -392,9 +470,9 @@ func (s *Session) reportLocked(o Outcome) {
 		Tau: o.Baseline, OLAP: snap.OLAP, HW: s.hw,
 	}
 	staged := false
-	if o.Shadow != nil {
+	if sh := o.stagedMeasurement(); sh != nil {
 		if st, ok := s.tuner.(stagedTuner); ok && st.CanaryActive() {
-			st.FeedbackStaged(env, o.result(), o.Shadow.Performance, o.Shadow.Failed)
+			st.FeedbackStaged(env, o.result(), sh.Performance, sh.Failed)
 			staged = true
 		}
 	}
@@ -419,9 +497,10 @@ func (s *Session) envLocked() Env {
 	}
 }
 
-// recordRolloutEventLocked appends the promote/rollback decision made
-// by the report currently being applied (identified by its iteration)
-// to the session's event log.
+// recordRolloutEventLocked appends the rollout decision (promote,
+// rollback, switchover, or chain rollback) made by the report currently
+// being applied (identified by its iteration) to the session's event
+// log.
 func (s *Session) recordRolloutEventLocked() {
 	ct, ok := s.tuner.(coreTuner)
 	if !ok {
@@ -454,8 +533,9 @@ func (s *Session) rolloutLocked() RolloutStatus {
 }
 
 // RolloutPhase returns just the session's rollout phase ("direct",
-// "steady" or "canary") without copying the controller state — for
-// session listings polled per request.
+// "steady", "canary", "tuning", "switchover", or "revalidate") without
+// copying the controller state — for session listings polled per
+// request.
 func (s *Session) RolloutPhase() string {
 	s.mu.Lock()
 	defer s.mu.Unlock()

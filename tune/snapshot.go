@@ -18,17 +18,23 @@ import (
 // snapshot) and is the format WAL compaction writes as a session's base
 // snapshot. Version 4 added fleet-knowledge events: each query's advice
 // is logged so replay reproduces the session without the fleet store
-// (which other sessions keep mutating). Version 1–3 snapshots restore
-// unchanged, with the rollout defaulted to direct apply for v1.
-const SnapshotVersion = 4
+// (which other sessions keep mutating). Version 5 added the
+// mode-selectable rollout (canary | bluegreen): switchover and
+// chain-rollback events join the log, Outcome carries role-keyed
+// Measurements, and the rollout state summary gains mode, replicas,
+// chain depth and cost metrics. Version 1–4 snapshots restore
+// unchanged, with the rollout defaulted to direct apply for v1 and to
+// canary mode for rollout-enabled v2–v4 sessions.
+const SnapshotVersion = 5
 
 // snapshotKind tags the document so unrelated JSON is rejected early.
 const snapshotKind = "tune.Session"
 
-// Event kinds in the session log. Promote/rollback events
-// (rollout.EventPromote / rollout.EventRollback) record canary
-// decisions; they are derived — a replayed report regenerates them — and
-// serve as integrity checks during Restore.
+// Event kinds in the session log. Rollout decision events
+// (rollout.EventPromote / EventRollback / EventSwitchover /
+// EventChainRollback) record rollout decisions; they are derived — a
+// replayed report regenerates them — and serve as integrity checks
+// during Restore.
 const (
 	eventSuggest = "suggest"
 	eventReport  = "report"
@@ -232,7 +238,7 @@ func (s *Session) replayEvents(events []event, verified *int) error {
 				return fmt.Errorf("tune: snapshot event %d: report without outcome", i)
 			}
 			s.reportLocked(*ev.Outcome)
-		case rollout.EventPromote, rollout.EventRollback:
+		case rollout.EventPromote, rollout.EventRollback, rollout.EventSwitchover, rollout.EventChainRollback:
 			if *verified >= len(s.events) || s.events[*verified].Kind != ev.Kind {
 				return fmt.Errorf("tune: snapshot event %d: replay did not reproduce the logged %s decision", i, ev.Kind)
 			}

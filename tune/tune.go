@@ -47,19 +47,39 @@ type Hardware = dbsim.Hardware
 // Result is the raw observation from one evaluation interval.
 type Result = dbsim.Result
 
-// RolloutStatus is the externally visible state of a session's canary
-// rollout controller: phase, last-good/candidate configurations, window
-// fill, promotion/rollback counts and the last decision's provenance.
+// RolloutStatus is the externally visible state of a session's rollout
+// controller: mode, phase, per-replica assignments, last-good/candidate
+// configurations, window fill, previous-good chain depth,
+// promotion/rollback counts, cost metrics, and the last decision's
+// provenance.
 type RolloutStatus = rollout.Status
 
-// RolloutEvent is one promote/rollback decision with its provenance.
+// RolloutEvent is one rollout decision (promote, rollback, switchover,
+// chain rollback) with its provenance.
 type RolloutEvent = rollout.Event
+
+// RolloutMetrics is the per-session rollout cost accounting
+// (promote-latency and switchover-cost histograms).
+type RolloutMetrics = rollout.Metrics
+
+// RolloutReplica describes one replica's role, configuration and health
+// in RolloutStatus.Replicas.
+type RolloutReplica = rollout.Replica
 
 // Rollout phases reported by Session.Rollout and Advice.RolloutPhase.
 const (
-	RolloutDirect = string(rollout.PhaseDirect)
-	RolloutSteady = string(rollout.PhaseSteady)
-	RolloutCanary = string(rollout.PhaseCanary)
+	RolloutDirect     = string(rollout.PhaseDirect)
+	RolloutSteady     = string(rollout.PhaseSteady)
+	RolloutCanary     = string(rollout.PhaseCanary)
+	RolloutTuning     = string(rollout.PhaseTuning)
+	RolloutSwitchover = string(rollout.PhaseSwitchover)
+	RolloutRevalidate = string(rollout.PhaseRevalidate)
+)
+
+// Rollout modes accepted by RolloutConfig.Mode.
+const (
+	RolloutModeCanary    = rollout.ModeCanary
+	RolloutModeBlueGreen = rollout.ModeBlueGreen
 )
 
 // Env is the per-interval information handed to a Tuner: the workload
