@@ -1,0 +1,78 @@
+// Command tunevet is the repo's custom vet suite: five analyzers that
+// machine-check the invariants the system's guarantees rest on —
+// replay determinism, tmp→fsync→rename crash ordering, off-lock
+// compute, sentinel-error comparison, and wire compatibility. CI runs
+// it as a blocking step on every change:
+//
+//	go run ./cmd/tunevet ./...
+//
+// Exit status: 0 clean, 1 diagnostics found, 2 usage or load failure.
+// Findings are suppressed line-by-line with
+//
+//	//tunevet:ignore <rule> -- <rationale>
+//
+// where the rationale is mandatory (a bare directive is itself a
+// diagnostic). See README.md "Static analysis" for each rule.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/token"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/determinism"
+	"repro/internal/analysis/errsentinel"
+	"repro/internal/analysis/fsyncrename"
+	"repro/internal/analysis/lockhold"
+	"repro/internal/analysis/wirecompat"
+)
+
+var analyzers = []*analysis.Analyzer{
+	determinism.Analyzer,
+	errsentinel.Analyzer,
+	fsyncrename.Analyzer,
+	lockhold.Analyzer,
+	wirecompat.Analyzer,
+}
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: tunevet [-list] [packages]\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	fset := token.NewFileSet()
+	pkgs, err := analysis.Load(fset, ".", flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tunevet:", err)
+		os.Exit(2)
+	}
+	found := 0
+	for _, pkg := range pkgs {
+		if !pkg.Requested {
+			continue
+		}
+		diags, err := analysis.RunPackage(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tunevet:", err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			fmt.Printf("%s: %s (%s)\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+			found++
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "tunevet: %d diagnostic(s)\n", found)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,87 @@
+// Package analysis is a dependency-free miniature of the
+// golang.org/x/tools/go/analysis framework: just enough Analyzer /
+// Pass / Diagnostic surface for the repo's tunevet suite to be written
+// in the standard vet-analyzer shape. The build environment pins the
+// module to the standard library, so rather than vendoring x/tools the
+// repo carries this ~300-line re-implementation; if the dependency
+// ever becomes available, the analyzers port by changing one import.
+//
+// The suite's entry points are cmd/tunevet (the multichecker) and the
+// analysistest subpackage (golden-fixture tests). Suppressions use
+//
+//	//tunevet:ignore <rule>[,<rule>...] -- <rationale>
+//
+// on the flagged line or the line directly above it. The rationale is
+// mandatory: a directive without one does not suppress anything and is
+// itself reported as a diagnostic (see suppress.go).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// An Analyzer describes one analysis: a named, documented check over a
+// single type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and is the rule name
+	// suppression directives refer to.
+	Name string
+	// Doc is a one-paragraph description of the invariant the analyzer
+	// guards.
+	Doc string
+	// Run applies the analyzer to one package, reporting findings
+	// through pass.Report. The result value is unused by this driver
+	// (kept for x/tools API shape).
+	Run func(pass *Pass) (any, error)
+}
+
+// A Pass connects an Analyzer to the single package being analyzed.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Reportf reports a diagnostic at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding: a position, the rule (analyzer name)
+// that produced it, and a message.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// RunPackage applies the analyzers to one loaded package and returns
+// the surviving diagnostics: suppression directives with a rationale
+// filter matching findings, and directives without a rationale are
+// appended as findings themselves.
+func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			Report:    func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	diags = ApplySuppressions(pkg.Fset, pkg.Files, diags)
+	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, nil
+}

@@ -1,0 +1,165 @@
+// Package analysistest runs an analyzer over golden fixture packages
+// under testdata/src and checks its diagnostics against `// want`
+// comments — a dependency-free miniature of
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture line expecting diagnostics carries one or more quoted
+// regular expressions:
+//
+//	time.Now() // want `wall-clock read`
+//
+// Every reported diagnostic must match a want on its line, and every
+// want must be matched, or the test fails. Suppression directives are
+// applied exactly as cmd/tunevet applies them, so fixtures can also
+// pin the suppression contract itself (including the rule that a
+// directive without a rationale is a diagnostic).
+package analysistest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// Run loads each fixture package rooted at testdata/src/<path> (in
+// order, so later fixtures may import earlier ones), applies the
+// analyzer plus the shared suppression filter, and compares
+// diagnostics against the fixtures' want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	ld := &fixtureLoader{
+		fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		checked: map[string]*types.Package{},
+	}
+	for _, path := range pkgPaths {
+		pkg, err := ld.load(filepath.Join(testdata, "src", filepath.FromSlash(path)), path)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+		diags, err := analysis.RunPackage(pkg, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, path, err)
+		}
+		check(t, fset, pkg.Files, diags)
+	}
+}
+
+type fixtureLoader struct {
+	fset    *token.FileSet
+	std     types.ImporterFrom
+	checked map[string]*types.Package
+}
+
+func (ld *fixtureLoader) load(dir, path string) (*analysis.Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: ld}
+	tpkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	ld.checked[path] = tpkg
+	return &analysis.Package{Path: path, Dir: dir, Fset: ld.fset, Files: files, Types: tpkg, Info: info, Requested: true}, nil
+}
+
+func (ld *fixtureLoader) Import(path string) (*types.Package, error) {
+	return ld.ImportFrom(path, "", 0)
+}
+
+func (ld *fixtureLoader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if p := ld.checked[path]; p != nil {
+		return p, nil
+	}
+	return ld.std.ImportFrom(path, dir, mode)
+}
+
+var wantRE = regexp.MustCompile("// want((?: +(?:`[^`]*`|\"[^\"]*\"))+)")
+var wantArgRE = regexp.MustCompile("`[^`]*`|\"[^\"]*\"")
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// check compares diagnostics to the want comments in files.
+func check(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, arg := range wantArgRE.FindAllString(m[1], -1) {
+					re, err := regexp.Compile(arg[1 : len(arg)-1])
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %s: %v", pos, arg, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s (%s)", pos, d.Message, d.Analyzer)
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q was not reported", w.file, w.line, w.re)
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata", determinism.Analyzer, "internal/core", "otherpkg")
+}

@@ -1,0 +1,105 @@
+// Package core is a golden fixture for the determinism analyzer: its
+// import path suffix matches the restricted internal/core package, so
+// every rule fires here.
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Wall-clock reads are banned; durations stay allowed.
+func clock() time.Duration {
+	t0 := time.Now()    // want `wall-clock read time.Now in a replay-affecting package`
+	d := time.Since(t0) // want `wall-clock read time.Since`
+	d += 5 * time.Second
+	return d
+}
+
+// Package-level math/rand draws are banned; the deterministic
+// constructors and methods on a seeded *rand.Rand are fine.
+func draws(r *rand.Rand) int {
+	n := rand.Intn(10) // want `package-level rand.Intn draws from the global source`
+	rr := rand.New(rand.NewSource(1))
+	return n + rr.Intn(10) + r.Intn(10)
+}
+
+// Map iteration order escaping into an outer slice without a sort.
+func escape(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to "keys" under map iteration without a later sort`
+	}
+	return keys
+}
+
+// The canonical collect-then-sort pattern restores determinism.
+func collectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// A loop-local accumulator cannot leak iteration order.
+func localAccumulator(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var batch []int
+		batch = append(batch, vs...)
+		total += len(batch)
+	}
+	return total
+}
+
+// Encoding directly from inside the iteration is nondeterministic
+// output no matter where it lands.
+func encodeInLoop(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `encoding inside map iteration`
+	}
+}
+
+func marshalInLoop(m map[string]int) [][]byte {
+	var rows [][]byte
+	for k := range m {
+		b, _ := json.Marshal(k) // want `encoding inside map iteration`
+		rows = append(rows, b)  // want `append to "rows" under map iteration`
+	}
+	return rows
+}
+
+// A directive with a rationale suppresses, trailing the statement or
+// on the line above it.
+func suppressedTrailing() time.Time {
+	return time.Now() //tunevet:ignore determinism -- fixture: operator-facing timestamp that never feeds the event log
+}
+
+func suppressedAbove() time.Time {
+	//tunevet:ignore determinism -- fixture: operator-facing timestamp that never feeds the event log
+	return time.Now()
+}
+
+// A directive without a rationale suppresses nothing and is itself a
+// diagnostic.
+func missingRationale() time.Time {
+	//tunevet:ignore determinism // want `suppression directive missing rationale`
+	return time.Now() // want `wall-clock read time.Now`
+}
+
+// A directive naming no rule is also a diagnostic.
+func noRule() time.Time {
+	//tunevet:ignore -- a rationale alone is not enough // want `suppression directive names no rule`
+	return time.Now() // want `wall-clock read time.Now`
+}
+
+// A directive naming a different rule does not suppress this one.
+func wrongRule() time.Time {
+	return time.Now() //tunevet:ignore lockhold -- fixture: wrong rule name // want `wall-clock read time.Now`
+}

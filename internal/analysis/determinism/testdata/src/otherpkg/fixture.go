@@ -1,0 +1,17 @@
+// Package otherpkg is outside the replay-affecting set: the
+// determinism analyzer must stay silent here even for constructs it
+// bans elsewhere.
+package otherpkg
+
+import (
+	"math/rand"
+	"time"
+)
+
+func fine(m map[string]int) ([]string, time.Time, int) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys, time.Now(), rand.Intn(10)
+}

@@ -1,0 +1,12 @@
+package errsentinel_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/errsentinel"
+)
+
+func TestErrSentinel(t *testing.T) {
+	analysistest.Run(t, "testdata", errsentinel.Analyzer, "es")
+}

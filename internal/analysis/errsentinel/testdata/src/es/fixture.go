@@ -1,0 +1,52 @@
+// Package es is a golden fixture for the errsentinel analyzer: error
+// identity must be checked with errors.Is / errors.As, never by
+// matching message text.
+package es
+
+import (
+	"errors"
+	"strings"
+)
+
+var errNotFound = errors.New("not found")
+
+func badContains(err error) bool {
+	return strings.Contains(err.Error(), "not found") // want `matching err.Error\(\) with strings.Contains`
+}
+
+func badPrefix(err error) bool {
+	return strings.HasPrefix(err.Error(), "tune:") // want `matching err.Error\(\) with strings.HasPrefix`
+}
+
+func badCompare(err error) bool {
+	return err.Error() == "not found" // want `comparing err.Error\(\) with ==`
+}
+
+func badNotEqual(err error) bool {
+	return err.Error() != "not found" // want `comparing err.Error\(\) with !=`
+}
+
+// A concrete error type still implements error: matching its message
+// is just as brittle.
+type typedErr struct{}
+
+func (*typedErr) Error() string { return "typed" }
+
+func badTyped(e *typedErr) bool {
+	return strings.Contains(e.Error(), "typed") // want `matching err.Error\(\) with strings.Contains`
+}
+
+// The sentinel machinery is the correct tool.
+func good(err error) bool {
+	return errors.Is(err, errNotFound)
+}
+
+// Matching ordinary strings is fine.
+func goodContains(s string) bool {
+	return strings.Contains(s, "not found")
+}
+
+// Using the message for display (not identity) is fine.
+func goodDisplay(err error) string {
+	return "failed: " + err.Error()
+}

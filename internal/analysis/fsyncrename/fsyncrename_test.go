@@ -1,0 +1,12 @@
+package fsyncrename_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/fsyncrename"
+)
+
+func TestFsyncRename(t *testing.T) {
+	analysistest.Run(t, "testdata", fsyncrename.Analyzer, "fsr")
+}

@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// DirectivePrefix opens a suppression comment. Full syntax:
+//
+//	//tunevet:ignore rule1[,rule2...] -- rationale
+//
+// The directive suppresses diagnostics of the named rules on its own
+// line and on the line directly below it (so it can trail the flagged
+// statement or sit on its own line above it). The rationale after the
+// " -- " separator is mandatory; a directive without one suppresses
+// nothing and is reported as a diagnostic, so every silenced finding
+// carries a written justification next to it.
+const DirectivePrefix = "//tunevet:ignore"
+
+// directiveRule is the analyzer name attached to diagnostics about
+// malformed suppression directives themselves.
+const directiveRule = "tunevet"
+
+type directive struct {
+	pos       token.Pos
+	file      string
+	line      int
+	rules     map[string]bool
+	rationale string
+}
+
+// parseDirectives extracts every tunevet:ignore directive from the
+// files' comments.
+func parseDirectives(fset *token.FileSet, files []*ast.File) []directive {
+	var out []directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, DirectivePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, DirectivePrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //tunevet:ignoreX — not a directive
+				}
+				d := directive{pos: c.Pos(), rules: map[string]bool{}}
+				pos := fset.Position(c.Pos())
+				d.file, d.line = pos.Filename, pos.Line
+				ruleList, rationale, found := strings.Cut(rest, " -- ")
+				if found {
+					d.rationale = strings.TrimSpace(rationale)
+				}
+				for _, r := range strings.Split(ruleList, ",") {
+					if r = strings.TrimSpace(r); r != "" {
+						d.rules[r] = true
+					}
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// ApplySuppressions filters diags through the files' suppression
+// directives: a diagnostic is dropped when a directive naming its rule
+// sits on the same line or the line above it in the same file AND
+// carries a rationale. Directives with no rationale (or no rules)
+// suppress nothing and are appended to the result as diagnostics of
+// their own.
+func ApplySuppressions(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
+	dirs := parseDirectives(fset, files)
+	if len(dirs) == 0 {
+		return diags
+	}
+	// Index usable directives by file:line they cover.
+	type key struct {
+		file string
+		line int
+	}
+	covered := map[key][]*directive{}
+	var out []Diagnostic
+	for i := range dirs {
+		d := &dirs[i]
+		if len(d.rules) == 0 {
+			out = append(out, Diagnostic{Pos: d.pos, Analyzer: directiveRule,
+				Message: "suppression directive names no rule (want //tunevet:ignore <rule> -- <rationale>)"})
+			continue
+		}
+		if d.rationale == "" {
+			out = append(out, Diagnostic{Pos: d.pos, Analyzer: directiveRule,
+				Message: "suppression directive missing rationale (want //tunevet:ignore <rule> -- <rationale>); it suppresses nothing"})
+			continue
+		}
+		covered[key{d.file, d.line}] = append(covered[key{d.file, d.line}], d)
+		covered[key{d.file, d.line + 1}] = append(covered[key{d.file, d.line + 1}], d)
+	}
+	for _, diag := range diags {
+		pos := fset.Position(diag.Pos)
+		suppressed := false
+		for _, d := range covered[key{pos.Filename, pos.Line}] {
+			if d.rules[diag.Analyzer] {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			out = append(out, diag)
+		}
+	}
+	return out
+}

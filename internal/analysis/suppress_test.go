@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+const suppressSrc = `package p
+
+func a() int {
+	x := 1 //tunevet:ignore myrule -- justified: fixture
+	return x
+}
+
+func b() int {
+	//tunevet:ignore myrule
+	y := 2
+	return y
+}
+
+func c() int {
+	z := 3 //tunevet:ignore -- a rationale but no rule
+	return z
+}
+`
+
+// assignPositions returns the Pos of each short-variable-declaration
+// in source order (the lines the fabricated diagnostics anchor to).
+func assignPositions(f *ast.File) []token.Pos {
+	var out []token.Pos
+	ast.Inspect(f, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok && as.Tok == token.DEFINE {
+			out = append(out, as.Pos())
+		}
+		return true
+	})
+	return out
+}
+
+func TestApplySuppressions(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", suppressSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := assignPositions(f)
+	if len(pos) != 3 {
+		t.Fatalf("fixture should have 3 assignments, found %d", len(pos))
+	}
+	diags := []Diagnostic{
+		{Pos: pos[0], Analyzer: "myrule", Message: "finding in a"},
+		{Pos: pos[0], Analyzer: "otherrule", Message: "different rule in a"},
+		{Pos: pos[1], Analyzer: "myrule", Message: "finding in b"},
+		{Pos: pos[2], Analyzer: "myrule", Message: "finding in c"},
+	}
+	got := ApplySuppressions(fset, []*ast.File{f}, diags)
+
+	byMsg := map[string]bool{}
+	for _, d := range got {
+		byMsg[d.Message] = true
+	}
+	if byMsg["finding in a"] {
+		t.Error("directive with rationale on the same line should suppress the named rule")
+	}
+	if !byMsg["different rule in a"] {
+		t.Error("a directive must only suppress the rules it names")
+	}
+	if !byMsg["finding in b"] {
+		t.Error("directive without a rationale must not suppress")
+	}
+	if !byMsg["finding in c"] {
+		t.Error("directive without a rule must not suppress")
+	}
+
+	// The malformed directives are themselves diagnostics, attributed to
+	// the tunevet meta-rule.
+	var missingRationale, noRule bool
+	for _, d := range got {
+		if d.Analyzer != directiveRule {
+			continue
+		}
+		if strings.Contains(d.Message, "missing rationale") {
+			missingRationale = true
+		}
+		if strings.Contains(d.Message, "names no rule") {
+			noRule = true
+		}
+	}
+	if !missingRationale {
+		t.Error("directive without a rationale should be reported as a diagnostic")
+	}
+	if !noRule {
+		t.Error("directive without a rule should be reported as a diagnostic")
+	}
+	// 3 surviving findings + 2 directive diagnostics.
+	if len(got) != 5 {
+		t.Errorf("got %d diagnostics, want 5: %+v", len(got), got)
+	}
+}

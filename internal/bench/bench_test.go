@@ -2,8 +2,10 @@ package bench
 
 import (
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
+	"slices"
 	"strings"
 	"testing"
 	"time"
@@ -86,11 +88,15 @@ func TestExperimentIDsAllDispatchable(t *testing.T) {
 }
 
 func knownID(id string) bool {
+	// Ask the dispatcher itself: a bogus id yields the typed error
+	// carrying the known-id list (string-matching err.Error() here was
+	// the repo's one live errsentinel violation).
 	_, err := Experiment("nope", 1, 1)
-	if err == nil {
+	var unknown *UnknownExperimentError
+	if !errors.As(err, &unknown) {
 		return false
 	}
-	return strings.Contains(err.Error(), id)
+	return slices.Contains(unknown.Known, id)
 }
 
 func TestFig5SmallRunShape(t *testing.T) {

@@ -113,8 +113,21 @@ func Experiment(id string, iters int, seed int64) (Report, error) {
 	case "ext9":
 		return Ext9BlueGreenRollout(orDefault(iters, 300), seed), nil
 	default:
-		return Report{}, fmt.Errorf("unknown experiment %q (known: %s)", id, strings.Join(ExperimentIDs(), ", "))
+		return Report{}, &UnknownExperimentError{ID: id, Known: ExperimentIDs()}
 	}
+}
+
+// UnknownExperimentError reports a dispatch request for an experiment
+// id the dispatcher does not know, carrying the ids it does. Callers
+// retrieve it with errors.As — the known-id list is structured data
+// here, not message text to be string-matched.
+type UnknownExperimentError struct {
+	ID    string
+	Known []string
+}
+
+func (e *UnknownExperimentError) Error() string {
+	return fmt.Sprintf("unknown experiment %q (known: %s)", e.ID, strings.Join(e.Known, ", "))
 }
 
 func orDefault(v, d int) int {

@@ -306,10 +306,10 @@ func (o *OnlineTune) Recommend(ctx []float64, env whitebox.Env, tau float64) Rec
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	o.times.Iters++
-	t0 := time.Now()
+	t0 := time.Now() //tunevet:ignore determinism -- Timings are operator-facing wall-clock metrics; they never enter the event log, snapshots, or any recommendation, so replay is unaffected
 	mi := o.selectModel(ctx)
 	m := o.models[mi]
-	o.times.ModelSelect += time.Since(t0)
+	o.times.ModelSelect += time.Since(t0) //tunevet:ignore determinism -- Timings are operator-facing wall-clock metrics; they never enter the event log, snapshots, or any recommendation, so replay is unaffected
 
 	// A holding rollout state pins the recommendation: an in-flight
 	// canary/tuning window keeps the primary on last-good and the
@@ -398,7 +398,7 @@ func (o *OnlineTune) Recommend(ctx []float64, env whitebox.Env, tau float64) Rec
 	}
 
 	// ③ Subspace adaptation (or the whole space for the ablation).
-	t0 = time.Now()
+	t0 = time.Now() //tunevet:ignore determinism -- Timings are operator-facing wall-clock metrics; they never enter the event log, snapshots, or any recommendation, so replay is unaffected
 	var candidates [][]float64
 	regionKind := "global"
 	if o.Opts.UseSubspace && o.Opts.UseSafety {
@@ -422,10 +422,10 @@ func (o *OnlineTune) Recommend(ctx []float64, env whitebox.Env, tau float64) Rec
 	}
 	// Fleet transfers ride the same assessment as local candidates.
 	candidates = o.appendTransfers(m, candidates)
-	o.times.SubspaceAdapt += time.Since(t0)
+	o.times.SubspaceAdapt += time.Since(t0) //tunevet:ignore determinism -- Timings are operator-facing wall-clock metrics; they never enter the event log, snapshots, or any recommendation, so replay is unaffected
 
 	// ④ Safety assessment: black box...
-	t0 = time.Now()
+	t0 = time.Now() //tunevet:ignore determinism -- Timings are operator-facing wall-clock metrics; they never enter the event log, snapshots, or any recommendation, so replay is unaffected
 	tauEff := tau + o.Opts.SafetyMargin*math.Abs(tau)
 	assess := safety.Assess(m.gp, ctx, candidates, o.Opts.Beta, tauEff)
 	if !o.Opts.UseSafety || !o.Opts.UseBlackBox {
@@ -444,10 +444,10 @@ func (o *OnlineTune) Recommend(ctx []float64, env whitebox.Env, tau float64) Rec
 		ignored, vetoes = o.applyWhiteBox(assess, env)
 	}
 
-	o.times.SafetyAssess += time.Since(t0)
+	o.times.SafetyAssess += time.Since(t0) //tunevet:ignore determinism -- Timings are operator-facing wall-clock metrics; they never enter the event log, snapshots, or any recommendation, so replay is unaffected
 
 	// ⑤ Candidate selection: ε-greedy between UCB and safe boundary.
-	t0 = time.Now()
+	t0 = time.Now() //tunevet:ignore determinism -- Timings are operator-facing wall-clock metrics; they never enter the event log, snapshots, or any recommendation, so replay is unaffected
 	boundary := o.rng.Float64() < o.Opts.Epsilon
 	var pick int
 	if boundary {
@@ -477,7 +477,7 @@ func (o *OnlineTune) Recommend(ctx []float64, env whitebox.Env, tau float64) Rec
 	}
 	rec.Config = o.Space.Decode(rec.Unit)
 	o.pendingRule = rec.IgnoredRule
-	o.times.CandidateSelect += time.Since(t0)
+	o.times.CandidateSelect += time.Since(t0) //tunevet:ignore determinism -- Timings are operator-facing wall-clock metrics; they never enter the event log, snapshots, or any recommendation, so replay is unaffected
 	return o.finishRecommend(rec)
 }
 
@@ -642,8 +642,8 @@ func (o *OnlineTune) applyWhiteBox(assess *safety.Assessment, env whitebox.Env) 
 func (o *OnlineTune) Observe(iter int, ctx, unit []float64, perf, tau float64, failed bool) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	t0 := time.Now()
-	defer func() { o.times.ModelUpdate += time.Since(t0) }()
+	t0 := time.Now()                                         //tunevet:ignore determinism -- Timings are operator-facing wall-clock metrics; they never enter the event log, snapshots, or any recommendation, so replay is unaffected
+	defer func() { o.times.ModelUpdate += time.Since(t0) }() //tunevet:ignore determinism -- Timings are operator-facing wall-clock metrics; they never enter the event log, snapshots, or any recommendation, so replay is unaffected
 	// A switchover interval measures the newly serving replica during
 	// its expected cache-cold dip: the measurement feeds the rollout
 	// controller's cost accounting (downtime, in-flight failures) but
@@ -672,8 +672,8 @@ func (o *OnlineTune) Observe(iter int, ctx, unit []float64, perf, tau float64, f
 func (o *OnlineTune) ObservePair(iter int, ctx []float64, primaryPerf, shadowPerf, tau float64, primaryFailed, shadowFailed bool) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	t0 := time.Now()
-	defer func() { o.times.ModelUpdate += time.Since(t0) }()
+	t0 := time.Now()                                         //tunevet:ignore determinism -- Timings are operator-facing wall-clock metrics; they never enter the event log, snapshots, or any recommendation, so replay is unaffected
+	defer func() { o.times.ModelUpdate += time.Since(t0) }() //tunevet:ignore determinism -- Timings are operator-facing wall-clock metrics; they never enter the event log, snapshots, or any recommendation, so replay is unaffected
 	if o.roll == nil || !o.roll.CanaryActive() {
 		// Attribute the measurement to what the primary actually ran —
 		// the last recommendation. The controller's last-good can be

@@ -231,7 +231,7 @@ func (c *Committer) Close() error {
 	defer c.mu.Unlock()
 	var err error
 	for path, l := range c.dirty {
-		if serr := l.SyncFile(); serr != nil {
+		if serr := l.SyncFile(); serr != nil { //tunevet:ignore lockhold -- shutdown drain: closed is already set, so Enqueue fails fast without waiting on c.mu and no serving operation can stall behind these final fsyncs
 			if err == nil {
 				err = serr
 			}

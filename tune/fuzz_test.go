@@ -1,0 +1,59 @@
+package tune
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzParseSnapshot drives the snapshot version-envelope parser and
+// the full Restore replay over arbitrary bytes. Nearly every input is
+// rejected with an error — that is the correct outcome; the invariant
+// under fuzz is that no input panics or hangs. Seeds are the committed
+// v1–v4 golden snapshots plus a freshly generated current-version
+// snapshot, so the corpus tracks the live schema without a new golden
+// per version.
+func FuzzParseSnapshot(f *testing.F) {
+	for _, name := range []string{"snapshot_golden.json", "snapshot_v1.json", "snapshot_v2.json", "snapshot_v4.json"} {
+		data, err := os.ReadFile(filepath.Join("testdata", name))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	s, err := NewSession(Config{Space: "case5", Seed: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	if _, err := s.Suggest(context.Background()); err != nil {
+		f.Fatal(err)
+	}
+	err = s.Report(Outcome{
+		Workload: Workload{
+			Statements: []Statement{{SQL: "SELECT c_balance FROM customer WHERE c_id = 42", Weight: 1}},
+			Unlimited:  true,
+		},
+		Stats:       OptimizerStats{RowsExamined: 120, FilterPct: 30, IndexUsedFrac: 1},
+		Metrics:     Metrics{BufferPoolHitRate: 0.96, QPS: 21500},
+		Performance: 21500,
+		Baseline:    20000,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	v5, err := s.Snapshot()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v5)
+	f.Add([]byte(`{"kind":"tune.Session","version":99}`))
+	f.Add([]byte(`{"kind":"something.Else","version":1}`))
+	f.Add([]byte(`{"kind":"tune.Session","version":5,"config":{"space":"nope"}}`))
+	f.Add([]byte("{"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = parseSnapshot(data)
+		_, _ = Restore(data)
+	})
+}

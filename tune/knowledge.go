@@ -221,7 +221,11 @@ func (f *fleetKnowledge) Contribute(c knowledge.Contribution) {
 	if seq == before || f.log == nil {
 		return // rejected as invalid, or nothing to persist to
 	}
-	data, err := json.Marshal(knowRecord{Seq: seq, C: c})
+	// f.mu is the contribution WAL's serialization point: Seq must match
+	// append order, so the marshal and the commit cannot move off-lock.
+	// Queries never take f.mu, and contributions are advisory and off
+	// the serving hot path, so the hold stalls no tuning operation.
+	data, err := json.Marshal(knowRecord{Seq: seq, C: c}) //tunevet:ignore lockhold -- seq-ordered WAL append: marshal must stay inside the serialization point; query path never takes f.mu
 	if err != nil {
 		return
 	}
@@ -229,6 +233,7 @@ func (f *fleetKnowledge) Contribute(c knowledge.Contribution) {
 		f.recoverLogLocked()
 		return
 	}
+	//tunevet:ignore lockhold -- the contribution fsync must complete before the next contribution's seq is assigned; advisory path, never on the serving hot path
 	if err := f.log.Commit(); err != nil {
 		f.recoverLogLocked()
 		return

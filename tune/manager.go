@@ -1021,7 +1021,7 @@ func (m *Manager) Close() error {
 		sh.mu.RLock()
 		es := make([]*managedSession, 0, len(sh.sessions))
 		for _, e := range sh.sessions {
-			es = append(es, e)
+			es = append(es, e) //tunevet:ignore determinism -- shutdown close order: each log's Close is independent and nothing here feeds the event log or the wire
 		}
 		sh.mu.RUnlock()
 		for _, e := range es {

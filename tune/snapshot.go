@@ -103,7 +103,6 @@ type snapshotFile struct {
 // alone.
 func (s *Session) Snapshot() ([]byte, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	f := snapshotFile{
 		Version:      SnapshotVersion,
 		Kind:         snapshotKind,
@@ -113,6 +112,13 @@ func (s *Session) Snapshot() ([]byte, error) {
 		Events:       s.events,
 		State:        s.stateLocked(),
 	}
+	s.mu.Unlock()
+	// Marshal off-lock (the log can be large, and encoding it must not
+	// stall concurrent Suggest/Report): every reference f carries is
+	// safe to read unlocked — State and RolloutPhase are deep copies
+	// built under the lock, Config is immutable after NewSession, and
+	// Events is a fixed-length prefix of an append-only log whose
+	// entries are never mutated after being appended.
 	data, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {
 		return nil, err
